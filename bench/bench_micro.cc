@@ -1,0 +1,179 @@
+// Microbenchmarks (google-benchmark): throughput of the estimation pipeline
+// pieces — predicate transitive closure, AnalyzedQuery construction,
+// per-order estimation, the urn model, histogram probes and SQL parsing.
+//
+// The paper's algorithm runs inside an optimizer's inner loop (once per
+// candidate join order in DP/greedy/randomized enumeration), so estimation
+// must be cheap; these benchmarks quantify that.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "estimator/presets.h"
+#include "query/parser.h"
+#include "rewrite/transitive_closure.h"
+#include "stats/distinct.h"
+#include "stats/histogram.h"
+#include "storage/catalog.h"
+#include "storage/datagen.h"
+
+namespace joinest {
+namespace {
+
+// Stats-only catalog with n single-column tables chained on one attribute
+// plus a local predicate — the §8 query generalised to n tables.
+struct Fixture {
+  Catalog catalog;
+  QuerySpec spec;
+};
+
+Fixture MakeFixture(int n) {
+  Fixture f;
+  for (int i = 0; i < n; ++i) {
+    TableStats stats;
+    stats.row_count = 1000.0 * (i + 1);
+    ColumnStats col;
+    col.distinct_count = stats.row_count;
+    col.min = 0;
+    col.max = stats.row_count - 1;
+    stats.columns.push_back(col);
+    Table table{Schema({{"k" + std::to_string(i), TypeKind::kInt64}})};
+    JOINEST_CHECK(f.catalog
+                      .AddTableWithStats("T" + std::to_string(i),
+                                         std::move(table), std::move(stats))
+                      .ok());
+  }
+  f.spec.count_star = true;
+  for (int i = 0; i < n; ++i) {
+    JOINEST_CHECK(f.spec.AddTable(f.catalog, "T" + std::to_string(i)).ok());
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    f.spec.predicates.push_back(
+        Predicate::Join(ColumnRef{i, 0}, ColumnRef{i + 1, 0}));
+  }
+  f.spec.predicates.push_back(Predicate::LocalConst(
+      ColumnRef{0, 0}, CompareOp::kLt, Value(int64_t{100})));
+  return f;
+}
+
+void BM_TransitiveClosure(benchmark::State& state) {
+  const Fixture f = MakeFixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeTransitiveClosure(f.spec.predicates));
+  }
+}
+BENCHMARK(BM_TransitiveClosure)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_AnalyzedQueryCreate(benchmark::State& state) {
+  const Fixture f = MakeFixture(static_cast<int>(state.range(0)));
+  const EstimationOptions options = PresetOptions(AlgorithmPreset::kELS);
+  for (auto _ : state) {
+    auto analyzed = AnalyzedQuery::Create(f.catalog, f.spec, options);
+    benchmark::DoNotOptimize(analyzed);
+  }
+}
+BENCHMARK(BM_AnalyzedQueryCreate)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_EstimateOrder(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Fixture f = MakeFixture(n);
+  auto analyzed = AnalyzedQuery::Create(f.catalog, f.spec,
+                                        PresetOptions(AlgorithmPreset::kELS));
+  JOINEST_CHECK(analyzed.ok());
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzed->EstimateOrder(order));
+  }
+  state.SetItemsProcessed(state.iterations() * (n - 1));
+}
+BENCHMARK(BM_EstimateOrder)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_UrnModelDistinct(benchmark::State& state) {
+  double d = 10000, k = 50000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(UrnModelDistinct(d, k));
+    d += 1;  // Defeat constant folding.
+  }
+}
+BENCHMARK(BM_UrnModelDistinct);
+
+void BM_HistogramSelectivity(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<double> data;
+  data.reserve(100000);
+  for (int i = 0; i < 100000; ++i) {
+    data.push_back(static_cast<double>(rng.NextBounded(10000)));
+  }
+  const Histogram histogram =
+      Histogram::BuildEquiDepth(data, static_cast<int>(state.range(0)));
+  double v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(histogram.Selectivity(CompareOp::kLt, v));
+    v = v < 10000 ? v + 7 : 0;
+  }
+}
+BENCHMARK(BM_HistogramSelectivity)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_HistogramBuild(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<double> data;
+  const int64_t n = state.range(0);
+  data.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    data.push_back(static_cast<double>(rng.NextBounded(10000)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Histogram::BuildEquiDepth(data, 64));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HistogramBuild)->Arg(10000)->Arg(100000);
+
+void BM_HistogramJoinSelectivity(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> a, b;
+  ZipfDistribution zipf(5000, 1.0);
+  for (int i = 0; i < 100000; ++i) {
+    a.push_back(static_cast<double>(zipf.Sample(rng)));
+    if (i < 50000) b.push_back(static_cast<double>(zipf.Sample(rng)));
+  }
+  const int buckets = static_cast<int>(state.range(0));
+  const Histogram ha = Histogram::BuildEndBiased(a, buckets / 4, buckets);
+  const Histogram hb = Histogram::BuildEndBiased(b, buckets / 4, buckets);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HistogramJoinSelectivity(ha, hb));
+  }
+}
+BENCHMARK(BM_HistogramJoinSelectivity)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_TraceOrder(benchmark::State& state) {
+  const int n = 8;
+  const Fixture f = MakeFixture(n);
+  auto analyzed = AnalyzedQuery::Create(f.catalog, f.spec,
+                                        PresetOptions(AlgorithmPreset::kELS));
+  JOINEST_CHECK(analyzed.ok());
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzed->TraceOrder(order));
+  }
+}
+BENCHMARK(BM_TraceOrder);
+
+void BM_ParseQuery(benchmark::State& state) {
+  const Fixture f = MakeFixture(4);
+  const std::string sql =
+      "SELECT COUNT(*) FROM T0, T1, T2, T3 WHERE T0.k0 = T1.k1 AND "
+      "T1.k1 = T2.k2 AND T2.k2 = T3.k3 AND T0.k0 < 100";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseQuery(f.catalog, sql));
+  }
+}
+BENCHMARK(BM_ParseQuery);
+
+}  // namespace
+}  // namespace joinest

@@ -1,0 +1,74 @@
+// Ablation E: estimation consistency across join orders.
+//
+// The paper's §3.3 complaint about Rules M and SS is not only inaccuracy
+// but INCONSISTENCY: the same final join gets different size estimates
+// depending on the order the optimizer happens to evaluate — so two
+// equivalent plans are costed against incomparable row counts. Rule LS is
+// proved (§7) to be order-invariant.
+//
+// This bench enumerates ALL 24 join orders of the §8 query and reports,
+// per algorithm, the minimum and maximum final-size estimate plus the
+// number of distinct values seen. Consistent rules show one value.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/table_printer.h"
+#include "estimator/presets.h"
+#include "query/parser.h"
+#include "storage/datasets.h"
+
+using namespace joinest;  // NOLINT - binary code
+
+int main() {
+  Catalog catalog;
+  PaperDatasetOptions dataset;
+  dataset.with_payload = false;
+  const Status built = BuildPaperDataset(catalog, dataset);
+  JOINEST_CHECK(built.ok()) << built;
+  auto query = ParseQuery(catalog,
+                          "SELECT COUNT(*) FROM S, M, B, G WHERE s = m AND "
+                          "m = b AND b = g AND s < 100");
+  JOINEST_CHECK(query.ok()) << query.status();
+
+  std::printf("== Ablation E: final-size estimates across all 24 join "
+              "orders (Section 8 query; truth = 100) ==\n\n");
+  TablePrinter table({"Algorithm", "min estimate", "max estimate",
+                      "distinct values", "consistent?"});
+  for (AlgorithmPreset preset : AllPresets()) {
+    auto analyzed =
+        AnalyzedQuery::Create(catalog, *query, PresetOptions(preset));
+    JOINEST_CHECK(analyzed.ok()) << analyzed.status();
+    std::vector<int> order = {0, 1, 2, 3};
+    double min_estimate = HUGE_VAL, max_estimate = 0;
+    std::set<std::string> values;  // Keyed on 10 significant digits so
+                                   // multiplication-order fp noise doesn't
+                                   // read as inconsistency.
+    do {
+      const double estimate = analyzed->EstimateOrder(order).back();
+      min_estimate = std::min(min_estimate, estimate);
+      max_estimate = std::max(max_estimate, estimate);
+      char key[32];
+      std::snprintf(key, sizeof(key), "%.10g", estimate);
+      values.insert(key);
+    } while (std::next_permutation(order.begin(), order.end()));
+    table.AddRow({PresetName(preset), FormatNumber(min_estimate),
+                  FormatNumber(max_estimate),
+                  FormatNumber(static_cast<double>(values.size())),
+                  values.size() == 1 ? "yes" : "NO"});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nExpected shape: ELS (Rule LS) is consistent at exactly 100. Rule M\n"
+      "is consistent but absurdly low (every derived predicate multiplied\n"
+      "once whatever the order). Rule SS varies across orders — the\n"
+      "inconsistency the paper's incremental-estimation argument targets.\n"
+      "The REP strawman is consistent but cannot be correct for any choice\n"
+      "of representative.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Ablation B: sensitivity to skew (paper §9 future work — "relaxing the
+// uniformity assumption ... would enable query optimizers to account for
+// important data distributions such as the Zipfian distribution").
+//
+// Join columns follow Zipf(theta); a local range predicate restricts one
+// side. We compare the ELS estimate with the true size, with and without
+// an equi-depth histogram on the restricted column (the paper already lets
+// distribution statistics drive LOCAL selectivities; join selectivities
+// still assume uniformity, which is exactly what degrades with theta).
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/random.h"
+#include "common/table_printer.h"
+#include "estimator/presets.h"
+#include "executor/execute.h"
+#include "query/parser.h"
+#include "storage/analyze.h"
+#include "storage/datagen.h"
+
+using namespace joinest;  // NOLINT - binary code
+
+namespace {
+
+Catalog BuildCatalog(double theta, AnalyzeOptions::HistogramKind histogram,
+                     uint64_t seed) {
+  Rng rng(seed);
+  AnalyzeOptions analyze;
+  analyze.histogram_kind = histogram;
+  analyze.histogram_buckets = 64;
+  Catalog catalog;
+  Table t1 = Table::FromColumns(
+      Schema({{"a", TypeKind::kInt64}}),
+      {ToValueColumn(MakeZipfColumn(30000, 1000, theta, rng))});
+  Table t2 = Table::FromColumns(
+      Schema({{"b", TypeKind::kInt64}}),
+      {ToValueColumn(MakeZipfColumn(8000, 500, theta, rng))});
+  JOINEST_CHECK(catalog.AddTable("T1", std::move(t1), analyze).ok());
+  JOINEST_CHECK(catalog.AddTable("T2", std::move(t2), analyze).ok());
+  return catalog;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation B: Zipf skew vs estimation accuracy ==\n");
+  std::printf("query: SELECT COUNT(*) FROM T1, T2 WHERE T1.a = T2.b AND "
+              "T1.a < 250\n");
+  std::printf("T1: 30000 rows, d=1000; T2: 8000 rows, d=500; value v has "
+              "frequency rank v+1\n\n");
+  TablePrinter table({"theta", "stats", "true size", "ELS estimate",
+                      "est/true"});
+  for (double theta : {0.0, 0.25, 0.5, 0.75, 1.0, 1.5}) {
+    struct Variant {
+      const char* name;
+      AnalyzeOptions::HistogramKind histogram;
+      bool histogram_joins;
+    };
+    const Variant variants[] = {
+        {"plain", AnalyzeOptions::HistogramKind::kNone, false},
+        {"equi-depth", AnalyzeOptions::HistogramKind::kEquiDepth, false},
+        {"end-biased", AnalyzeOptions::HistogramKind::kEndBiased, false},
+        // EXTENSION (§9 future work): histogram-based join selectivity.
+        {"end-biased + hist-join", AnalyzeOptions::HistogramKind::kEndBiased,
+         true},
+    };
+    for (const Variant& variant : variants) {
+      Catalog catalog = BuildCatalog(
+          theta, variant.histogram, 7000 + static_cast<uint64_t>(theta * 100));
+      auto query = ParseQuery(
+          catalog,
+          "SELECT COUNT(*) FROM T1, T2 WHERE T1.a = T2.b AND T1.a < 250");
+      JOINEST_CHECK(query.ok()) << query.status();
+      EstimationOptions options = PresetOptions(AlgorithmPreset::kELS);
+      options.histogram_join_selectivity = variant.histogram_joins;
+      auto analyzed = AnalyzedQuery::Create(catalog, *query, options);
+      JOINEST_CHECK(analyzed.ok()) << analyzed.status();
+      auto truth = TrueResultSize(catalog, *query);
+      JOINEST_CHECK(truth.ok()) << truth.status();
+      const double estimate = analyzed->EstimateFullJoin();
+      table.AddRow(
+          {FormatNumber(theta, 3), variant.name,
+           FormatNumber(static_cast<double>(*truth)),
+           FormatNumber(std::round(estimate)),
+           FormatNumber(estimate / static_cast<double>(*truth), 3)});
+    }
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nExpected shape: near-perfect at theta=0; the histogram keeps the\n"
+      "LOCAL selectivity honest as skew grows, but the uniformity\n"
+      "assumption inside the JOIN selectivity still underestimates hot-key\n"
+      "joins at high theta — the paper's stated future work.\n");
+  return 0;
+}

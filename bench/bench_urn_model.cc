@@ -1,0 +1,76 @@
+// Reproduces the §5 urn-model numbers and extends them into a sweep
+// comparing the urn estimate, the linear-ratio estimate, and the measured
+// distinct count on materialised data.
+//
+// Paper's worked example: d=10000, ||R||=100000, ||R||'=50000 → urn 9933,
+// linear 5000; at ||R||'=||R||, urn 10000.
+
+#include <cmath>
+#include <cstdio>
+#include <unordered_set>
+
+#include "common/random.h"
+#include "common/table_printer.h"
+#include "stats/distinct.h"
+#include "storage/datagen.h"
+
+using namespace joinest;  // NOLINT - binary code
+
+namespace {
+
+// Simulates the §5 situation exactly: a table of n rows whose column x has
+// d distinct values (uniform), filtered by an unrelated predicate down to k
+// rows; returns the distinct x values actually surviving.
+int64_t MeasuredDistinct(int64_t n, int64_t d, int64_t k, Rng& rng) {
+  const std::vector<int64_t> column = MakeUniformColumn(n, d, rng);
+  // An unrelated uniform filter keeps each row with probability k/n;
+  // emulate exactly k survivors via a random row subset.
+  const std::vector<int64_t> perm = rng.Permutation(n);
+  std::unordered_set<int64_t> survivors;
+  for (int64_t i = 0; i < k; ++i) survivors.insert(column[perm[i]]);
+  return static_cast<int64_t>(survivors.size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Section 5 worked example ==\n");
+  {
+    TablePrinter table({"Quantity", "Computed", "Paper"});
+    table.AddRow({"urn(d=10000, k=50000)",
+                  FormatNumber(std::round(UrnModelDistinct(10000, 50000))),
+                  "9933"});
+    table.AddRow({"linear ratio", FormatNumber(LinearRatioDistinct(
+                                      10000, 100000, 50000)),
+                  "5000"});
+    table.AddRow({"urn at k = ||R||",
+                  FormatNumber(std::round(UrnModelDistinct(10000, 100000))),
+                  "10000"});
+    std::printf("%s\n", table.ToString().c_str());
+  }
+
+  std::printf("== Sweep: surviving distinct values of an unrelated column "
+              "(n=100000, d=10000) ==\n");
+  Rng rng(2024);
+  TablePrinter table({"||R||' (k)", "measured", "urn model", "linear ratio",
+                      "urn err %", "linear err %"});
+  const int64_t n = 100000, d = 10000;
+  for (int64_t k : {1000, 5000, 10000, 25000, 50000, 75000, 100000}) {
+    const double measured =
+        static_cast<double>(MeasuredDistinct(n, d, k, rng));
+    const double urn = UrnModelDistinct(d, k);
+    const double linear = LinearRatioDistinct(d, n, k);
+    table.AddRow({FormatNumber(k), FormatNumber(measured),
+                  FormatNumber(std::round(urn)), FormatNumber(linear),
+                  FormatNumber(100 * (urn - measured) / measured, 2),
+                  FormatNumber(100 * (linear - measured) / measured, 2)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("\nThe urn model tracks the measurement within a few percent; "
+              "the linear\nratio underestimates severely until k "
+              "approaches ||R||.\n");
+  std::printf("\nNote: the urn model is a with-replacement approximation of "
+              "sampling\nwithout replacement, so it slightly UNDER-estimates "
+              "for k near ||R||\nwhen d is not small relative to n.\n");
+  return 0;
+}

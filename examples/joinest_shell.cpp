@@ -1,0 +1,335 @@
+// Interactive shell: explore catalogs, estimates, plans and execution.
+// Works interactively or scripted (commands on stdin, one per line).
+//
+//   gen paper [scale]        materialise the §8 dataset (S, M, B, G)
+//   gen example1             materialise the Example 1b dataset (R1-R3)
+//   load <name> <csv> <col:type,...>   import a CSV file
+//   save <name> <csv>        export a table to CSV
+//   tables                   list tables with row counts
+//   stats <table>            show collected statistics
+//   preset <name>            set estimation algorithm: sm_noptc | sm | sss |
+//                            els | rep_min | rep_max   (default els)
+//   analyze <sql>            ELS preliminary-phase dump (closure, profiles)
+//   estimate <sql>           estimates under ALL presets side by side
+//   explain <sql>            optimize and print the chosen plan
+//   run <sql>                optimize, execute, report count and time
+//   truth <sql>              exact result size via the reference executor
+//   help / quit
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/table_printer.h"
+#include "stats/stats_io.h"
+#include "estimator/presets.h"
+#include "executor/execute.h"
+#include "optimizer/optimizer.h"
+#include "query/parser.h"
+#include "storage/csv.h"
+#include "storage/datasets.h"
+
+using namespace joinest;  // NOLINT - example code
+
+namespace {
+
+struct Shell {
+  Catalog catalog;
+  AlgorithmPreset preset = AlgorithmPreset::kELS;
+
+  Status GenPaper(int64_t scale) {
+    PaperDatasetOptions options;
+    options.scale = scale;
+    return BuildPaperDataset(catalog, options);
+  }
+
+  Status Load(const std::string& name, const std::string& path,
+              const std::string& schema_text) {
+    std::vector<ColumnDef> columns;
+    std::istringstream iss(schema_text);
+    std::string item;
+    while (std::getline(iss, item, ',')) {
+      const size_t colon = item.find(':');
+      if (colon == std::string::npos) {
+        return InvalidArgument("schema items look like name:int|double|str");
+      }
+      const std::string col_name = item.substr(0, colon);
+      const std::string type_name = item.substr(colon + 1);
+      TypeKind type;
+      if (type_name == "int") {
+        type = TypeKind::kInt64;
+      } else if (type_name == "double") {
+        type = TypeKind::kDouble;
+      } else if (type_name == "str") {
+        type = TypeKind::kString;
+      } else {
+        return InvalidArgument("unknown type '" + type_name + "'");
+      }
+      columns.push_back({col_name, type});
+    }
+    JOINEST_ASSIGN_OR_RETURN(Table table,
+                             ReadCsvFile(Schema(std::move(columns)), path));
+    JOINEST_ASSIGN_OR_RETURN([[maybe_unused]] int id,
+                             catalog.AddTable(name, std::move(table)));
+    return Status::OK();
+  }
+
+  Status Save(const std::string& name, const std::string& path) {
+    JOINEST_ASSIGN_OR_RETURN(int id, catalog.ResolveTable(name));
+    return WriteCsvFile(catalog.table(id), path);
+  }
+
+  void Tables() {
+    TablePrinter table({"table", "rows", "columns"});
+    for (int t = 0; t < catalog.num_tables(); ++t) {
+      table.AddRow({catalog.table_name(t),
+                    FormatNumber(catalog.stats(t).row_count),
+                    catalog.table(t).schema().ToString()});
+    }
+    table.Print(std::cout);
+  }
+
+  Status Stats(const std::string& name) {
+    JOINEST_ASSIGN_OR_RETURN(int id, catalog.ResolveTable(name));
+    std::cout << catalog.stats(id).ToString() << "\n";
+    return Status::OK();
+  }
+
+  // Exports one table's statistics in the editable text format.
+  Status StatsSave(const std::string& name, const std::string& path) {
+    JOINEST_ASSIGN_OR_RETURN(int id, catalog.ResolveTable(name));
+    std::ofstream out(path);
+    if (!out) return InvalidArgument("cannot open '" + path + "'");
+    out << SerializeTableStats(catalog.stats(id));
+    return out ? Status::OK() : Internal("write failed");
+  }
+
+  // Loads (possibly hand-edited) statistics back — what-if analysis.
+  Status StatsLoad(const std::string& name, const std::string& path) {
+    JOINEST_ASSIGN_OR_RETURN(int id, catalog.ResolveTable(name));
+    std::ifstream in(path);
+    if (!in) return NotFound("cannot open '" + path + "'");
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    JOINEST_ASSIGN_OR_RETURN(
+        TableStats stats,
+        ParseTableStats(buffer.str(),
+                        catalog.table(id).schema().num_columns()));
+    return catalog.SetStats(id, std::move(stats));
+  }
+
+  Status SetPreset(const std::string& name) {
+    if (name == "sm_noptc") {
+      preset = AlgorithmPreset::kSMNoPtc;
+    } else if (name == "sm") {
+      preset = AlgorithmPreset::kSM;
+    } else if (name == "sss") {
+      preset = AlgorithmPreset::kSSS;
+    } else if (name == "els") {
+      preset = AlgorithmPreset::kELS;
+    } else if (name == "rep_min") {
+      preset = AlgorithmPreset::kRepresentativeSmall;
+    } else if (name == "rep_max") {
+      preset = AlgorithmPreset::kRepresentativeLarge;
+    } else {
+      return InvalidArgument("unknown preset '" + name + "'");
+    }
+    std::cout << "estimation preset: " << PresetName(preset) << "\n";
+    return Status::OK();
+  }
+
+  Status Analyze(const std::string& sql) {
+    JOINEST_ASSIGN_OR_RETURN(QuerySpec spec, ParseQuery(catalog, sql));
+    JOINEST_ASSIGN_OR_RETURN(
+        AnalyzedQuery analyzed,
+        AnalyzedQuery::Create(catalog, spec, PresetOptions(preset)));
+    std::cout << analyzed.DebugString();
+    std::vector<int> order(spec.num_tables());
+    for (int t = 0; t < spec.num_tables(); ++t) order[t] = t;
+    if (spec.num_tables() > 1) {
+      std::cout << "estimation trace (table order):\n"
+                << analyzed.FormatTrace(analyzed.TraceOrder(order));
+    }
+    std::cout << "full-join estimate: "
+              << FormatNumber(analyzed.EstimateFullJoin()) << "\n";
+    if (!spec.group_by.empty()) {
+      std::cout << "estimated groups: "
+                << FormatNumber(analyzed.EstimateGroupCount()) << "\n";
+    }
+    return Status::OK();
+  }
+
+  Status Estimate(const std::string& sql) {
+    JOINEST_ASSIGN_OR_RETURN(QuerySpec spec, ParseQuery(catalog, sql));
+    TablePrinter table({"preset", "estimate (table order)"});
+    for (AlgorithmPreset p : AllPresets()) {
+      JOINEST_ASSIGN_OR_RETURN(
+          AnalyzedQuery analyzed,
+          AnalyzedQuery::Create(catalog, spec, PresetOptions(p)));
+      table.AddRow({PresetName(p),
+                    FormatNumber(analyzed.EstimateFullJoin())});
+    }
+    table.Print(std::cout);
+    return Status::OK();
+  }
+
+  Status Explain(const std::string& sql) {
+    JOINEST_ASSIGN_OR_RETURN(QuerySpec spec, ParseQuery(catalog, sql));
+    OptimizerOptions options;
+    options.estimation = PresetOptions(preset);
+    JOINEST_ASSIGN_OR_RETURN(OptimizedPlan plan,
+                             OptimizeQuery(catalog, spec, options));
+    std::cout << "estimation: " << PresetName(preset)
+              << ", estimated cost " << FormatNumber(plan.estimated_cost)
+              << "\n"
+              << PlanToString(*plan.root, catalog, spec);
+    return Status::OK();
+  }
+
+  Status Run(const std::string& sql) {
+    JOINEST_ASSIGN_OR_RETURN(QuerySpec spec, ParseQuery(catalog, sql));
+    OptimizerOptions options;
+    options.estimation = PresetOptions(preset);
+    JOINEST_ASSIGN_OR_RETURN(OptimizedPlan plan,
+                             OptimizeQuery(catalog, spec, options));
+    JOINEST_ASSIGN_OR_RETURN(ExecutionResult result,
+                             ExecutePlan(catalog, spec, *plan.root));
+    if (spec.count_star && !spec.group_by.empty()) {
+      std::cout << result.output_rows << " groups, total COUNT(*) = "
+                << result.count;
+    } else if (spec.count_star) {
+      std::cout << "COUNT(*) = " << result.count;
+    } else {
+      std::cout << result.output_rows << " rows";
+    }
+    std::cout << " in " << FormatNumber(result.seconds * 1e3, 3) << " ms ("
+              << PresetName(preset) << " plan)\n";
+    return Status::OK();
+  }
+
+  // EXPLAIN ANALYZE: run and report per-operator produced-row counts.
+  Status RunAnalyze(const std::string& sql) {
+    JOINEST_ASSIGN_OR_RETURN(QuerySpec spec, ParseQuery(catalog, sql));
+    OptimizerOptions options;
+    options.estimation = PresetOptions(preset);
+    JOINEST_ASSIGN_OR_RETURN(OptimizedPlan plan,
+                             OptimizeQuery(catalog, spec, options));
+    std::cout << PlanToString(*plan.root, catalog, spec);
+    JOINEST_ASSIGN_OR_RETURN(ExecutionResult result,
+                             ExecutePlan(catalog, spec, *plan.root));
+    TablePrinter table({"operator", "rows produced"});
+    for (const OperatorStats& op : result.operators) {
+      table.AddRow({op.name, FormatNumber(static_cast<double>(op.rows))});
+    }
+    table.Print(std::cout);
+    std::cout << "total " << FormatNumber(result.seconds * 1e3, 3)
+              << " ms, COUNT/rows = " << result.count << "\n";
+    return Status::OK();
+  }
+
+  Status Truth(const std::string& sql) {
+    JOINEST_ASSIGN_OR_RETURN(QuerySpec spec, ParseQuery(catalog, sql));
+    JOINEST_ASSIGN_OR_RETURN(int64_t size, TrueResultSize(catalog, spec));
+    std::cout << "true result size: " << size << "\n";
+    return Status::OK();
+  }
+};
+
+void PrintHelp() {
+  std::cout <<
+      "commands:\n"
+      "  gen paper [scale] | gen example1\n"
+      "  load <name> <csv-path> <col:type,...>   (types: int, double, str)\n"
+      "  save <name> <csv-path>\n"
+      "  tables | stats <table> | preset <sm_noptc|sm|sss|els|rep_min|"
+      "rep_max>\n"
+      "  stats_save <table> <path> | stats_load <table> <path>   (what-if)\n"
+      "  analyze <sql> | estimate <sql> | explain <sql> | run <sql> |\n"
+      "  runx <sql> (explain analyze) | truth <sql>\n"
+      "  help | quit\n";
+}
+
+Status Dispatch(Shell& shell, const std::string& line) {
+  std::istringstream iss(line);
+  std::string command;
+  iss >> command;
+  if (command == "gen") {
+    std::string what;
+    iss >> what;
+    if (what == "paper") {
+      int64_t scale = 1;
+      iss >> scale;
+      return shell.GenPaper(std::max<int64_t>(scale, 1));
+    }
+    if (what == "example1") return BuildExample1Dataset(shell.catalog);
+    return InvalidArgument("gen paper [scale] | gen example1");
+  }
+  if (command == "load") {
+    std::string name, path, schema;
+    iss >> name >> path >> schema;
+    if (schema.empty()) return InvalidArgument("load <name> <csv> <schema>");
+    return shell.Load(name, path, schema);
+  }
+  if (command == "save") {
+    std::string name, path;
+    iss >> name >> path;
+    if (path.empty()) return InvalidArgument("save <name> <csv>");
+    return shell.Save(name, path);
+  }
+  if (command == "tables") {
+    shell.Tables();
+    return Status::OK();
+  }
+  if (command == "stats") {
+    std::string name;
+    iss >> name;
+    return shell.Stats(name);
+  }
+  if (command == "stats_save" || command == "stats_load") {
+    std::string name, path;
+    iss >> name >> path;
+    if (path.empty()) {
+      return InvalidArgument(command + " <table> <path>");
+    }
+    return command == "stats_save" ? shell.StatsSave(name, path)
+                                   : shell.StatsLoad(name, path);
+  }
+  if (command == "preset") {
+    std::string name;
+    iss >> name;
+    return shell.SetPreset(name);
+  }
+  std::string rest;
+  std::getline(iss, rest);
+  if (command == "analyze") return shell.Analyze(rest);
+  if (command == "estimate") return shell.Estimate(rest);
+  if (command == "explain") return shell.Explain(rest);
+  if (command == "run") return shell.Run(rest);
+  if (command == "runx") return shell.RunAnalyze(rest);
+  if (command == "truth") return shell.Truth(rest);
+  if (command == "help") {
+    PrintHelp();
+    return Status::OK();
+  }
+  return InvalidArgument("unknown command '" + command + "' (try: help)");
+}
+
+}  // namespace
+
+int main() {
+  Shell shell;
+  std::cout << "joinest shell — type 'help' for commands\n";
+  std::string line;
+  while (true) {
+    std::cout << "joinest> " << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (line == "quit" || line == "exit") break;
+    const Status status = Dispatch(shell, line);
+    if (!status.ok()) std::cout << status << "\n";
+  }
+  return 0;
+}

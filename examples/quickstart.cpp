@@ -1,0 +1,56 @@
+// Quickstart: build a small catalog, parse a SQL query, estimate its result
+// size with Algorithm ELS, optimize it, execute the chosen plan, and compare
+// the estimate with the true count.
+
+#include <cstdio>
+
+#include "estimator/presets.h"
+#include "executor/execute.h"
+#include "optimizer/optimizer.h"
+#include "query/parser.h"
+#include "storage/datagen.h"
+#include "storage/datasets.h"
+
+using namespace joinest;  // NOLINT - example code
+
+int main() {
+  // 1. Create tables. BuildExample1Dataset materialises the paper's running
+  //    example: R1(a, x) with 100 rows and d_x = 10, R2(y) with 1000 rows
+  //    and d_y = 100, R3(z) with 1000 rows and d_z = 1000.
+  Catalog catalog;
+  Status status = BuildExample1Dataset(catalog, /*seed=*/7);
+  JOINEST_CHECK(status.ok()) << status;
+
+  // 2. Parse a conjunctive select-project-join query.
+  auto query = ParseQuery(
+      catalog, "SELECT COUNT(*) FROM R1, R2, R3 WHERE R1.x = R2.y AND "
+               "R2.y = R3.z");
+  JOINEST_CHECK(query.ok()) << query.status();
+
+  // 3. Run Algorithm ELS: transitive closure, effective statistics, and
+  //    Rule LS (largest selectivity per equivalence class).
+  auto analyzed = AnalyzedQuery::Create(catalog, *query,
+                                        PresetOptions(AlgorithmPreset::kELS));
+  JOINEST_CHECK(analyzed.ok()) << analyzed.status();
+  std::printf("ELS estimate of the join result size: %.0f\n",
+              analyzed->EstimateFullJoin());
+
+  // 4. Optimize (Selinger DP with ELS estimates) and execute.
+  OptimizerOptions options;
+  options.estimation = PresetOptions(AlgorithmPreset::kELS);
+  auto plan = OptimizeQuery(catalog, *query, options);
+  JOINEST_CHECK(plan.ok()) << plan.status();
+  std::printf("Chosen plan:\n%s",
+              PlanToString(*plan->root, catalog, *query).c_str());
+
+  auto result = ExecutePlan(catalog, *query, *plan->root);
+  JOINEST_CHECK(result.ok()) << result.status();
+  std::printf("Executed in %.3f ms; COUNT(*) = %lld\n",
+              result->seconds * 1e3, static_cast<long long>(result->count));
+
+  // 5. Cross-check against the reference executor.
+  auto truth = TrueResultSize(catalog, *query);
+  JOINEST_CHECK(truth.ok()) << truth.status();
+  std::printf("True result size: %lld\n", static_cast<long long>(*truth));
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Star-schema (warehouse) demo: a fact table joined to several dimension
+// tables on distinct foreign keys — the bread-and-butter multi-join query
+// whose optimization the paper's introduction motivates.
+//
+//   sales(customer_fk, product_fk, store_fk, amount)
+//   customers(customer_pk, region)
+//   products(product_pk, category)
+//   stores(store_pk)
+//
+//   SELECT COUNT(*) FROM sales, customers, products, stores
+//   WHERE sales.customer_fk = customers.customer_pk
+//     AND sales.product_fk = products.product_pk
+//     AND sales.store_fk = stores.store_pk
+//     AND customers.region = <r> AND products.category = <c>
+//
+// Each foreign key forms its own equivalence class (multi-class
+// estimation); the dimension filters propagate into the fact table via the
+// optimizer's cost decisions rather than transitive closure (no equality
+// chains between the FK columns). The demo prints estimates vs the exact
+// result and the chosen plans under SM and ELS.
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "estimator/presets.h"
+#include "executor/execute.h"
+#include "optimizer/optimizer.h"
+#include "query/parser.h"
+#include "storage/datagen.h"
+
+using namespace joinest;  // NOLINT - example code
+
+namespace {
+
+Catalog BuildWarehouse(uint64_t seed) {
+  Rng rng(seed);
+  Catalog catalog;
+  const int64_t num_customers = 2000;
+  const int64_t num_products = 500;
+  const int64_t num_stores = 50;
+  const int64_t num_sales = 50000;
+
+  {
+    Table customers = Table::FromColumns(
+        Schema({{"customer_pk", TypeKind::kInt64},
+                {"region", TypeKind::kInt64}}),
+        {ToValueColumn(MakeKeyColumn(num_customers, rng)),
+         ToValueColumn(MakeUniformColumn(num_customers, 10, rng))});
+    JOINEST_CHECK(catalog.AddTable("customers", std::move(customers)).ok());
+  }
+  {
+    Table products = Table::FromColumns(
+        Schema({{"product_pk", TypeKind::kInt64},
+                {"category", TypeKind::kInt64}}),
+        {ToValueColumn(MakeKeyColumn(num_products, rng)),
+         ToValueColumn(MakeUniformColumn(num_products, 20, rng))});
+    JOINEST_CHECK(catalog.AddTable("products", std::move(products)).ok());
+  }
+  {
+    Table stores = Table::FromColumns(
+        Schema({{"store_pk", TypeKind::kInt64}}),
+        {ToValueColumn(MakeKeyColumn(num_stores, rng))});
+    JOINEST_CHECK(catalog.AddTable("stores", std::move(stores)).ok());
+  }
+  {
+    // Sales reference customers with Zipf popularity (loyal customers buy
+    // more), products and stores uniformly.
+    Table sales = Table::FromColumns(
+        Schema({{"customer_fk", TypeKind::kInt64},
+                {"product_fk", TypeKind::kInt64},
+                {"store_fk", TypeKind::kInt64},
+                {"amount", TypeKind::kInt64}}),
+        {ToValueColumn(MakeZipfColumn(num_sales, num_customers, 0.5, rng)),
+         ToValueColumn(MakeUniformColumn(num_sales, num_products, rng)),
+         ToValueColumn(MakeUniformColumn(num_sales, num_stores, rng)),
+         ToValueColumn(MakeUniformColumn(num_sales, 100, rng,
+                                         /*ensure_cover=*/false))});
+    JOINEST_CHECK(catalog.AddTable("sales", std::move(sales)).ok());
+  }
+  return catalog;
+}
+
+}  // namespace
+
+int main() {
+  Catalog catalog = BuildWarehouse(2026);
+  const char* sql =
+      "SELECT COUNT(*) FROM sales, customers, products, stores "
+      "WHERE sales.customer_fk = customers.customer_pk "
+      "AND sales.product_fk = products.product_pk "
+      "AND sales.store_fk = stores.store_pk "
+      "AND customers.region = 3 AND products.category = 7";
+  auto query = ParseQuery(catalog, sql);
+  JOINEST_CHECK(query.ok()) << query.status();
+  std::printf("Query: %s\n\n", sql);
+
+  auto truth = TrueResultSize(catalog, *query);
+  JOINEST_CHECK(truth.ok()) << truth.status();
+  std::printf("true result size: %lld\n",
+              static_cast<long long>(*truth));
+
+  for (AlgorithmPreset preset :
+       {AlgorithmPreset::kSM, AlgorithmPreset::kELS}) {
+    auto analyzed =
+        AnalyzedQuery::Create(catalog, *query, PresetOptions(preset));
+    JOINEST_CHECK(analyzed.ok()) << analyzed.status();
+    std::printf("%s estimate: %.0f\n", PresetName(preset),
+                analyzed->EstimateFullJoin());
+  }
+  std::printf(
+      "\n(On this multi-class query the two coincide: each foreign key is\n"
+      "its own equivalence class, so Rule M never multiplies redundant\n"
+      "selectivities. The rules diverge when transitive closure creates\n"
+      "equality chains — see paper_walkthrough and optimizer_demo.)\n\n");
+
+  OptimizerOptions options;
+  options.estimation = PresetOptions(AlgorithmPreset::kELS);
+  options.allow_bushy = true;
+  auto plan = OptimizeQuery(catalog, *query, options);
+  JOINEST_CHECK(plan.ok()) << plan.status();
+  std::printf("Chosen plan (ELS, bushy enabled):\n%s",
+              PlanToString(*plan->root, catalog, *query).c_str());
+  auto result = ExecutePlan(catalog, *query, *plan->root);
+  JOINEST_CHECK(result.ok()) << result.status();
+  std::printf("COUNT(*) = %lld in %.1f ms\n",
+              static_cast<long long>(result->count), result->seconds * 1e3);
+  JOINEST_CHECK_EQ(result->count, *truth);
+  return 0;
+}

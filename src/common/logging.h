@@ -1,0 +1,66 @@
+// CHECK macros for internal invariants.
+//
+// A failed check prints the location, the failed condition, and any streamed
+// context, then aborts. These are for programmer errors; user-facing errors
+// go through Status (common/status.h).
+//
+//   JOINEST_CHECK(x > 0) << "x was " << x;
+
+#ifndef JOINEST_COMMON_LOGGING_H_
+#define JOINEST_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace joinest {
+namespace internal_logging {
+
+// Accumulates a failure message and aborts in the destructor. Used only via
+// the JOINEST_CHECK macros below.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition
+            << " ";
+  }
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Makes the whole streaming chain a void expression so it can sit in the
+// false branch of the ternary in JOINEST_CHECK. operator& binds looser than
+// operator<<, so all streamed context is collected first.
+struct Voidify {
+  // Binds both a bare temporary CheckFailure and the lvalue reference
+  // returned by its operator<< chain.
+  void operator&(const CheckFailure&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace joinest
+
+#define JOINEST_CHECK(condition)                                    \
+  (condition) ? (void)0                                             \
+              : ::joinest::internal_logging::Voidify() &            \
+                    ::joinest::internal_logging::CheckFailure(      \
+                        __FILE__, __LINE__, #condition)
+
+#define JOINEST_CHECK_EQ(a, b) JOINEST_CHECK((a) == (b))
+#define JOINEST_CHECK_NE(a, b) JOINEST_CHECK((a) != (b))
+#define JOINEST_CHECK_LT(a, b) JOINEST_CHECK((a) < (b))
+#define JOINEST_CHECK_LE(a, b) JOINEST_CHECK((a) <= (b))
+#define JOINEST_CHECK_GT(a, b) JOINEST_CHECK((a) > (b))
+#define JOINEST_CHECK_GE(a, b) JOINEST_CHECK((a) >= (b))
+
+#endif  // JOINEST_COMMON_LOGGING_H_

@@ -1,0 +1,96 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace joinest {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& word : state_) word = SplitMix64(x);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  JOINEST_CHECK_GT(bound, 0u);
+  // Rejection sampling over the largest multiple of `bound`.
+  const uint64_t threshold = -bound % bound;
+  while (true) {
+    const uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  JOINEST_CHECK_LE(lo, hi);
+  const uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+  if (span == UINT64_MAX) return static_cast<int64_t>(Next());
+  return lo + static_cast<int64_t>(NextBounded(span + 1));
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+std::vector<int64_t> Rng::Permutation(int64_t n) {
+  JOINEST_CHECK_GE(n, 0);
+  std::vector<int64_t> result(n);
+  for (int64_t i = 0; i < n; ++i) result[i] = i;
+  // Fisher-Yates.
+  for (int64_t i = n - 1; i > 0; --i) {
+    const int64_t j = static_cast<int64_t>(NextBounded(i + 1));
+    std::swap(result[i], result[j]);
+  }
+  return result;
+}
+
+ZipfDistribution::ZipfDistribution(int64_t n, double theta)
+    : n_(n), theta_(theta), cdf_(n) {
+  JOINEST_CHECK_GT(n, 0);
+  JOINEST_CHECK_GE(theta, 0.0);
+  double total = 0.0;
+  for (int64_t k = 1; k <= n; ++k) {
+    total += std::pow(static_cast<double>(k), -theta);
+    cdf_[k - 1] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // Guard against rounding leaving the last bin short.
+}
+
+int64_t ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int64_t>(it - cdf_.begin()) + 1;
+}
+
+}  // namespace joinest

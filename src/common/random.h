@@ -1,0 +1,68 @@
+// Deterministic pseudo-random number generation for data generators, tests
+// and benchmarks.
+//
+// Rng wraps xoshiro256++ (fast, well-distributed, reproducible across
+// platforms — unlike std::mt19937 distributions, whose output is not
+// specified by the standard for std::uniform_int_distribution et al.).
+// ZipfDistribution samples ranks 1..n with P(k) ∝ 1/k^theta, the skewed
+// distribution the paper cites ([17], [3], [6]) as the important non-uniform
+// case for join columns.
+
+#ifndef JOINEST_COMMON_RANDOM_H_
+#define JOINEST_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace joinest {
+
+// xoshiro256++ generator. Seeded via SplitMix64 so any 64-bit seed is fine.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  // Uniform over the full 64-bit range.
+  uint64_t Next();
+
+  // Uniform integer in [0, bound), bound > 0. Uses rejection to avoid modulo
+  // bias.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive, lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  // A uniformly random permutation of {0, 1, ..., n-1}.
+  std::vector<int64_t> Permutation(int64_t n);
+
+ private:
+  uint64_t state_[4];
+};
+
+// Zipf(theta) distribution over ranks {1, ..., n}: P(k) ∝ 1 / k^theta.
+// theta == 0 degenerates to uniform. Sampling is O(log n) per draw via
+// binary search over the precomputed CDF; construction is O(n).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(int64_t n, double theta);
+
+  // Draws a rank in [1, n].
+  int64_t Sample(Rng& rng) const;
+
+  int64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  int64_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[k-1] = P(rank <= k)
+};
+
+}  // namespace joinest
+
+#endif  // JOINEST_COMMON_RANDOM_H_

@@ -1,0 +1,56 @@
+#include "common/status.h"
+
+namespace joinest {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kUnimplemented:
+      return "UNIMPLEMENTED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result = StatusCodeName(code_);
+  result += ": ";
+  result += message_;
+  return result;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+Status InvalidArgument(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+Status NotFound(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+Status AlreadyExists(std::string message) {
+  return Status(StatusCode::kAlreadyExists, std::move(message));
+}
+Status OutOfRange(std::string message) {
+  return Status(StatusCode::kOutOfRange, std::move(message));
+}
+Status Unimplemented(std::string message) {
+  return Status(StatusCode::kUnimplemented, std::move(message));
+}
+Status Internal(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+
+}  // namespace joinest

@@ -1,0 +1,130 @@
+// Minimal Status / StatusOr error-handling vocabulary.
+//
+// joinest does not use C++ exceptions. Fallible operations return Status (or
+// StatusOr<T> when they produce a value); internal invariant violations use
+// the CHECK macros from common/logging.h instead.
+
+#ifndef JOINEST_COMMON_STATUS_H_
+#define JOINEST_COMMON_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace joinest {
+
+// Broad error categories. Kept deliberately small; the message carries the
+// detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+// Returns a stable human-readable name, e.g. "INVALID_ARGUMENT".
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error result. Cheap to copy on the OK path (no allocation).
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+Status InvalidArgument(std::string message);
+Status NotFound(std::string message);
+Status AlreadyExists(std::string message);
+Status OutOfRange(std::string message);
+Status Unimplemented(std::string message);
+Status Internal(std::string message);
+
+// Either a value of T or an error Status. Accessing the value of an error
+// result aborts (CHECK failure).
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit, so `return value;` and `return status;` both work.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    JOINEST_CHECK(!status_.ok())
+        << "StatusOr constructed from OK status without a value";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    JOINEST_CHECK(ok()) << "StatusOr::value() on error: " << status_;
+    return *value_;
+  }
+  T& value() & {
+    JOINEST_CHECK(ok()) << "StatusOr::value() on error: " << status_;
+    return *value_;
+  }
+  T&& value() && {
+    JOINEST_CHECK(ok()) << "StatusOr::value() on error: " << status_;
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+// Propagates an error Status from an expression, e.g.:
+//   JOINEST_RETURN_IF_ERROR(DoThing());
+#define JOINEST_RETURN_IF_ERROR(expr)                \
+  do {                                               \
+    ::joinest::Status _status = (expr);              \
+    if (!_status.ok()) return _status;               \
+  } while (0)
+
+// Evaluates a StatusOr expression, propagating errors and otherwise binding
+// the value, e.g.:
+//   JOINEST_ASSIGN_OR_RETURN(auto table, catalog.Find(name));
+#define JOINEST_ASSIGN_OR_RETURN(lhs, expr)                       \
+  JOINEST_ASSIGN_OR_RETURN_IMPL_(                                 \
+      JOINEST_STATUS_CONCAT_(_status_or, __LINE__), lhs, expr)
+#define JOINEST_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+#define JOINEST_STATUS_CONCAT_(a, b) JOINEST_STATUS_CONCAT_IMPL_(a, b)
+#define JOINEST_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace joinest
+
+#endif  // JOINEST_COMMON_STATUS_H_

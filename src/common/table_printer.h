@@ -1,0 +1,39 @@
+// ASCII table rendering for benchmark and example output.
+//
+// The §8 bench reproduces the paper's results table verbatim; this helper
+// keeps that output aligned and readable without pulling in a formatting
+// library.
+
+#ifndef JOINEST_COMMON_TABLE_PRINTER_H_
+#define JOINEST_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace joinest {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Appends a row; must have the same number of cells as the header.
+  void AddRow(std::vector<std::string> row);
+
+  // Renders with column-aligned cells, a header separator, and `|` borders.
+  void Print(std::ostream& os) const;
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double compactly: integers without a decimal point, small or
+// large magnitudes in scientific notation (e.g. "4e-08"), otherwise with up
+// to `precision` significant digits.
+std::string FormatNumber(double value, int precision = 4);
+
+}  // namespace joinest
+
+#endif  // JOINEST_COMMON_TABLE_PRINTER_H_

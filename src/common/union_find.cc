@@ -1,0 +1,43 @@
+#include "common/union_find.h"
+
+#include "common/logging.h"
+
+namespace joinest {
+
+UnionFind::UnionFind(int n) : parent_(n), rank_(n, 0), num_sets_(n) {
+  for (int i = 0; i < n; ++i) parent_[i] = i;
+}
+
+int UnionFind::AddElement() {
+  const int id = static_cast<int>(parent_.size());
+  parent_.push_back(id);
+  rank_.push_back(0);
+  ++num_sets_;
+  return id;
+}
+
+int UnionFind::Find(int x) {
+  JOINEST_CHECK_GE(x, 0);
+  JOINEST_CHECK_LT(x, size());
+  int root = x;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[x] != root) {
+    const int next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool UnionFind::Union(int a, int b) {
+  int ra = Find(a);
+  int rb = Find(b);
+  if (ra == rb) return false;
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+  --num_sets_;
+  return true;
+}
+
+}  // namespace joinest

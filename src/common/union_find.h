@@ -1,0 +1,45 @@
+// Disjoint-set union (union-find) with path compression and union by rank.
+//
+// The paper builds equivalence classes of join columns by merging the classes
+// of the two sides of every equality predicate (§2). rewrite/equivalence.h
+// maps columns to dense ids and uses this structure.
+
+#ifndef JOINEST_COMMON_UNION_FIND_H_
+#define JOINEST_COMMON_UNION_FIND_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace joinest {
+
+class UnionFind {
+ public:
+  // Creates `n` singleton sets with ids 0..n-1.
+  explicit UnionFind(int n = 0);
+
+  // Adds a new singleton set; returns its id.
+  int AddElement();
+
+  // Representative of x's set (with path compression).
+  int Find(int x);
+
+  // Merges the sets of a and b. Returns true if they were distinct.
+  bool Union(int a, int b);
+
+  // True if a and b are in the same set.
+  bool Connected(int a, int b) { return Find(a) == Find(b); }
+
+  int size() const { return static_cast<int>(parent_.size()); }
+
+  // Number of distinct sets.
+  int NumSets() const { return num_sets_; }
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> rank_;
+  int num_sets_ = 0;
+};
+
+}  // namespace joinest
+
+#endif  // JOINEST_COMMON_UNION_FIND_H_

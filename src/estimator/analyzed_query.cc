@@ -1,0 +1,360 @@
+#include "estimator/analyzed_query.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/table_printer.h"
+#include "stats/distinct.h"
+
+namespace joinest {
+
+const char* SelectivityRuleName(SelectivityRule rule) {
+  switch (rule) {
+    case SelectivityRule::kMultiplicative:
+      return "M";
+    case SelectivityRule::kSmallest:
+      return "SS";
+    case SelectivityRule::kLargest:
+      return "LS";
+    case SelectivityRule::kRepresentative:
+      return "REP";
+  }
+  return "?";
+}
+
+StatusOr<AnalyzedQuery> AnalyzedQuery::Create(
+    const Catalog& catalog, const QuerySpec& spec,
+    const EstimationOptions& options) {
+  JOINEST_RETURN_IF_ERROR(spec.Validate(catalog));
+  if (spec.num_tables() > 64) {
+    return InvalidArgument("at most 64 tables supported (bitmask width)");
+  }
+  AnalyzedQuery query;
+  query.catalog_ = &catalog;
+  query.spec_ = spec;
+  query.options_ = options;
+
+  // Steps 1-2: deduplicate + transitive closure (or just deduplicate when
+  // PTC is disabled).
+  ClosureOptions closure_options;
+  closure_options.enabled = options.transitive_closure;
+  ClosureResult closure =
+      ComputeTransitiveClosure(spec.predicates, closure_options);
+  query.predicates_ = std::move(closure.predicates);
+  query.classes_ = std::move(closure.classes);
+
+  // Steps 3-4: per-table effective statistics.
+  query.profiles_.reserve(spec.num_tables());
+  for (int t = 0; t < spec.num_tables(); ++t) {
+    query.profiles_.push_back(BuildTableProfile(catalog, spec, t,
+                                                query.predicates_,
+                                                query.classes_,
+                                                options.profile));
+  }
+
+  // Step 5 (+ the §3.3 strawman's per-class constant): join selectivities
+  // exist per predicate; precompute the per-class representative.
+  query.representative_selectivity_.assign(query.classes_.num_classes(), 1.0);
+  std::vector<bool> has_any(query.classes_.num_classes(), false);
+  for (const Predicate& p : query.predicates_) {
+    if (p.kind != Predicate::Kind::kJoin) continue;
+    const int cls = query.classes_.ClassOf(p.left);
+    JOINEST_CHECK_GE(cls, 0);
+    const double sel = query.JoinSelectivity(p);
+    double& rep = query.representative_selectivity_[cls];
+    if (!has_any[cls]) {
+      rep = sel;
+      has_any[cls] = true;
+    } else if (options.representative == RepresentativePick::kLargest) {
+      rep = std::max(rep, sel);
+    } else {
+      rep = std::min(rep, sel);
+    }
+  }
+  return query;
+}
+
+const TableProfile& AnalyzedQuery::profile(int table_index) const {
+  JOINEST_CHECK_GE(table_index, 0);
+  JOINEST_CHECK_LT(table_index, static_cast<int>(profiles_.size()));
+  return profiles_[table_index];
+}
+
+double AnalyzedQuery::JoinSelectivity(const Predicate& predicate) const {
+  JOINEST_CHECK(predicate.kind == Predicate::Kind::kJoin);
+  if (options_.histogram_join_selectivity) {
+    // Slices a column's histogram down to its merged local restriction, so
+    // the overlap computation is conditioned on the predicates that already
+    // shrank the column (rule e propagates a constant predicate to every
+    // class member, so both sides are typically restricted to the SAME
+    // region — treating them as independent would double-penalise).
+    // Equality restrictions are left to the classic path (d' = 1 handles
+    // them exactly).
+    auto sliced = [this](ColumnRef ref) -> std::shared_ptr<const Histogram> {
+      const ColumnStats& stats =
+          catalog_->stats(spec_.tables[ref.table].catalog_id)
+              .column(ref.column);
+      if (stats.histogram == nullptr) return nullptr;
+      const ColumnRestriction& restriction =
+          profile(ref.table).restrictions[ref.column];
+      if (restriction.contradictory || restriction.equals.has_value()) {
+        return nullptr;
+      }
+      if (restriction.IsUnrestricted() ||
+          (!restriction.lower.has_value() && !restriction.upper.has_value())) {
+        return stats.histogram;
+      }
+      const double lo = restriction.lower.has_value()
+                            ? restriction.lower->ToNumeric()
+                            : -HUGE_VAL;
+      const double hi = restriction.upper.has_value()
+                            ? restriction.upper->ToNumeric()
+                            : HUGE_VAL;
+      return std::make_shared<Histogram>(stats.histogram->Slice(lo, hi));
+    };
+    const std::shared_ptr<const Histogram> lh = sliced(predicate.left);
+    const std::shared_ptr<const Histogram> rh = sliced(predicate.right);
+    if (lh != nullptr && rh != nullptr) {
+      return HistogramJoinSelectivity(*lh, *rh);
+    }
+  }
+  const TableProfile& left = profile(predicate.left.table);
+  const TableProfile& right = profile(predicate.right.table);
+  const double dl = std::max(left.join_distinct[predicate.left.column], 1.0);
+  const double dr =
+      std::max(right.join_distinct[predicate.right.column], 1.0);
+  return 1.0 / std::max(dl, dr);
+}
+
+double AnalyzedQuery::BaseCardinality(int table_index) const {
+  return profile(table_index).effective_rows;
+}
+
+std::vector<Predicate> AnalyzedQuery::EligiblePredicatesBetween(
+    uint64_t left_mask, uint64_t right_mask) const {
+  JOINEST_CHECK_EQ(left_mask & right_mask, 0u) << "composites overlap";
+  std::vector<Predicate> eligible;
+  for (const Predicate& p : predicates_) {
+    if (p.kind != Predicate::Kind::kJoin) continue;
+    const uint64_t lbit = uint64_t{1} << p.left.table;
+    const uint64_t rbit = uint64_t{1} << p.right.table;
+    if (((left_mask & lbit) && (right_mask & rbit)) ||
+        ((left_mask & rbit) && (right_mask & lbit))) {
+      eligible.push_back(p);
+    }
+  }
+  return eligible;
+}
+
+std::vector<Predicate> AnalyzedQuery::EligiblePredicates(
+    uint64_t mask, int next_table) const {
+  return EligiblePredicatesBetween(mask, uint64_t{1} << next_table);
+}
+
+bool AnalyzedQuery::MasksConnected(uint64_t left_mask,
+                                   uint64_t right_mask) const {
+  JOINEST_CHECK_EQ(left_mask & right_mask, 0u) << "composites overlap";
+  for (const Predicate& p : predicates_) {
+    if (p.kind != Predicate::Kind::kJoin) continue;
+    const uint64_t lbit = uint64_t{1} << p.left.table;
+    const uint64_t rbit = uint64_t{1} << p.right.table;
+    if (((left_mask & lbit) && (right_mask & rbit)) ||
+        ((left_mask & rbit) && (right_mask & lbit))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool AnalyzedQuery::HasEligiblePredicate(uint64_t mask, int next_table) const {
+  return MasksConnected(mask, uint64_t{1} << next_table);
+}
+
+double AnalyzedQuery::JoinCardinality(uint64_t mask, double card,
+                                      int next_table) const {
+  return JoinComposites(mask, card, uint64_t{1} << next_table,
+                        BaseCardinality(next_table));
+}
+
+double AnalyzedQuery::JoinComposites(uint64_t left_mask, double left_card,
+                                     uint64_t right_mask,
+                                     double right_card) const {
+  std::vector<Predicate> eligible =
+      EligiblePredicatesBetween(left_mask, right_mask);
+  double result = left_card * right_card;
+  if (eligible.empty()) return result;  // Cartesian product.
+
+  switch (options_.rule) {
+    case SelectivityRule::kMultiplicative: {
+      // Rule M: every eligible predicate contributes.
+      for (const Predicate& p : eligible) result *= JoinSelectivity(p);
+      return result;
+    }
+    case SelectivityRule::kSmallest:
+    case SelectivityRule::kLargest:
+    case SelectivityRule::kRepresentative: {
+      // One selectivity per equivalence class; classes multiply
+      // independently.
+      std::unordered_map<int, double> per_class;
+      for (const Predicate& p : eligible) {
+        const int cls = classes_.ClassOf(p.left);
+        JOINEST_CHECK_GE(cls, 0);
+        if (options_.rule == SelectivityRule::kRepresentative) {
+          per_class[cls] = representative_selectivity_[cls];
+          continue;
+        }
+        const double sel = JoinSelectivity(p);
+        auto [it, inserted] = per_class.emplace(cls, sel);
+        if (inserted) continue;
+        if (options_.rule == SelectivityRule::kSmallest) {
+          it->second = std::min(it->second, sel);
+        } else {
+          it->second = std::max(it->second, sel);
+        }
+      }
+      for (const auto& [cls, sel] : per_class) result *= sel;
+      return result;
+    }
+  }
+  return result;
+}
+
+std::vector<AnalyzedQuery::StepTrace> AnalyzedQuery::TraceOrder(
+    const std::vector<int>& order) const {
+  JOINEST_CHECK_EQ(static_cast<int>(order.size()), spec_.num_tables());
+  std::vector<StepTrace> trace;
+  if (order.empty()) return trace;
+  uint64_t mask = uint64_t{1} << order[0];
+  double card = BaseCardinality(order[0]);
+  for (size_t i = 1; i < order.size(); ++i) {
+    StepTrace step;
+    step.next_table = order[i];
+    step.input_cardinality = card;
+    step.table_cardinality = BaseCardinality(order[i]);
+    step.eligible = EligiblePredicates(mask, order[i]);
+    step.cartesian = step.eligible.empty();
+    // Group selectivities by class and record what the rule would choose.
+    std::unordered_map<int, size_t> class_slot;
+    for (const Predicate& p : step.eligible) {
+      const int cls = classes_.ClassOf(p.left);
+      auto [it, inserted] = class_slot.emplace(cls, step.classes.size());
+      if (inserted) {
+        StepTrace::ClassChoice choice;
+        choice.class_id = cls;
+        step.classes.push_back(choice);
+      }
+      step.classes[it->second].predicates.push_back(p);
+      step.classes[it->second].selectivities.push_back(JoinSelectivity(p));
+    }
+    for (StepTrace::ClassChoice& choice : step.classes) {
+      const auto [min_it, max_it] = std::minmax_element(
+          choice.selectivities.begin(), choice.selectivities.end());
+      switch (options_.rule) {
+        case SelectivityRule::kMultiplicative: {
+          double product = 1;
+          for (double s : choice.selectivities) product *= s;
+          choice.chosen = product;
+          break;
+        }
+        case SelectivityRule::kSmallest:
+          choice.chosen = *min_it;
+          break;
+        case SelectivityRule::kLargest:
+          choice.chosen = *max_it;
+          break;
+        case SelectivityRule::kRepresentative:
+          choice.chosen = representative_selectivity_[choice.class_id];
+          break;
+      }
+    }
+    card = JoinCardinality(mask, card, order[i]);
+    step.output_cardinality = card;
+    mask |= uint64_t{1} << order[i];
+    trace.push_back(std::move(step));
+  }
+  return trace;
+}
+
+std::string AnalyzedQuery::FormatTrace(
+    const std::vector<StepTrace>& trace) const {
+  std::ostringstream oss;
+  for (const StepTrace& step : trace) {
+    oss << "join " << spec_.tables[step.next_table].alias << " (|composite| "
+        << FormatNumber(step.input_cardinality) << " x |table| "
+        << FormatNumber(step.table_cardinality) << ")";
+    if (step.cartesian) {
+      oss << " CARTESIAN";
+    } else {
+      for (const StepTrace::ClassChoice& choice : step.classes) {
+        oss << "\n  class " << choice.class_id << ": ";
+        for (size_t i = 0; i < choice.selectivities.size(); ++i) {
+          if (i > 0) oss << ", ";
+          oss << spec_.PredicateToString(*catalog_, choice.predicates[i])
+              << " -> " << FormatNumber(choice.selectivities[i]);
+        }
+        oss << "  [" << SelectivityRuleName(options_.rule) << " uses "
+            << FormatNumber(choice.chosen) << "]";
+      }
+    }
+    oss << "\n  => " << FormatNumber(step.output_cardinality) << " rows\n";
+  }
+  return oss.str();
+}
+
+std::vector<double> AnalyzedQuery::EstimateOrder(
+    const std::vector<int>& order) const {
+  JOINEST_CHECK_EQ(static_cast<int>(order.size()), spec_.num_tables());
+  std::vector<double> sizes;
+  if (order.empty()) return sizes;
+  uint64_t mask = uint64_t{1} << order[0];
+  double card = BaseCardinality(order[0]);
+  for (size_t i = 1; i < order.size(); ++i) {
+    card = JoinCardinality(mask, card, order[i]);
+    mask |= uint64_t{1} << order[i];
+    sizes.push_back(card);
+  }
+  return sizes;
+}
+
+double AnalyzedQuery::EstimateFullJoin() const {
+  std::vector<int> order(spec_.num_tables());
+  for (int t = 0; t < spec_.num_tables(); ++t) order[t] = t;
+  if (order.size() == 1) return BaseCardinality(0);
+  return EstimateOrder(order).back();
+}
+
+double AnalyzedQuery::EstimateGroupCount() const {
+  const double result_rows = EstimateFullJoin();
+  if (spec_.group_by.empty()) return result_rows;
+  // Domain size of the composite group key: product of effective column
+  // cardinalities (independence), capped by the result size itself.
+  double domain = 1;
+  for (const ColumnRef& ref : spec_.group_by) {
+    domain *= std::max(profile(ref.table).join_distinct[ref.column], 1.0);
+  }
+  if (result_rows <= 0) return 0;
+  return UrnModelDistinctCeil(domain, result_rows);
+}
+
+std::string AnalyzedQuery::DebugString() const {
+  std::ostringstream oss;
+  oss << "AnalyzedQuery rule=" << SelectivityRuleName(options_.rule)
+      << " ptc=" << (options_.transitive_closure ? "on" : "off")
+      << " local_effects="
+      << (options_.profile.apply_local_effects ? "on" : "off") << "\n";
+  oss << "predicates (" << predicates_.size() << "):\n";
+  for (const Predicate& p : predicates_) {
+    oss << "  " << spec_.PredicateToString(*catalog_, p) << "\n";
+  }
+  oss << "classes: " << classes_.num_classes() << "\n";
+  for (int t = 0; t < spec_.num_tables(); ++t) {
+    oss << "  " << spec_.tables[t].alias << ": "
+        << profiles_[t].DebugString() << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace joinest

@@ -1,0 +1,76 @@
+#include "estimator/presets.h"
+
+namespace joinest {
+
+EstimationOptions PresetOptions(AlgorithmPreset preset) {
+  EstimationOptions options;
+  switch (preset) {
+    case AlgorithmPreset::kSMNoPtc:
+      options.transitive_closure = false;
+      options.profile.apply_local_effects = false;
+      options.rule = SelectivityRule::kMultiplicative;
+      break;
+    case AlgorithmPreset::kSM:
+      options.transitive_closure = true;
+      options.profile.apply_local_effects = false;
+      options.rule = SelectivityRule::kMultiplicative;
+      break;
+    case AlgorithmPreset::kSSS:
+      options.transitive_closure = true;
+      options.profile.apply_local_effects = false;
+      options.rule = SelectivityRule::kSmallest;
+      break;
+    case AlgorithmPreset::kELS:
+      options.transitive_closure = true;
+      options.profile.apply_local_effects = true;
+      options.rule = SelectivityRule::kLargest;
+      break;
+    case AlgorithmPreset::kRepresentativeSmall:
+      options.transitive_closure = true;
+      options.profile.apply_local_effects = true;
+      options.rule = SelectivityRule::kRepresentative;
+      options.representative = RepresentativePick::kSmallest;
+      break;
+    case AlgorithmPreset::kRepresentativeLarge:
+      options.transitive_closure = true;
+      options.profile.apply_local_effects = true;
+      options.rule = SelectivityRule::kRepresentative;
+      options.representative = RepresentativePick::kLargest;
+      break;
+  }
+  return options;
+}
+
+const char* PresetName(AlgorithmPreset preset) {
+  switch (preset) {
+    case AlgorithmPreset::kSMNoPtc:
+      return "SM (no PTC)";
+    case AlgorithmPreset::kSM:
+      return "SM";
+    case AlgorithmPreset::kSSS:
+      return "SSS";
+    case AlgorithmPreset::kELS:
+      return "ELS";
+    case AlgorithmPreset::kRepresentativeSmall:
+      return "REP(min)";
+    case AlgorithmPreset::kRepresentativeLarge:
+      return "REP(max)";
+  }
+  return "?";
+}
+
+std::vector<AlgorithmPreset> PaperPresets() {
+  return {AlgorithmPreset::kSMNoPtc, AlgorithmPreset::kSM,
+          AlgorithmPreset::kSSS, AlgorithmPreset::kELS};
+}
+
+std::vector<AlgorithmPreset> AllPresets() {
+  return {AlgorithmPreset::kSMNoPtc,
+          AlgorithmPreset::kSM,
+          AlgorithmPreset::kSSS,
+          AlgorithmPreset::kELS,
+          AlgorithmPreset::kRepresentativeSmall,
+          AlgorithmPreset::kRepresentativeLarge};
+}
+
+}  // namespace joinest

@@ -1,0 +1,42 @@
+// Named estimation-algorithm configurations matching the paper's §8
+// experiment rows, plus the §3.3 representative-selectivity strawman.
+
+#ifndef JOINEST_ESTIMATOR_PRESETS_H_
+#define JOINEST_ESTIMATOR_PRESETS_H_
+
+#include <string>
+#include <vector>
+
+#include "estimator/analyzed_query.h"
+
+namespace joinest {
+
+enum class AlgorithmPreset {
+  // Rule M, no predicate transitive closure, standard statistics — the
+  // experiment's "Orig. / SM" row.
+  kSMNoPtc,
+  // Rule M with PTC, standard statistics — "Orig. + PTC / SM".
+  kSM,
+  // Rule SS with PTC, standard statistics — "Orig. + PTC / SSS".
+  kSSS,
+  // Algorithm ELS: Rule LS, PTC, effective statistics — "Orig. / ELS"
+  // (ELS performs closure internally; it needs no rewrite-side PTC).
+  kELS,
+  // §3.3 strawman: one representative selectivity per class (smallest /
+  // largest member). Included to demonstrate no constant works.
+  kRepresentativeSmall,
+  kRepresentativeLarge,
+};
+
+EstimationOptions PresetOptions(AlgorithmPreset preset);
+const char* PresetName(AlgorithmPreset preset);
+
+// The four configurations of the paper's experiment table, in row order.
+std::vector<AlgorithmPreset> PaperPresets();
+
+// All presets.
+std::vector<AlgorithmPreset> AllPresets();
+
+}  // namespace joinest
+
+#endif  // JOINEST_ESTIMATOR_PRESETS_H_

@@ -1,0 +1,74 @@
+// Per-table effective statistics (Algorithm ELS steps 3-5).
+//
+// For each table of a query, the profile captures the state of the table
+// *after* all its local predicates have notionally been applied:
+//
+//  * effective table cardinality ||R||' — raw rows × the merged selectivity
+//    of all constant predicates, divided (paper §6) by ∏ d_(i), i ≥ 2 over
+//    each group of j-equivalent columns within the table;
+//  * effective column cardinalities d' used in join selectivities —
+//      - a column pinned by an equality predicate keeps d' = 1,
+//      - a range-restricted column keeps d' = d × S_L (paper §5),
+//      - a column in a single-table j-equivalent group uses the urn model
+//        on the group's smallest d (paper §6),
+//      - an unrestricted column of a filtered table uses the urn model
+//        d' = ⌈d (1 − (1 − 1/d)^||R||')⌉ (paper §5).
+//
+// The raw statistics are retained alongside — the paper is explicit that
+// unreduced cardinalities remain in use for base-table access costing — and
+// they are also what the "standard" (pre-ELS) estimation mode feeds into
+// join selectivities.
+
+#ifndef JOINEST_ESTIMATOR_TABLE_PROFILE_H_
+#define JOINEST_ESTIMATOR_TABLE_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+#include "query/query_spec.h"
+#include "rewrite/equivalence.h"
+#include "rewrite/local_merge.h"
+#include "storage/catalog.h"
+
+namespace joinest {
+
+struct TableProfileOptions {
+  // True  → Algorithm ELS steps 4-5: local predicates reshape both the
+  //         table cardinality and the join-column cardinalities.
+  // False → the "standard algorithm" of §8: local predicates reduce the
+  //         table cardinality only; join selectivities see raw d's.
+  bool apply_local_effects = true;
+  // Ablation of the paper's §5 design choice: replace the urn-model
+  // distinct estimate d(1-(1-1/d)^k) with the "other common estimate"
+  // d × (k/n) the paper argues against.
+  bool linear_distinct = false;
+  LocalSelectivityOptions local;
+};
+
+struct TableProfile {
+  double raw_rows = 0;
+  // ||R||' — see file comment. Equal to raw_rows when the table has no
+  // local predicates.
+  double effective_rows = 0;
+  std::vector<double> raw_distinct;
+  // d' per column, as fed into join selectivity computations.
+  std::vector<double> join_distinct;
+  // Merged constant restriction per column (unrestricted entries included).
+  std::vector<ColumnRestriction> restrictions;
+  // True when the local predicates are unsatisfiable (e.g. x=3 AND x=5).
+  bool is_empty = false;
+
+  std::string DebugString() const;
+};
+
+// Builds the profile of query-local table `table_index`. `predicates` is the
+// (closed, deduplicated) predicate set; `classes` its equivalence classes.
+TableProfile BuildTableProfile(const Catalog& catalog, const QuerySpec& spec,
+                               int table_index,
+                               const std::vector<Predicate>& predicates,
+                               const EquivalenceClasses& classes,
+                               const TableProfileOptions& options);
+
+}  // namespace joinest
+
+#endif  // JOINEST_ESTIMATOR_TABLE_PROFILE_H_

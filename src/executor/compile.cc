@@ -1,0 +1,80 @@
+#include "executor/compile.h"
+
+#include "executor/join_ops.h"
+#include "executor/scan_ops.h"
+
+namespace joinest {
+
+namespace {
+
+StatusOr<std::unique_ptr<Operator>> CompileNode(
+    const Catalog& catalog, const QuerySpec& spec, const PlanNode& node,
+    std::vector<Operator*>* registry) {
+  auto track = [registry](std::unique_ptr<Operator> op)
+      -> std::unique_ptr<Operator> {
+    if (registry != nullptr) registry->push_back(op.get());
+    return op;
+  };
+
+  if (node.kind == PlanNode::Kind::kScan) {
+    const Table& table = catalog.table(spec.tables[node.table_index].catalog_id);
+    std::unique_ptr<Operator> op =
+        track(std::make_unique<SeqScanOperator>(table, node.table_index));
+    if (!node.filter.empty()) {
+      op = track(std::make_unique<FilterOperator>(std::move(op), node.filter));
+    }
+    return op;
+  }
+
+  // Join node.
+  if (node.left == nullptr || node.right == nullptr) {
+    return InvalidArgument("join node missing a child");
+  }
+  JOINEST_ASSIGN_OR_RETURN(
+      std::unique_ptr<Operator> left,
+      CompileNode(catalog, spec, *node.left, registry));
+
+  if (node.method == JoinMethod::kIndexNestedLoop) {
+    if (node.right->kind != PlanNode::Kind::kScan) {
+      return InvalidArgument(
+          "index nested loop join requires a base-table scan on the inner "
+          "side");
+    }
+    const Table& inner =
+        catalog.table(spec.tables[node.right->table_index].catalog_id);
+    return track(std::make_unique<IndexNestedLoopJoinOperator>(
+        std::move(left), inner, node.right->table_index,
+        node.join_predicates, node.right->filter));
+  }
+
+  JOINEST_ASSIGN_OR_RETURN(
+      std::unique_ptr<Operator> right,
+      CompileNode(catalog, spec, *node.right, registry));
+  switch (node.method) {
+    case JoinMethod::kNestedLoop:
+      return track(std::make_unique<NestedLoopJoinOperator>(
+          std::move(left), std::move(right), node.join_predicates));
+    case JoinMethod::kBlockNestedLoop:
+      return track(std::make_unique<BlockNestedLoopJoinOperator>(
+          std::move(left), std::move(right), node.join_predicates));
+    case JoinMethod::kHash:
+      return track(std::make_unique<HashJoinOperator>(
+          std::move(left), std::move(right), node.join_predicates));
+    case JoinMethod::kSortMerge:
+      return track(std::make_unique<SortMergeJoinOperator>(
+          std::move(left), std::move(right), node.join_predicates));
+    case JoinMethod::kIndexNestedLoop:
+      break;  // Handled above.
+  }
+  return Internal("unreachable join method");
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Operator>> CompilePlan(
+    const Catalog& catalog, const QuerySpec& spec, const PlanNode& plan,
+    std::vector<Operator*>* registry) {
+  return CompileNode(catalog, spec, plan, registry);
+}
+
+}  // namespace joinest

@@ -1,0 +1,30 @@
+// Compilation of physical plans into operator trees.
+
+#ifndef JOINEST_EXECUTOR_COMPILE_H_
+#define JOINEST_EXECUTOR_COMPILE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "executor/operator.h"
+#include "executor/plan.h"
+#include "query/query_spec.h"
+#include "storage/catalog.h"
+
+namespace joinest {
+
+// Compiles `plan` into an operator tree over the catalog's tables. If
+// `registry` is non-null, every created operator is appended (pre-order) so
+// the caller can report per-operator row counts after execution. The catalog
+// must outlive the returned operator.
+//
+// Constraints checked: an index-nested-loop join's right child must be a
+// scan node (the index is built over that base table).
+StatusOr<std::unique_ptr<Operator>> CompilePlan(
+    const Catalog& catalog, const QuerySpec& spec, const PlanNode& plan,
+    std::vector<Operator*>* registry = nullptr);
+
+}  // namespace joinest
+
+#endif  // JOINEST_EXECUTOR_COMPILE_H_

@@ -1,0 +1,16 @@
+// Scalar predicate evaluation.
+
+#ifndef JOINEST_EXECUTOR_EVAL_H_
+#define JOINEST_EXECUTOR_EVAL_H_
+
+#include "stats/histogram.h"
+#include "types/value.h"
+
+namespace joinest {
+
+// Evaluates `left op right`.
+bool EvalCompare(const Value& left, CompareOp op, const Value& right);
+
+}  // namespace joinest
+
+#endif  // JOINEST_EXECUTOR_EVAL_H_

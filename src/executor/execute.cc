@@ -1,0 +1,173 @@
+#include "executor/execute.h"
+
+#include <chrono>
+
+#include "executor/compile.h"
+#include "executor/scan_ops.h"
+
+namespace joinest {
+
+StatusOr<ExecutionResult> ExecutePlan(const Catalog& catalog,
+                                      const QuerySpec& spec,
+                                      const PlanNode& plan) {
+  std::vector<Operator*> registry;
+  JOINEST_ASSIGN_OR_RETURN(std::unique_ptr<Operator> root,
+                           CompilePlan(catalog, spec, plan, &registry));
+  // Top with the query's output shape.
+  const bool grouped = spec.count_star && !spec.group_by.empty();
+  if (grouped) {
+    root = std::make_unique<GroupCountOperator>(std::move(root),
+                                                spec.group_by);
+  } else if (spec.count_star) {
+    root = std::make_unique<CountAggOperator>(std::move(root));
+  } else if (!spec.select.empty()) {
+    root = std::make_unique<ProjectOperator>(std::move(root), spec.select);
+  }
+  registry.push_back(root.get());
+
+  ExecutionResult result;
+  const auto start = std::chrono::steady_clock::now();
+  root->Open();
+  Row row;
+  int64_t rows = 0;
+  int64_t count = 0;
+  while (root->Next(row)) {
+    ++rows;
+    if (grouped) {
+      count += row.back().AsInt64();  // Total over groups = join size.
+    } else if (spec.count_star) {
+      count = row[0].AsInt64();
+    }
+  }
+  root->Close();
+  const auto end = std::chrono::steady_clock::now();
+
+  result.output_rows = rows;
+  result.count = spec.count_star ? count : rows;
+  result.seconds = std::chrono::duration<double>(end - start).count();
+  for (Operator* op : registry) {
+    result.operators.push_back(OperatorStats{op->name(), op->rows_produced()});
+  }
+  return result;
+}
+
+StatusOr<int64_t> TrueResultSize(const Catalog& catalog,
+                                 const QuerySpec& spec) {
+  JOINEST_RETURN_IF_ERROR(spec.Validate(catalog));
+  const int n = spec.num_tables();
+
+  // Group local predicates by table for scan pushdown.
+  std::vector<std::vector<Predicate>> local(n);
+  std::vector<Predicate> joins;
+  for (const Predicate& p : spec.predicates) {
+    if (p.kind == Predicate::Kind::kJoin) {
+      joins.push_back(p);
+    } else {
+      local[p.left.table].push_back(p);
+    }
+  }
+
+  // Greedy connected order (cartesian only when the join graph is
+  // disconnected).
+  std::vector<bool> used(n, false);
+  std::vector<int> order;
+  order.push_back(0);
+  used[0] = true;
+  auto connected = [&](int t) {
+    for (const Predicate& p : joins) {
+      if ((p.left.table == t && used[p.right.table]) ||
+          (p.right.table == t && used[p.left.table])) {
+        return true;
+      }
+    }
+    return false;
+  };
+  while (static_cast<int>(order.size()) < n) {
+    int next = -1;
+    for (int t = 0; t < n; ++t) {
+      if (!used[t] && connected(t)) {
+        next = t;
+        break;
+      }
+    }
+    if (next < 0) {
+      for (int t = 0; t < n; ++t) {
+        if (!used[t]) {
+          next = t;
+          break;
+        }
+      }
+    }
+    order.push_back(next);
+    used[next] = true;
+  }
+
+  // Left-deep hash joins (nested loops for the rare cartesian step).
+  auto plan = MakeScanNode(order[0], local[order[0]]);
+  std::vector<bool> in_plan(n, false);
+  in_plan[order[0]] = true;
+  std::vector<bool> join_used(joins.size(), false);
+  for (size_t i = 1; i < order.size(); ++i) {
+    const int t = order[i];
+    std::vector<Predicate> eligible;
+    for (size_t j = 0; j < joins.size(); ++j) {
+      if (join_used[j]) continue;
+      const Predicate& p = joins[j];
+      if ((p.left.table == t && in_plan[p.right.table]) ||
+          (p.right.table == t && in_plan[p.left.table])) {
+        eligible.push_back(p);
+        join_used[j] = true;
+      }
+    }
+    auto scan = MakeScanNode(t, local[t]);
+    plan = MakeJoinNode(
+        eligible.empty() ? JoinMethod::kNestedLoop : JoinMethod::kHash,
+        std::move(plan), std::move(scan), std::move(eligible));
+    in_plan[t] = true;
+  }
+
+  QuerySpec count_spec = spec;
+  count_spec.count_star = true;
+  count_spec.select.clear();
+  count_spec.group_by.clear();  // The ungrouped join size is the target.
+  JOINEST_ASSIGN_OR_RETURN(ExecutionResult result,
+                           ExecutePlan(catalog, count_spec, *plan));
+  return result.count;
+}
+
+StatusOr<std::vector<int64_t>> TruePrefixSizes(
+    const Catalog& catalog, const QuerySpec& spec,
+    const std::vector<int>& order) {
+  JOINEST_RETURN_IF_ERROR(spec.Validate(catalog));
+  if (static_cast<int>(order.size()) != spec.num_tables()) {
+    return InvalidArgument("order must cover every table exactly once");
+  }
+  std::vector<int64_t> sizes;
+  for (size_t k = 2; k <= order.size(); ++k) {
+    // Sub-query over the first k tables of the order, keeping every
+    // predicate fully contained in that prefix.
+    QuerySpec prefix;
+    prefix.count_star = true;
+    std::vector<int> remap(spec.num_tables(), -1);
+    for (size_t i = 0; i < k; ++i) {
+      const TableRef& ref = spec.tables[order[i]];
+      prefix.tables.push_back(ref);
+      remap[order[i]] = static_cast<int>(i);
+    }
+    for (const Predicate& p : spec.predicates) {
+      if (remap[p.left.table] < 0) continue;
+      Predicate mapped = p;
+      mapped.left.table = remap[p.left.table];
+      if (p.kind != Predicate::Kind::kLocalConst) {
+        if (remap[p.right.table] < 0) continue;
+        mapped.right.table = remap[p.right.table];
+      }
+      prefix.predicates.push_back(std::move(mapped));
+    }
+    JOINEST_ASSIGN_OR_RETURN(int64_t size, TrueResultSize(catalog, prefix));
+    sizes.push_back(size);
+  }
+  return sizes;
+}
+
+}  // namespace joinest

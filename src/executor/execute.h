@@ -1,0 +1,53 @@
+// Plan execution with timing and per-operator statistics.
+
+#ifndef JOINEST_EXECUTOR_EXECUTE_H_
+#define JOINEST_EXECUTOR_EXECUTE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "executor/operator.h"
+#include "executor/plan.h"
+#include "query/query_spec.h"
+#include "storage/catalog.h"
+
+namespace joinest {
+
+struct ExecutionResult {
+  // Rows produced by the query root (1 for COUNT(*) queries).
+  int64_t output_rows = 0;
+  // The COUNT(*) value when the query aggregates; for non-aggregating
+  // queries, equal to output_rows.
+  int64_t count = 0;
+  double seconds = 0;
+  // Pre-order (operator name, rows produced) over the compiled tree.
+  std::vector<OperatorStats> operators;
+};
+
+// Compiles and runs `plan`, topping it with the query's projection or
+// COUNT(*). Joins and scans stream; nothing is retained beyond counts.
+StatusOr<ExecutionResult> ExecutePlan(const Catalog& catalog,
+                                      const QuerySpec& spec,
+                                      const PlanNode& plan);
+
+// Ground truth without an optimizer: executes the query with a canonical
+// safe plan (hash joins in table order, filters pushed down), returning the
+// exact result count. Used by tests and benches to compare estimates with
+// true cardinalities.
+StatusOr<int64_t> TrueResultSize(const Catalog& catalog,
+                                 const QuerySpec& spec);
+
+// Exact sizes of every composite along a left-deep join order: entry i is
+// the true cardinality of joining order[0..i+1] with all applicable
+// predicates (the quantity the paper's "correct answer is exactly 100"
+// claims refer to). Executes order.size()-1 counting sub-queries.
+StatusOr<std::vector<int64_t>> TruePrefixSizes(const Catalog& catalog,
+                                               const QuerySpec& spec,
+                                               const std::vector<int>& order);
+
+}  // namespace joinest
+
+#endif  // JOINEST_EXECUTOR_EXECUTE_H_

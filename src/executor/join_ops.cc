@@ -1,0 +1,414 @@
+#include "executor/join_ops.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "executor/eval.h"
+
+namespace joinest {
+
+std::vector<JoinKey> ResolveJoinKeys(
+    const std::vector<ColumnRef>& left, const std::vector<ColumnRef>& right,
+    const std::vector<Predicate>& predicates) {
+  std::vector<JoinKey> keys;
+  for (const Predicate& p : predicates) {
+    JOINEST_CHECK(p.kind == Predicate::Kind::kJoin)
+        << "join operator got non-join predicate " << p.ToString();
+    int lp = FindInLayout(left, p.left);
+    int rp = FindInLayout(right, p.right);
+    if (lp < 0 || rp < 0) {
+      // Try the swapped orientation.
+      lp = FindInLayout(left, p.right);
+      rp = FindInLayout(right, p.left);
+    }
+    JOINEST_CHECK(lp >= 0 && rp >= 0)
+        << "join predicate does not span the two inputs: " << p.ToString();
+    keys.push_back(JoinKey{lp, rp});
+  }
+  return keys;
+}
+
+namespace {
+
+std::vector<ColumnRef> ConcatLayouts(const std::vector<ColumnRef>& a,
+                                     const std::vector<ColumnRef>& b) {
+  std::vector<ColumnRef> out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+bool KeysMatch(const Row& left, const Row& right,
+               const std::vector<JoinKey>& keys) {
+  for (const JoinKey& k : keys) {
+    if (!(left[k.left_pos] == right[k.right_pos])) return false;
+  }
+  return true;
+}
+
+void ConcatRows(Row& out, const Row& left, const Row& right) {
+  out.clear();
+  out.reserve(left.size() + right.size());
+  out.insert(out.end(), left.begin(), left.end());
+  out.insert(out.end(), right.begin(), right.end());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- NLJ
+
+NestedLoopJoinOperator::NestedLoopJoinOperator(
+    std::unique_ptr<Operator> left, std::unique_ptr<Operator> right,
+    std::vector<Predicate> predicates)
+    : left_(std::move(left)), right_(std::move(right)) {
+  layout_ = ConcatLayouts(left_->layout(), right_->layout());
+  keys_ = ResolveJoinKeys(left_->layout(), right_->layout(), predicates);
+}
+
+void NestedLoopJoinOperator::Open() {
+  left_->Open();
+  outer_valid_ = false;
+  inner_open_ = false;
+}
+
+bool NestedLoopJoinOperator::Next(Row& row) {
+  Row inner;
+  while (true) {
+    if (!outer_valid_) {
+      if (!left_->Next(outer_row_)) return false;
+      outer_valid_ = true;
+      right_->Open();  // Full inner re-scan per outer row.
+      inner_open_ = true;
+    }
+    while (right_->Next(inner)) {
+      if (KeysMatch(outer_row_, inner, keys_)) {
+        ConcatRows(row, outer_row_, inner);
+        ++rows_produced_;
+        return true;
+      }
+    }
+    right_->Close();
+    inner_open_ = false;
+    outer_valid_ = false;
+  }
+}
+
+void NestedLoopJoinOperator::Close() {
+  left_->Close();
+  if (inner_open_) {
+    right_->Close();
+    inner_open_ = false;
+  }
+}
+
+// ---------------------------------------------------------------- BNL
+
+BlockNestedLoopJoinOperator::BlockNestedLoopJoinOperator(
+    std::unique_ptr<Operator> left, std::unique_ptr<Operator> right,
+    std::vector<Predicate> predicates)
+    : left_(std::move(left)), right_(std::move(right)) {
+  layout_ = ConcatLayouts(left_->layout(), right_->layout());
+  keys_ = ResolveJoinKeys(left_->layout(), right_->layout(), predicates);
+}
+
+void BlockNestedLoopJoinOperator::Open() {
+  left_->Open();
+  right_->Open();
+  inner_.clear();
+  Row row;
+  while (right_->Next(row)) inner_.push_back(row);
+  right_->Close();
+  outer_valid_ = false;
+  inner_cursor_ = 0;
+}
+
+bool BlockNestedLoopJoinOperator::Next(Row& row) {
+  while (true) {
+    if (!outer_valid_) {
+      if (!left_->Next(outer_row_)) return false;
+      outer_valid_ = true;
+      inner_cursor_ = 0;
+    }
+    while (inner_cursor_ < inner_.size()) {
+      const Row& inner = inner_[inner_cursor_++];
+      if (KeysMatch(outer_row_, inner, keys_)) {
+        ConcatRows(row, outer_row_, inner);
+        ++rows_produced_;
+        return true;
+      }
+    }
+    outer_valid_ = false;
+  }
+}
+
+void BlockNestedLoopJoinOperator::Close() {
+  left_->Close();
+  inner_.clear();
+}
+
+// ---------------------------------------------------------------- Hash
+
+size_t HashJoinOperator::KeyHash::operator()(
+    const std::vector<Value>& key) const {
+  size_t h = 0x9e3779b97f4a7c15ull;
+  for (const Value& v : key) h ^= v.Hash() + 0x9e3779b97f4a7c15ull + (h << 6);
+  return h;
+}
+
+HashJoinOperator::HashJoinOperator(std::unique_ptr<Operator> left,
+                                   std::unique_ptr<Operator> right,
+                                   std::vector<Predicate> predicates)
+    : left_(std::move(left)), right_(std::move(right)) {
+  layout_ = ConcatLayouts(left_->layout(), right_->layout());
+  keys_ = ResolveJoinKeys(left_->layout(), right_->layout(), predicates);
+  JOINEST_CHECK(!keys_.empty()) << "hash join requires at least one key";
+}
+
+std::vector<Value> HashJoinOperator::LeftKey(const Row& row) const {
+  std::vector<Value> key;
+  key.reserve(keys_.size());
+  for (const JoinKey& k : keys_) key.push_back(row[k.left_pos]);
+  return key;
+}
+
+void HashJoinOperator::Open() {
+  left_->Open();
+  right_->Open();
+  build_.clear();
+  Row row;
+  while (right_->Next(row)) {
+    std::vector<Value> key;
+    key.reserve(keys_.size());
+    for (const JoinKey& k : keys_) key.push_back(row[k.right_pos]);
+    build_[std::move(key)].push_back(row);
+  }
+  right_->Close();
+  matches_ = nullptr;
+  match_cursor_ = 0;
+}
+
+bool HashJoinOperator::Next(Row& row) {
+  while (true) {
+    if (matches_ != nullptr && match_cursor_ < matches_->size()) {
+      ConcatRows(row, outer_row_, (*matches_)[match_cursor_++]);
+      ++rows_produced_;
+      return true;
+    }
+    matches_ = nullptr;
+    if (!left_->Next(outer_row_)) return false;
+    const auto it = build_.find(LeftKey(outer_row_));
+    if (it != build_.end()) {
+      matches_ = &it->second;
+      match_cursor_ = 0;
+    }
+  }
+}
+
+void HashJoinOperator::Close() {
+  left_->Close();
+  build_.clear();
+}
+
+// ---------------------------------------------------------------- SMJ
+
+SortMergeJoinOperator::SortMergeJoinOperator(
+    std::unique_ptr<Operator> left, std::unique_ptr<Operator> right,
+    std::vector<Predicate> predicates)
+    : left_(std::move(left)), right_(std::move(right)) {
+  layout_ = ConcatLayouts(left_->layout(), right_->layout());
+  keys_ = ResolveJoinKeys(left_->layout(), right_->layout(), predicates);
+  JOINEST_CHECK(!keys_.empty()) << "sort-merge join requires a key";
+}
+
+namespace {
+
+// Three-way comparison of the key columns of a left row vs a right row.
+int CompareKeys(const Row& left, const Row& right,
+                const std::vector<JoinKey>& keys) {
+  for (const JoinKey& k : keys) {
+    const Value& a = left[k.left_pos];
+    const Value& b = right[k.right_pos];
+    if (a < b) return -1;
+    if (b < a) return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+void SortMergeJoinOperator::Open() {
+  auto drain = [](Operator& op, std::vector<Row>& out) {
+    op.Open();
+    out.clear();
+    Row row;
+    while (op.Next(row)) out.push_back(row);
+    op.Close();
+  };
+  drain(*left_, left_rows_);
+  drain(*right_, right_rows_);
+  std::sort(left_rows_.begin(), left_rows_.end(),
+            [this](const Row& a, const Row& b) {
+              for (const JoinKey& k : keys_) {
+                if (a[k.left_pos] < b[k.left_pos]) return true;
+                if (b[k.left_pos] < a[k.left_pos]) return false;
+              }
+              return false;
+            });
+  std::sort(right_rows_.begin(), right_rows_.end(),
+            [this](const Row& a, const Row& b) {
+              for (const JoinKey& k : keys_) {
+                if (a[k.right_pos] < b[k.right_pos]) return true;
+                if (b[k.right_pos] < a[k.right_pos]) return false;
+              }
+              return false;
+            });
+  li_ = ri_ = 0;
+  in_group_ = false;
+}
+
+bool SortMergeJoinOperator::Next(Row& row) {
+  while (true) {
+    if (in_group_) {
+      if (lcur_ < lg_) {
+        ConcatRows(row, left_rows_[lcur_], right_rows_[rcur_]);
+        ++rows_produced_;
+        if (++rcur_ >= rg_) {
+          rcur_ = ri_;
+          ++lcur_;
+        }
+        return true;
+      }
+      // Group exhausted; move past it.
+      li_ = lg_;
+      ri_ = rg_;
+      in_group_ = false;
+    }
+    if (li_ >= left_rows_.size() || ri_ >= right_rows_.size()) return false;
+    const int cmp = CompareKeys(left_rows_[li_], right_rows_[ri_], keys_);
+    if (cmp < 0) {
+      ++li_;
+      continue;
+    }
+    if (cmp > 0) {
+      ++ri_;
+      continue;
+    }
+    // Equal keys: delimit both groups and emit their cross product.
+    lg_ = li_ + 1;
+    while (lg_ < left_rows_.size() &&
+           CompareKeys(left_rows_[lg_], right_rows_[ri_], keys_) == 0) {
+      ++lg_;
+    }
+    rg_ = ri_ + 1;
+    while (rg_ < right_rows_.size() &&
+           CompareKeys(left_rows_[li_], right_rows_[rg_], keys_) == 0) {
+      ++rg_;
+    }
+    lcur_ = li_;
+    rcur_ = ri_;
+    in_group_ = true;
+  }
+}
+
+void SortMergeJoinOperator::Close() {
+  left_rows_.clear();
+  right_rows_.clear();
+}
+
+// ---------------------------------------------------------------- Index NLJ
+
+IndexNestedLoopJoinOperator::IndexNestedLoopJoinOperator(
+    std::unique_ptr<Operator> outer, const Table& inner_table,
+    int inner_table_index, std::vector<Predicate> join_predicates,
+    std::vector<Predicate> inner_predicates)
+    : outer_(std::move(outer)),
+      inner_table_(inner_table),
+      inner_table_index_(inner_table_index),
+      join_predicates_(std::move(join_predicates)),
+      inner_predicates_(std::move(inner_predicates)) {
+  layout_ = outer_->layout();
+  for (int c = 0; c < inner_table_.num_columns(); ++c) {
+    layout_.push_back(ColumnRef{inner_table_index_, c});
+  }
+  JOINEST_CHECK(!join_predicates_.empty())
+      << "index join needs at least one key";
+  for (size_t i = 0; i < join_predicates_.size(); ++i) {
+    const Predicate& p = join_predicates_[i];
+    JOINEST_CHECK(p.kind == Predicate::Kind::kJoin);
+    ColumnRef outer_ref = p.left;
+    ColumnRef inner_ref = p.right;
+    if (inner_ref.table != inner_table_index_) std::swap(outer_ref, inner_ref);
+    JOINEST_CHECK_EQ(inner_ref.table, inner_table_index_)
+        << "key does not touch the inner table";
+    const int outer_pos = FindInLayout(outer_->layout(), outer_ref);
+    JOINEST_CHECK_GE(outer_pos, 0) << "outer key missing from outer layout";
+    if (i == 0) {
+      outer_key_pos_ = outer_pos;
+      inner_key_col_ = inner_ref.column;
+    } else {
+      residual_keys_.emplace_back(outer_pos, inner_ref.column);
+    }
+  }
+  for (const Predicate& p : inner_predicates_) {
+    JOINEST_CHECK(p.kind != Predicate::Kind::kJoin);
+    JOINEST_CHECK_EQ(p.left.table, inner_table_index_);
+  }
+}
+
+void IndexNestedLoopJoinOperator::Open() {
+  outer_->Open();
+  index_ = std::make_unique<HashIndex>(inner_table_, inner_key_col_);
+  probe_ = nullptr;
+  probe_cursor_ = 0;
+}
+
+bool IndexNestedLoopJoinOperator::InnerRowPasses(int64_t inner_row) const {
+  for (const auto& [outer_pos, inner_col] : residual_keys_) {
+    if (!(outer_row_[outer_pos] == inner_table_.at(inner_row, inner_col))) {
+      return false;
+    }
+  }
+  for (const Predicate& p : inner_predicates_) {
+    const Value& left = inner_table_.at(inner_row, p.left.column);
+    const Value& right = p.kind == Predicate::Kind::kLocalConst
+                             ? p.constant
+                             : inner_table_.at(inner_row, p.right.column);
+    if (!EvalCompare(left, p.op, right)) return false;
+  }
+  return true;
+}
+
+void IndexNestedLoopJoinOperator::EmitJoined(Row& out,
+                                             int64_t inner_row) const {
+  out.clear();
+  out.reserve(outer_row_.size() + inner_table_.num_columns());
+  out.insert(out.end(), outer_row_.begin(), outer_row_.end());
+  for (int c = 0; c < inner_table_.num_columns(); ++c) {
+    out.push_back(inner_table_.at(inner_row, c));
+  }
+}
+
+bool IndexNestedLoopJoinOperator::Next(Row& row) {
+  while (true) {
+    if (probe_ != nullptr) {
+      while (probe_cursor_ < probe_->size()) {
+        const int64_t inner_row = (*probe_)[probe_cursor_++];
+        if (InnerRowPasses(inner_row)) {
+          EmitJoined(row, inner_row);
+          ++rows_produced_;
+          return true;
+        }
+      }
+      probe_ = nullptr;
+    }
+    if (!outer_->Next(outer_row_)) return false;
+    probe_ = &index_->Lookup(outer_row_[outer_key_pos_]);
+    probe_cursor_ = 0;
+  }
+}
+
+void IndexNestedLoopJoinOperator::Close() {
+  outer_->Close();
+  index_.reset();
+}
+
+}  // namespace joinest

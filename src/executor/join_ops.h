@@ -1,0 +1,186 @@
+// Join operators: nested loops, hash, sort-merge, index nested loops.
+//
+// The paper's Starburst experiment enabled "the optimizer's entire
+// repertoire ... including the Nested Loops and Sort Merge join methods";
+// hash and index-nested-loops are the corresponding modern methods and give
+// the cost model real choices to get right or wrong.
+//
+// All joins are equi-joins over one or more key pairs (the only join
+// predicates the query model admits). Output layout is the concatenation of
+// the left and right child layouts.
+
+#ifndef JOINEST_EXECUTOR_JOIN_OPS_H_
+#define JOINEST_EXECUTOR_JOIN_OPS_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "executor/operator.h"
+#include "query/predicate.h"
+#include "storage/index.h"
+#include "storage/table.h"
+
+namespace joinest {
+
+// Resolved equality key pair: positions in the left and right layouts.
+struct JoinKey {
+  int left_pos;
+  int right_pos;
+};
+
+// Resolves join predicates against the child layouts (either operand may
+// live on either side). CHECK-fails if a predicate's columns are not split
+// across the two inputs.
+std::vector<JoinKey> ResolveJoinKeys(const std::vector<ColumnRef>& left,
+                                     const std::vector<ColumnRef>& right,
+                                     const std::vector<Predicate>& predicates);
+
+// Naive tuple nested loops: the right (inner) input is re-opened and fully
+// re-scanned for every outer row — the classic method whose true cost is
+// |outer| × scan(inner). This is exactly the join a misled optimizer
+// believes is free when it estimates |outer| ≈ 0, which is how the §8
+// experiment's bad plans lose: a hundred real outer rows each re-scan a
+// 100k-row table the optimizer thought would never be touched.
+class NestedLoopJoinOperator : public Operator {
+ public:
+  NestedLoopJoinOperator(std::unique_ptr<Operator> left,
+                         std::unique_ptr<Operator> right,
+                         std::vector<Predicate> predicates);
+
+  void Open() override;
+  bool Next(Row& row) override;
+  void Close() override;
+  std::string name() const override { return "NestedLoopJoin"; }
+
+ private:
+  std::unique_ptr<Operator> left_;
+  std::unique_ptr<Operator> right_;
+  std::vector<JoinKey> keys_;
+  Row outer_row_;
+  bool outer_valid_ = false;
+  bool inner_open_ = false;
+};
+
+// Block nested loops: the inner input is materialised ONCE on Open and the
+// in-memory copy is scanned per outer row. Same asymptotic comparisons as
+// tuple NLJ, but the inner's production cost (scans, filters, sub-joins) is
+// paid once — the fix modern engines apply to the naive method.
+class BlockNestedLoopJoinOperator : public Operator {
+ public:
+  BlockNestedLoopJoinOperator(std::unique_ptr<Operator> left,
+                              std::unique_ptr<Operator> right,
+                              std::vector<Predicate> predicates);
+
+  void Open() override;
+  bool Next(Row& row) override;
+  void Close() override;
+  std::string name() const override { return "BlockNestedLoopJoin"; }
+
+ private:
+  std::unique_ptr<Operator> left_;
+  std::unique_ptr<Operator> right_;
+  std::vector<JoinKey> keys_;
+  std::vector<Row> inner_;
+  Row outer_row_;
+  bool outer_valid_ = false;
+  size_t inner_cursor_ = 0;
+};
+
+// Classic hash join: builds on the right input, probes with the left.
+class HashJoinOperator : public Operator {
+ public:
+  HashJoinOperator(std::unique_ptr<Operator> left,
+                   std::unique_ptr<Operator> right,
+                   std::vector<Predicate> predicates);
+
+  void Open() override;
+  bool Next(Row& row) override;
+  void Close() override;
+  std::string name() const override { return "HashJoin"; }
+
+ private:
+  struct KeyHash {
+    size_t operator()(const std::vector<Value>& key) const;
+  };
+
+  std::vector<Value> LeftKey(const Row& row) const;
+
+  std::unique_ptr<Operator> left_;
+  std::unique_ptr<Operator> right_;
+  std::vector<JoinKey> keys_;
+  std::unordered_map<std::vector<Value>, std::vector<Row>, KeyHash> build_;
+  Row outer_row_;
+  const std::vector<Row>* matches_ = nullptr;
+  size_t match_cursor_ = 0;
+};
+
+// Sort-merge join: both inputs are materialised, sorted by their key
+// columns, and merged; equal-key groups produce their cross product.
+class SortMergeJoinOperator : public Operator {
+ public:
+  SortMergeJoinOperator(std::unique_ptr<Operator> left,
+                        std::unique_ptr<Operator> right,
+                        std::vector<Predicate> predicates);
+
+  void Open() override;
+  bool Next(Row& row) override;
+  void Close() override;
+  std::string name() const override { return "SortMergeJoin"; }
+
+ private:
+  std::unique_ptr<Operator> left_;
+  std::unique_ptr<Operator> right_;
+  std::vector<JoinKey> keys_;
+  std::vector<Row> left_rows_;
+  std::vector<Row> right_rows_;
+  // Current equal-key group cross-product state.
+  size_t li_ = 0, ri_ = 0;        // Group starts.
+  size_t lg_ = 0, rg_ = 0;        // Group ends (exclusive).
+  size_t lcur_ = 0, rcur_ = 0;    // Cursor within the group product.
+  bool in_group_ = false;
+};
+
+// Index nested loops: the inner side is a base table; a hash index over the
+// first key column is built on Open, outer rows probe it, and the remaining
+// key pairs plus the inner table's local predicates are applied as
+// residuals.
+class IndexNestedLoopJoinOperator : public Operator {
+ public:
+  // `inner_predicates` are local predicates on the inner table (pushed
+  // selection that the probe must re-check since the index covers the whole
+  // table).
+  IndexNestedLoopJoinOperator(std::unique_ptr<Operator> outer,
+                              const Table& inner_table, int inner_table_index,
+                              std::vector<Predicate> join_predicates,
+                              std::vector<Predicate> inner_predicates);
+
+  void Open() override;
+  bool Next(Row& row) override;
+  void Close() override;
+  std::string name() const override { return "IndexNLJoin"; }
+
+ private:
+  bool InnerRowPasses(int64_t inner_row) const;
+  void EmitJoined(Row& out, int64_t inner_row) const;
+
+  std::unique_ptr<Operator> outer_;
+  const Table& inner_table_;
+  int inner_table_index_;
+  std::vector<Predicate> join_predicates_;
+  std::vector<Predicate> inner_predicates_;
+
+  // First key drives the index probe; the rest are residuals.
+  int outer_key_pos_ = -1;
+  int inner_key_col_ = -1;
+  std::vector<std::pair<int, int>> residual_keys_;  // (outer pos, inner col)
+
+  std::unique_ptr<HashIndex> index_;
+  Row outer_row_;
+  const std::vector<int64_t>* probe_ = nullptr;
+  size_t probe_cursor_ = 0;
+};
+
+}  // namespace joinest
+
+#endif  // JOINEST_EXECUTOR_JOIN_OPS_H_

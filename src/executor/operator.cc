@@ -1,0 +1,12 @@
+#include "executor/operator.h"
+
+namespace joinest {
+
+int FindInLayout(const std::vector<ColumnRef>& layout, ColumnRef column) {
+  for (size_t i = 0; i < layout.size(); ++i) {
+    if (layout[i] == column) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace joinest

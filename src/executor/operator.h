@@ -1,0 +1,56 @@
+// Volcano-style (Open/Next/Close) operator interface.
+//
+// A row flowing between operators is a flat std::vector<Value>; which query
+// column each position holds is described by the operator's layout — a
+// vector of ColumnRef in output order. Operators resolve the columns their
+// predicates touch to positions once, at construction.
+
+#ifndef JOINEST_EXECUTOR_OPERATOR_H_
+#define JOINEST_EXECUTOR_OPERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/column_ref.h"
+#include "types/value.h"
+
+namespace joinest {
+
+using Row = std::vector<Value>;
+
+// Position of `column` within `layout`, or -1.
+int FindInLayout(const std::vector<ColumnRef>& layout, ColumnRef column);
+
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  // Prepares for iteration. May be called again after Close (rescan).
+  virtual void Open() = 0;
+  // Produces the next row into `row`; returns false when exhausted.
+  virtual bool Next(Row& row) = 0;
+  virtual void Close() = 0;
+
+  const std::vector<ColumnRef>& layout() const { return layout_; }
+
+  // Operator name plus cumulative rows produced, for EXPLAIN ANALYZE-style
+  // reporting.
+  virtual std::string name() const = 0;
+  int64_t rows_produced() const { return rows_produced_; }
+
+ protected:
+  std::vector<ColumnRef> layout_;
+  int64_t rows_produced_ = 0;
+};
+
+// Collects name/rows for an operator tree (callers know the tree shape).
+struct OperatorStats {
+  std::string name;
+  int64_t rows = 0;
+};
+
+}  // namespace joinest
+
+#endif  // JOINEST_EXECUTOR_OPERATOR_H_

@@ -1,0 +1,158 @@
+#include "executor/plan.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/table_printer.h"
+
+namespace joinest {
+
+const char* JoinMethodName(JoinMethod method) {
+  switch (method) {
+    case JoinMethod::kNestedLoop:
+      return "NestedLoop";
+    case JoinMethod::kBlockNestedLoop:
+      return "BlockNestedLoop";
+    case JoinMethod::kHash:
+      return "Hash";
+    case JoinMethod::kSortMerge:
+      return "SortMerge";
+    case JoinMethod::kIndexNestedLoop:
+      return "IndexNL";
+  }
+  return "?";
+}
+
+std::unique_ptr<PlanNode> PlanNode::Clone() const {
+  auto copy = std::make_unique<PlanNode>();
+  copy->kind = kind;
+  copy->table_index = table_index;
+  copy->filter = filter;
+  copy->method = method;
+  if (left != nullptr) copy->left = left->Clone();
+  if (right != nullptr) copy->right = right->Clone();
+  copy->join_predicates = join_predicates;
+  copy->estimated_rows = estimated_rows;
+  copy->estimated_cost = estimated_cost;
+  return copy;
+}
+
+std::unique_ptr<PlanNode> MakeScanNode(int table_index,
+                                       std::vector<Predicate> filter) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanNode::Kind::kScan;
+  node->table_index = table_index;
+  node->filter = std::move(filter);
+  return node;
+}
+
+std::unique_ptr<PlanNode> MakeJoinNode(JoinMethod method,
+                                       std::unique_ptr<PlanNode> left,
+                                       std::unique_ptr<PlanNode> right,
+                                       std::vector<Predicate> predicates) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanNode::Kind::kJoin;
+  node->method = method;
+  node->left = std::move(left);
+  node->right = std::move(right);
+  node->join_predicates = std::move(predicates);
+  return node;
+}
+
+namespace {
+
+void PlanToStringImpl(const PlanNode& node, const Catalog& catalog,
+                      const QuerySpec& spec, int depth, std::ostream& os) {
+  os << std::string(depth * 2, ' ');
+  if (node.kind == PlanNode::Kind::kScan) {
+    os << "Scan " << spec.tables[node.table_index].alias;
+    if (!node.filter.empty()) {
+      os << " (";
+      for (size_t i = 0; i < node.filter.size(); ++i) {
+        if (i > 0) os << " AND ";
+        os << spec.PredicateToString(catalog, node.filter[i]);
+      }
+      os << ")";
+    }
+  } else {
+    os << JoinMethodName(node.method) << "Join on ";
+    for (size_t i = 0; i < node.join_predicates.size(); ++i) {
+      if (i > 0) os << " AND ";
+      os << spec.PredicateToString(catalog, node.join_predicates[i]);
+    }
+  }
+  os << " [est " << FormatNumber(node.estimated_rows) << " rows, cost "
+     << FormatNumber(node.estimated_cost) << "]\n";
+  if (node.left != nullptr) {
+    PlanToStringImpl(*node.left, catalog, spec, depth + 1, os);
+  }
+  if (node.right != nullptr) {
+    PlanToStringImpl(*node.right, catalog, spec, depth + 1, os);
+  }
+}
+
+void JoinOrderStringImpl(const PlanNode& node, const Catalog& catalog,
+                         const QuerySpec& spec, bool parenthesise,
+                         std::ostream& os) {
+  if (node.kind == PlanNode::Kind::kScan) {
+    os << spec.tables[node.table_index].alias;
+    return;
+  }
+  if (parenthesise) os << "(";
+  JoinOrderStringImpl(*node.left, catalog, spec, /*parenthesise=*/false, os);
+  os << " x ";
+  JoinOrderStringImpl(*node.right, catalog, spec,
+                      node.right->kind == PlanNode::Kind::kJoin, os);
+  if (parenthesise) os << ")";
+}
+
+}  // namespace
+
+std::string PlanToString(const PlanNode& node, const Catalog& catalog,
+                         const QuerySpec& spec) {
+  std::ostringstream oss;
+  PlanToStringImpl(node, catalog, spec, 0, oss);
+  return oss.str();
+}
+
+std::string JoinOrderString(const PlanNode& node, const Catalog& catalog,
+                            const QuerySpec& spec) {
+  std::ostringstream oss;
+  JoinOrderStringImpl(node, catalog, spec, /*parenthesise=*/false, oss);
+  return oss.str();
+}
+
+namespace {
+
+void LeafOrderImpl(const PlanNode& node, std::vector<int>& out) {
+  if (node.kind == PlanNode::Kind::kScan) {
+    out.push_back(node.table_index);
+    return;
+  }
+  LeafOrderImpl(*node.left, out);
+  LeafOrderImpl(*node.right, out);
+}
+
+void IntermediateEstimatesImpl(const PlanNode& node,
+                               std::vector<double>& out) {
+  if (node.kind == PlanNode::Kind::kScan) return;
+  IntermediateEstimatesImpl(*node.left, out);
+  IntermediateEstimatesImpl(*node.right, out);
+  out.push_back(node.estimated_rows);
+}
+
+}  // namespace
+
+std::vector<int> PlanLeafOrder(const PlanNode& node) {
+  std::vector<int> out;
+  LeafOrderImpl(node, out);
+  return out;
+}
+
+std::vector<double> PlanIntermediateEstimates(const PlanNode& node) {
+  std::vector<double> out;
+  IntermediateEstimatesImpl(node, out);
+  return out;
+}
+
+}  // namespace joinest

@@ -1,0 +1,87 @@
+// Physical query plans.
+//
+// A plan is a binary tree of scans and joins, annotated with the optimizer's
+// estimates; the root is implicitly topped by the query's projection or
+// COUNT(*). Plans are produced by the optimizer and compiled to operator
+// trees by executor/compile.h.
+
+#ifndef JOINEST_EXECUTOR_PLAN_H_
+#define JOINEST_EXECUTOR_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/predicate.h"
+#include "query/query_spec.h"
+#include "storage/catalog.h"
+
+namespace joinest {
+
+enum class JoinMethod {
+  // Tuple nested loops: inner re-scanned per outer row (the 1994 method).
+  kNestedLoop,
+  // Block nested loops: inner materialised once, then scanned from memory
+  // per outer row. Not in the optimizer's default repertoire — enabling it
+  // is the "modern engine" ablation that rescues mis-estimated plans from
+  // the §8 re-scan catastrophe (see OptimizerOptions::methods).
+  kBlockNestedLoop,
+  kHash,
+  kSortMerge,
+  kIndexNestedLoop,
+};
+
+const char* JoinMethodName(JoinMethod method);
+
+struct PlanNode {
+  enum class Kind { kScan, kJoin };
+
+  Kind kind = Kind::kScan;
+
+  // kScan: which query-local table, plus the local predicates pushed into
+  // the scan.
+  int table_index = -1;
+  std::vector<Predicate> filter;
+
+  // kJoin.
+  JoinMethod method = JoinMethod::kHash;
+  std::unique_ptr<PlanNode> left;
+  std::unique_ptr<PlanNode> right;
+  std::vector<Predicate> join_predicates;
+
+  // Optimizer annotations.
+  double estimated_rows = 0;
+  double estimated_cost = 0;
+
+  std::unique_ptr<PlanNode> Clone() const;
+};
+
+std::unique_ptr<PlanNode> MakeScanNode(int table_index,
+                                       std::vector<Predicate> filter);
+std::unique_ptr<PlanNode> MakeJoinNode(JoinMethod method,
+                                       std::unique_ptr<PlanNode> left,
+                                       std::unique_ptr<PlanNode> right,
+                                       std::vector<Predicate> predicates);
+
+// Indented tree rendering with estimates, e.g.
+//   HashJoin [est 100]
+//     Scan S (s < 100) [est 100]
+//     Scan M (m < 100) [est 100]
+std::string PlanToString(const PlanNode& node, const Catalog& catalog,
+                         const QuerySpec& spec);
+
+// "B ⨝ G ⨝ M ⨝ S": leaf aliases of a left-deep plan, in join order. For a
+// bushy plan, parenthesised.
+std::string JoinOrderString(const PlanNode& node, const Catalog& catalog,
+                            const QuerySpec& spec);
+
+// The table indexes of the plan's leaves, left to right.
+std::vector<int> PlanLeafOrder(const PlanNode& node);
+
+// Estimated rows after each join, bottom-up left-deep reading (matches the
+// paper's "Estimated Result Sizes" column).
+std::vector<double> PlanIntermediateEstimates(const PlanNode& node);
+
+}  // namespace joinest
+
+#endif  // JOINEST_EXECUTOR_PLAN_H_

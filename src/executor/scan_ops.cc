@@ -1,0 +1,187 @@
+#include "executor/scan_ops.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "executor/eval.h"
+
+namespace joinest {
+
+SeqScanOperator::SeqScanOperator(const Table& table, int table_index)
+    : table_(table) {
+  for (int c = 0; c < table.num_columns(); ++c) {
+    layout_.push_back(ColumnRef{table_index, c});
+  }
+}
+
+void SeqScanOperator::Open() { cursor_ = 0; }
+
+bool SeqScanOperator::Next(Row& row) {
+  if (cursor_ >= table_.num_rows()) return false;
+  row.clear();
+  row.reserve(table_.num_columns());
+  for (int c = 0; c < table_.num_columns(); ++c) {
+    row.push_back(table_.at(cursor_, c));
+  }
+  ++cursor_;
+  ++rows_produced_;
+  return true;
+}
+
+void SeqScanOperator::Close() {}
+
+FilterOperator::FilterOperator(std::unique_ptr<Operator> child,
+                               std::vector<Predicate> predicates)
+    : child_(std::move(child)), predicates_(std::move(predicates)) {
+  layout_ = child_->layout();
+  for (const Predicate& p : predicates_) {
+    JOINEST_CHECK(p.kind != Predicate::Kind::kJoin)
+        << "FilterOperator handles local predicates only";
+    const int left = FindInLayout(layout_, p.left);
+    JOINEST_CHECK_GE(left, 0) << "filter column missing from child layout";
+    left_pos_.push_back(left);
+    if (p.kind == Predicate::Kind::kLocalColCol) {
+      const int right = FindInLayout(layout_, p.right);
+      JOINEST_CHECK_GE(right, 0) << "filter column missing from child layout";
+      right_pos_.push_back(right);
+    } else {
+      right_pos_.push_back(-1);
+    }
+  }
+}
+
+void FilterOperator::Open() { child_->Open(); }
+
+bool FilterOperator::Next(Row& row) {
+  while (child_->Next(row)) {
+    bool pass = true;
+    for (size_t i = 0; i < predicates_.size(); ++i) {
+      const Predicate& p = predicates_[i];
+      const Value& left = row[left_pos_[i]];
+      const Value& right = p.kind == Predicate::Kind::kLocalConst
+                               ? p.constant
+                               : row[right_pos_[i]];
+      if (!EvalCompare(left, p.op, right)) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) {
+      ++rows_produced_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void FilterOperator::Close() { child_->Close(); }
+
+ProjectOperator::ProjectOperator(std::unique_ptr<Operator> child,
+                                 std::vector<ColumnRef> columns)
+    : child_(std::move(child)) {
+  for (ColumnRef ref : columns) {
+    const int pos = FindInLayout(child_->layout(), ref);
+    JOINEST_CHECK_GE(pos, 0) << "projected column missing from child layout";
+    positions_.push_back(pos);
+    layout_.push_back(ref);
+  }
+}
+
+void ProjectOperator::Open() { child_->Open(); }
+
+bool ProjectOperator::Next(Row& row) {
+  Row input;
+  if (!child_->Next(input)) return false;
+  row.clear();
+  row.reserve(positions_.size());
+  for (int pos : positions_) row.push_back(std::move(input[pos]));
+  ++rows_produced_;
+  return true;
+}
+
+void ProjectOperator::Close() { child_->Close(); }
+
+CountAggOperator::CountAggOperator(std::unique_ptr<Operator> child)
+    : child_(std::move(child)) {
+  layout_ = {};  // COUNT(*) has no column identity.
+}
+
+void CountAggOperator::Open() {
+  child_->Open();
+  done_ = false;
+}
+
+bool CountAggOperator::Next(Row& row) {
+  if (done_) return false;
+  int64_t count = 0;
+  Row input;
+  while (child_->Next(input)) ++count;
+  row.clear();
+  row.push_back(Value(count));
+  done_ = true;
+  ++rows_produced_;
+  return true;
+}
+
+void CountAggOperator::Close() { child_->Close(); }
+
+GroupCountOperator::GroupCountOperator(std::unique_ptr<Operator> child,
+                                       std::vector<ColumnRef> group_columns)
+    : child_(std::move(child)) {
+  JOINEST_CHECK(!group_columns.empty());
+  for (ColumnRef ref : group_columns) {
+    const int pos = FindInLayout(child_->layout(), ref);
+    JOINEST_CHECK_GE(pos, 0) << "group column missing from child layout";
+    positions_.push_back(pos);
+    layout_.push_back(ref);
+  }
+  // The trailing COUNT(*) column has no catalog identity.
+  layout_.push_back(ColumnRef{-1, -1});
+}
+
+void GroupCountOperator::Open() {
+  child_->Open();
+  aggregated_ = false;
+  results_.clear();
+  cursor_ = 0;
+}
+
+bool GroupCountOperator::Next(Row& row) {
+  if (!aggregated_) {
+    struct KeyHash {
+      size_t operator()(const Row& key) const {
+        size_t h = 0x9e3779b97f4a7c15ull;
+        for (const Value& v : key) {
+          h ^= v.Hash() + 0x9e3779b97f4a7c15ull + (h << 6);
+        }
+        return h;
+      }
+    };
+    std::unordered_map<Row, int64_t, KeyHash> groups;
+    Row input;
+    while (child_->Next(input)) {
+      Row key;
+      key.reserve(positions_.size());
+      for (int pos : positions_) key.push_back(input[pos]);
+      ++groups[std::move(key)];
+    }
+    results_.reserve(groups.size());
+    for (auto& [key, count] : groups) {
+      Row out = key;
+      out.push_back(Value(count));
+      results_.push_back(std::move(out));
+    }
+    aggregated_ = true;
+  }
+  if (cursor_ >= results_.size()) return false;
+  row = results_[cursor_++];
+  ++rows_produced_;
+  return true;
+}
+
+void GroupCountOperator::Close() {
+  child_->Close();
+  results_.clear();
+}
+
+}  // namespace joinest

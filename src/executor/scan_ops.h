@@ -1,0 +1,109 @@
+// Leaf and unary operators: sequential scan, filter, projection, COUNT(*).
+
+#ifndef JOINEST_EXECUTOR_SCAN_OPS_H_
+#define JOINEST_EXECUTOR_SCAN_OPS_H_
+
+#include <memory>
+#include <vector>
+
+#include "executor/operator.h"
+#include "query/predicate.h"
+#include "storage/table.h"
+
+namespace joinest {
+
+// Scans all rows of a base table. Output layout: ColumnRef{table_index, c}
+// for every column c.
+class SeqScanOperator : public Operator {
+ public:
+  // `table` must outlive the operator.
+  SeqScanOperator(const Table& table, int table_index);
+
+  void Open() override;
+  bool Next(Row& row) override;
+  void Close() override;
+  std::string name() const override { return "SeqScan"; }
+
+ private:
+  const Table& table_;
+  int64_t cursor_ = 0;
+};
+
+// Filters child rows by a conjunction of local predicates (kLocalConst or
+// kLocalColCol); all referenced columns must be present in the child layout.
+class FilterOperator : public Operator {
+ public:
+  FilterOperator(std::unique_ptr<Operator> child,
+                 std::vector<Predicate> predicates);
+
+  void Open() override;
+  bool Next(Row& row) override;
+  void Close() override;
+  std::string name() const override { return "Filter"; }
+
+  const Operator& child() const { return *child_; }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  std::vector<Predicate> predicates_;
+  // Resolved operand positions, parallel to predicates_: left position and
+  // (for col-col) right position.
+  std::vector<int> left_pos_;
+  std::vector<int> right_pos_;
+};
+
+// Projects child rows onto a subset of columns.
+class ProjectOperator : public Operator {
+ public:
+  ProjectOperator(std::unique_ptr<Operator> child,
+                  std::vector<ColumnRef> columns);
+
+  void Open() override;
+  bool Next(Row& row) override;
+  void Close() override;
+  std::string name() const override { return "Project"; }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  std::vector<int> positions_;
+};
+
+// Consumes the child and emits one row holding COUNT(*).
+class CountAggOperator : public Operator {
+ public:
+  explicit CountAggOperator(std::unique_ptr<Operator> child);
+
+  void Open() override;
+  bool Next(Row& row) override;
+  void Close() override;
+  std::string name() const override { return "CountAgg"; }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  bool done_ = false;
+};
+
+// Hash aggregation: GROUP BY <columns> with COUNT(*). Consumes the child on
+// the first Next, then emits one row per group — the group key values
+// followed by the group's count. Output order is unspecified.
+class GroupCountOperator : public Operator {
+ public:
+  GroupCountOperator(std::unique_ptr<Operator> child,
+                     std::vector<ColumnRef> group_columns);
+
+  void Open() override;
+  bool Next(Row& row) override;
+  void Close() override;
+  std::string name() const override { return "GroupCount"; }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  std::vector<int> positions_;
+  bool aggregated_ = false;
+  std::vector<Row> results_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace joinest
+
+#endif  // JOINEST_EXECUTOR_SCAN_OPS_H_

@@ -1,0 +1,54 @@
+#include "optimizer/cost_model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace joinest {
+
+namespace {
+
+double SortCost(const CostParams& params, double rows) {
+  if (rows <= 1) return 0;
+  return params.sort_factor * rows * std::log2(rows + 1);
+}
+
+}  // namespace
+
+double ScanCost(const CostParams& params, double raw_rows, int num_filters) {
+  return raw_rows * (params.scan_tuple_cost +
+                     params.filter_cost * static_cast<double>(num_filters));
+}
+
+double JoinStepCost(const CostParams& params, JoinMethod method,
+                    double outer_rows, double inner_rows,
+                    double inner_scan_cost, double inner_raw_rows,
+                    double output_rows) {
+  const double output = output_rows * params.output_tuple_cost;
+  switch (method) {
+    case JoinMethod::kNestedLoop:
+      // The inner input is re-produced for every outer row.
+      return outer_rows * inner_scan_cost +
+             outer_rows * inner_rows * params.compare_cost + output;
+    case JoinMethod::kBlockNestedLoop:
+      // The inner input is produced and buffered once.
+      return inner_scan_cost +
+             outer_rows * inner_rows * params.compare_cost + output;
+    case JoinMethod::kHash:
+      return inner_scan_cost + inner_rows * params.hash_build_cost +
+             outer_rows * params.hash_probe_cost + output;
+    case JoinMethod::kSortMerge:
+      return inner_scan_cost + SortCost(params, outer_rows) +
+             SortCost(params, inner_rows) +
+             (outer_rows + inner_rows) * params.merge_cost + output;
+    case JoinMethod::kIndexNestedLoop:
+      // Index built over the unfiltered base table; residual filters are
+      // folded into the probe constant.
+      return inner_raw_rows * params.index_build_cost +
+             outer_rows * params.index_probe_cost + output;
+  }
+  JOINEST_CHECK(false) << "unknown join method";
+  return 0;
+}
+
+}  // namespace joinest

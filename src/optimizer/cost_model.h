@@ -1,0 +1,53 @@
+// Cost model for physical plans.
+//
+// Costs are abstract work units roughly proportional to tuples touched —
+// appropriate for an in-memory executor (the 1994 original charged page
+// I/Os; the *relative* ordering of plan alternatives is what matters for
+// reproducing the experiment). All cardinalities entering the model are the
+// optimizer's ESTIMATES; feeding it wrong estimates is precisely how the
+// paper's bad plans get chosen.
+//
+// Method formulas (outer estimate e_o, inner base-table raw rows n_i, inner
+// post-filter estimate e_i, inner production cost c_i, output e_out):
+//   NestedLoop : e_o × c_i + e_o × e_i × compare (inner re-produced per row)
+//   BlockNL    : c_i + e_o × e_i × compare       (inner materialised once)
+//   Hash       : c_i + e_i × build + e_o × probe
+//   SortMerge  : c_i + sort(e_o) + sort(e_i) + merge(e_o + e_i)
+//   IndexNL    : n_i × index_build + e_o × probe (index over raw table)
+// plus e_out × output for every method.
+
+#ifndef JOINEST_OPTIMIZER_COST_MODEL_H_
+#define JOINEST_OPTIMIZER_COST_MODEL_H_
+
+#include "executor/plan.h"
+
+namespace joinest {
+
+struct CostParams {
+  double scan_tuple_cost = 1.0;    // Reading one tuple off a base table.
+  double filter_cost = 0.2;        // Evaluating one predicate on one tuple.
+  double compare_cost = 0.5;       // One NLJ key comparison.
+  double hash_build_cost = 2.0;    // Inserting one tuple into a hash table.
+  double hash_probe_cost = 1.0;    // One hash probe.
+  double sort_factor = 1.0;        // × n log2(n+1) to sort n tuples.
+  double merge_cost = 0.5;         // One step of the merge phase.
+  double index_build_cost = 2.0;   // Indexing one inner tuple.
+  double index_probe_cost = 1.5;   // One index probe.
+  double output_tuple_cost = 1.0;  // Emitting one join output tuple.
+};
+
+// Cost of scanning a base table of `raw_rows` rows through `num_filters`
+// pushed predicates.
+double ScanCost(const CostParams& params, double raw_rows, int num_filters);
+
+// Cost of one join step, EXCLUDING child costs. `inner_scan_cost` is the
+// full cost of producing the inner input once (used by NL, which pays it per
+// outer row, and by Hash/SortMerge, which pay it once).
+double JoinStepCost(const CostParams& params, JoinMethod method,
+                    double outer_rows, double inner_rows,
+                    double inner_scan_cost, double inner_raw_rows,
+                    double output_rows);
+
+}  // namespace joinest
+
+#endif  // JOINEST_OPTIMIZER_COST_MODEL_H_

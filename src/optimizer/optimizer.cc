@@ -1,0 +1,488 @@
+#include "optimizer/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace joinest {
+
+namespace {
+
+// Everything the enumerators need about one base table.
+struct ScanInfo {
+  std::vector<Predicate> filter;
+  double raw_rows = 0;
+  double est_rows = 0;
+  double scan_cost = 0;
+};
+
+struct SearchState {
+  const Catalog* catalog;
+  const QuerySpec* spec;
+  const OptimizerOptions* options;
+  const AnalyzedQuery* analyzed;
+  std::vector<ScanInfo> scans;
+};
+
+std::unique_ptr<PlanNode> MakeAnnotatedScan(const SearchState& state, int t) {
+  auto node = MakeScanNode(t, state.scans[t].filter);
+  node->estimated_rows = state.scans[t].est_rows;
+  node->estimated_cost = state.scans[t].scan_cost;
+  return node;
+}
+
+// Best (cost, method) for joining an outer composite with an inner input of
+// `inner_rows` estimated rows, producible once at `inner_cost`. When the
+// inner is a base-table scan, `inner_raw_rows` is its unfiltered size
+// (enables index nested loops); pass a negative value for composite inners.
+// Returns +inf cost if no method applies.
+std::pair<double, JoinMethod> BestJoinMethodGeneric(
+    const SearchState& state, double outer_rows, double inner_rows,
+    double inner_cost, double inner_raw_rows, bool has_keys,
+    double out_rows) {
+  double best_cost = std::numeric_limits<double>::infinity();
+  JoinMethod best_method = JoinMethod::kNestedLoop;
+  for (JoinMethod method : state.options->methods) {
+    if (!has_keys && method != JoinMethod::kNestedLoop &&
+        method != JoinMethod::kBlockNestedLoop) {
+      continue;  // Only the nested-loop variants run cartesian products.
+    }
+    if (method == JoinMethod::kIndexNestedLoop && inner_raw_rows < 0) {
+      continue;  // Index joins need a base table to index.
+    }
+    const double cost =
+        JoinStepCost(state.options->cost, method, outer_rows, inner_rows,
+                     inner_cost, inner_raw_rows, out_rows);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_method = method;
+    }
+  }
+  return {best_cost, best_method};
+}
+
+// Left-deep special case: the inner is base table `t`.
+std::pair<double, JoinMethod> BestJoinMethod(const SearchState& state, int t,
+                                             double outer_rows,
+                                             double out_rows,
+                                             bool has_keys) {
+  return BestJoinMethodGeneric(state, outer_rows, state.scans[t].est_rows,
+                               state.scans[t].scan_cost,
+                               state.scans[t].raw_rows, has_keys, out_rows);
+}
+
+struct Candidate {
+  bool valid = false;
+  double cost = 0;
+  double rows = 0;
+  std::unique_ptr<PlanNode> plan;
+};
+
+// Extends `entry` (covering `mask`) with table `t`; returns the new
+// candidate, or invalid if no join method applies.
+Candidate Extend(const SearchState& state, uint64_t mask,
+                 const Candidate& entry, int t) {
+  Candidate result;
+  const double out_rows =
+      state.analyzed->JoinCardinality(mask, entry.rows, t);
+  std::vector<Predicate> eligible =
+      state.analyzed->EligiblePredicates(mask, t);
+  const auto [step_cost, method] =
+      BestJoinMethod(state, t, entry.rows, out_rows, !eligible.empty());
+  if (!std::isfinite(step_cost)) return result;
+  result.valid = true;
+  result.rows = out_rows;
+  result.cost = entry.cost + step_cost;
+  result.plan = MakeJoinNode(method, entry.plan->Clone(),
+                             MakeAnnotatedScan(state, t), std::move(eligible));
+  result.plan->estimated_rows = out_rows;
+  result.plan->estimated_cost = result.cost;
+  return result;
+}
+
+StatusOr<OptimizedPlan> FinishPlan(const SearchState& state,
+                                   Candidate entry) {
+  OptimizedPlan plan;
+  plan.estimated_cost = entry.cost;
+  plan.estimated_rows = entry.rows;
+  plan.join_order = PlanLeafOrder(*entry.plan);
+  plan.intermediate_estimates = PlanIntermediateEstimates(*entry.plan);
+  plan.root = std::move(entry.plan);
+  return plan;
+}
+
+// Selinger-style DP over table subsets, left-deep plans only.
+StatusOr<OptimizedPlan> OptimizeDp(const SearchState& state) {
+  const int n = state.spec->num_tables();
+  std::vector<Candidate> dp(uint64_t{1} << n);
+  for (int t = 0; t < n; ++t) {
+    Candidate& entry = dp[uint64_t{1} << t];
+    entry.valid = true;
+    entry.rows = state.scans[t].est_rows;
+    entry.cost = state.scans[t].scan_cost;
+    entry.plan = MakeAnnotatedScan(state, t);
+  }
+  const uint64_t full = (uint64_t{1} << n) - 1;
+  for (uint64_t mask = 1; mask <= full; ++mask) {
+    const Candidate& entry = dp[mask];
+    if (!entry.valid) continue;
+    // Prefer connected extensions; allow cartesian only if this composite
+    // has none (disconnected join graph).
+    std::vector<int> candidates;
+    for (int t = 0; t < n; ++t) {
+      if ((mask >> t) & 1) continue;
+      if (!state.options->avoid_cartesian ||
+          state.analyzed->HasEligiblePredicate(mask, t)) {
+        candidates.push_back(t);
+      }
+    }
+    if (candidates.empty()) {
+      for (int t = 0; t < n; ++t) {
+        if (!((mask >> t) & 1)) candidates.push_back(t);
+      }
+    }
+    for (int t : candidates) {
+      Candidate extended = Extend(state, mask, entry, t);
+      if (!extended.valid) continue;
+      Candidate& slot = dp[mask | (uint64_t{1} << t)];
+      if (!slot.valid || extended.cost < slot.cost) slot = std::move(extended);
+    }
+  }
+  Candidate& final_entry = dp[full];
+  if (!final_entry.valid) {
+    return Internal("dynamic programming found no complete plan");
+  }
+  return FinishPlan(state, std::move(final_entry));
+}
+
+// Bushy DP (DPsub): for every table subset, consider every split into two
+// disjoint composites. O(3^n) candidate splits.
+StatusOr<OptimizedPlan> OptimizeDpBushy(const SearchState& state) {
+  const int n = state.spec->num_tables();
+  std::vector<Candidate> dp(uint64_t{1} << n);
+  for (int t = 0; t < n; ++t) {
+    Candidate& entry = dp[uint64_t{1} << t];
+    entry.valid = true;
+    entry.rows = state.scans[t].est_rows;
+    entry.cost = state.scans[t].scan_cost;
+    entry.plan = MakeAnnotatedScan(state, t);
+  }
+  const uint64_t full = (uint64_t{1} << n) - 1;
+  for (uint64_t mask = 3; mask <= full; ++mask) {
+    if ((mask & (mask - 1)) == 0) continue;  // Single table.
+    // Two passes: connected splits first; cartesian only if none produced
+    // a plan (disconnected sub-queries).
+    for (const bool allow_cartesian : {false, true}) {
+      if (allow_cartesian &&
+          (dp[mask].valid || !state.options->avoid_cartesian)) {
+        break;
+      }
+      for (uint64_t outer = (mask - 1) & mask; outer != 0;
+           outer = (outer - 1) & mask) {
+        const uint64_t inner = mask ^ outer;
+        const Candidate& outer_entry = dp[outer];
+        const Candidate& inner_entry = dp[inner];
+        if (!outer_entry.valid || !inner_entry.valid) continue;
+        std::vector<Predicate> eligible =
+            state.analyzed->EligiblePredicatesBetween(outer, inner);
+        if (eligible.empty() && !allow_cartesian &&
+            state.options->avoid_cartesian) {
+          continue;
+        }
+        const double out_rows = state.analyzed->JoinComposites(
+            outer, outer_entry.rows, inner, inner_entry.rows);
+        // Index joins need the inner to be a bare base-table scan.
+        const bool inner_is_scan =
+            inner_entry.plan->kind == PlanNode::Kind::kScan;
+        const double inner_raw =
+            inner_is_scan
+                ? state.scans[inner_entry.plan->table_index].raw_rows
+                : -1.0;
+        const auto [step_cost, method] = BestJoinMethodGeneric(
+            state, outer_entry.rows, inner_entry.rows, inner_entry.cost,
+            inner_raw, !eligible.empty(), out_rows);
+        if (!std::isfinite(step_cost)) continue;
+        const double total = outer_entry.cost + step_cost;
+        Candidate& slot = dp[mask];
+        if (!slot.valid || total < slot.cost) {
+          slot.valid = true;
+          slot.cost = total;
+          slot.rows = out_rows;
+          slot.plan =
+              MakeJoinNode(method, outer_entry.plan->Clone(),
+                           inner_entry.plan->Clone(), std::move(eligible));
+          slot.plan->estimated_rows = out_rows;
+          slot.plan->estimated_cost = total;
+        }
+      }
+    }
+  }
+  Candidate& final_entry = dp[full];
+  if (!final_entry.valid) {
+    return Internal("bushy dynamic programming found no complete plan");
+  }
+  return FinishPlan(state, std::move(final_entry));
+}
+
+// ---- Randomized enumerators (II / SA) over left-deep join orders.
+
+// Cost/rows of one fixed left-deep order, without materialising plan nodes
+// (the randomized inner loops evaluate thousands of orders).
+struct OrderCost {
+  bool valid = false;
+  double cost = 0;
+  double rows = 0;
+};
+
+OrderCost CostOfOrder(const SearchState& state,
+                      const std::vector<int>& order) {
+  OrderCost result;
+  uint64_t mask = uint64_t{1} << order[0];
+  double rows = state.scans[order[0]].est_rows;
+  double cost = state.scans[order[0]].scan_cost;
+  for (size_t i = 1; i < order.size(); ++i) {
+    const int t = order[i];
+    const double out_rows = state.analyzed->JoinCardinality(mask, rows, t);
+    const bool has_keys = state.analyzed->HasEligiblePredicate(mask, t);
+    const auto [step_cost, method] =
+        BestJoinMethod(state, t, rows, out_rows, has_keys);
+    (void)method;
+    if (!std::isfinite(step_cost)) return result;
+    cost += step_cost;
+    rows = out_rows;
+    mask |= uint64_t{1} << t;
+  }
+  result.valid = true;
+  result.cost = cost;
+  result.rows = rows;
+  return result;
+}
+
+// Materialises the plan for a fixed order (used once, on the winner).
+Candidate BuildPlanForOrder(const SearchState& state,
+                            const std::vector<int>& order) {
+  Candidate entry;
+  entry.valid = true;
+  entry.rows = state.scans[order[0]].est_rows;
+  entry.cost = state.scans[order[0]].scan_cost;
+  entry.plan = MakeAnnotatedScan(state, order[0]);
+  uint64_t mask = uint64_t{1} << order[0];
+  for (size_t i = 1; i < order.size(); ++i) {
+    Candidate extended = Extend(state, mask, entry, order[i]);
+    JOINEST_CHECK(extended.valid) << "order became infeasible";
+    entry = std::move(extended);
+    mask |= uint64_t{1} << order[i];
+  }
+  return entry;
+}
+
+// Iterative Improvement: random restarts, each descending by random swap
+// moves until the move budget is exhausted.
+StatusOr<OptimizedPlan> OptimizeIterativeImprovement(
+    const SearchState& state) {
+  const int n = state.spec->num_tables();
+  const auto& knobs = state.options->randomized;
+  Rng rng(knobs.seed);
+  std::vector<int> best_order;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (int restart = 0; restart < knobs.restarts; ++restart) {
+    std::vector<int> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    for (int i = n - 1; i > 0; --i) {
+      std::swap(order[i], order[rng.NextBounded(i + 1)]);
+    }
+    OrderCost current = CostOfOrder(state, order);
+    if (!current.valid) continue;
+    for (int move = 0; move < knobs.max_moves; ++move) {
+      const int a = static_cast<int>(rng.NextBounded(n));
+      const int b = static_cast<int>(rng.NextBounded(n));
+      if (a == b) continue;
+      std::swap(order[a], order[b]);
+      const OrderCost proposal = CostOfOrder(state, order);
+      if (proposal.valid && proposal.cost < current.cost) {
+        current = proposal;  // Downhill move: keep.
+      } else {
+        std::swap(order[a], order[b]);  // Revert.
+      }
+    }
+    if (current.cost < best_cost) {
+      best_cost = current.cost;
+      best_order = order;
+    }
+  }
+  if (best_order.empty()) {
+    return Internal("iterative improvement found no feasible order");
+  }
+  return FinishPlan(state, BuildPlanForOrder(state, best_order));
+}
+
+// Simulated annealing with a geometric cooling schedule.
+StatusOr<OptimizedPlan> OptimizeSimulatedAnnealing(const SearchState& state) {
+  const int n = state.spec->num_tables();
+  const auto& knobs = state.options->randomized;
+  Rng rng(knobs.seed);
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  for (int i = n - 1; i > 0; --i) {
+    std::swap(order[i], order[rng.NextBounded(i + 1)]);
+  }
+  OrderCost current = CostOfOrder(state, order);
+  // A fully random start may be infeasible only if some method set forbids
+  // it; retry a few shuffles, then fall back to the identity order.
+  for (int attempt = 0; !current.valid && attempt < 8; ++attempt) {
+    for (int i = n - 1; i > 0; --i) {
+      std::swap(order[i], order[rng.NextBounded(i + 1)]);
+    }
+    current = CostOfOrder(state, order);
+  }
+  if (!current.valid) {
+    std::iota(order.begin(), order.end(), 0);
+    current = CostOfOrder(state, order);
+    if (!current.valid) {
+      return Internal("simulated annealing found no feasible order");
+    }
+  }
+  std::vector<int> best_order = order;
+  double best_cost = current.cost;
+  double temperature = knobs.initial_temperature * current.cost;
+  for (int move = 0; move < knobs.max_moves; ++move) {
+    const int a = static_cast<int>(rng.NextBounded(n));
+    const int b = static_cast<int>(rng.NextBounded(n));
+    if (a == b) continue;
+    std::swap(order[a], order[b]);
+    const OrderCost proposal = CostOfOrder(state, order);
+    bool accept = false;
+    if (proposal.valid) {
+      const double delta = proposal.cost - current.cost;
+      accept = delta < 0 ||
+               rng.NextDouble() < std::exp(-delta / std::max(temperature,
+                                                             1e-9));
+    }
+    if (accept) {
+      current = proposal;
+      if (current.cost < best_cost) {
+        best_cost = current.cost;
+        best_order = order;
+      }
+    } else {
+      std::swap(order[a], order[b]);
+    }
+    temperature *= knobs.cooling;
+  }
+  return FinishPlan(state, BuildPlanForOrder(state, best_order));
+}
+
+// Greedy minimum-result-size enumerator: O(n^2) plans considered.
+StatusOr<OptimizedPlan> OptimizeGreedy(const SearchState& state) {
+  const int n = state.spec->num_tables();
+  // Seed with the table whose effective cardinality is smallest — the
+  // classic heuristic starting point.
+  int seed = 0;
+  for (int t = 1; t < n; ++t) {
+    if (state.scans[t].est_rows < state.scans[seed].est_rows) seed = t;
+  }
+  Candidate current;
+  current.valid = true;
+  current.rows = state.scans[seed].est_rows;
+  current.cost = state.scans[seed].scan_cost;
+  current.plan = MakeAnnotatedScan(state, seed);
+  uint64_t mask = uint64_t{1} << seed;
+
+  for (int step = 1; step < n; ++step) {
+    int best_t = -1;
+    Candidate best;
+    bool best_connected = false;
+    for (int t = 0; t < n; ++t) {
+      if ((mask >> t) & 1) continue;
+      const bool connected = state.analyzed->HasEligiblePredicate(mask, t);
+      if (state.options->avoid_cartesian && best_connected && !connected) {
+        continue;
+      }
+      Candidate extended = Extend(state, mask, current, t);
+      if (!extended.valid) continue;
+      const bool better =
+          best_t < 0 ||
+          (connected && !best_connected) ||  // Connected beats cartesian.
+          (connected == best_connected &&
+           (extended.rows < best.rows ||
+            (extended.rows == best.rows && extended.cost < best.cost)));
+      if (better) {
+        best_t = t;
+        best = std::move(extended);
+        best_connected = connected;
+      }
+    }
+    if (best_t < 0) return Internal("greedy enumeration stuck");
+    current = std::move(best);
+    mask |= uint64_t{1} << best_t;
+  }
+  return FinishPlan(state, std::move(current));
+}
+
+}  // namespace
+
+StatusOr<OptimizedPlan> OptimizeQuery(const Catalog& catalog,
+                                      const QuerySpec& spec,
+                                      const OptimizerOptions& options) {
+  if (options.methods.empty()) {
+    return InvalidArgument("no join methods enabled");
+  }
+  JOINEST_ASSIGN_OR_RETURN(
+      AnalyzedQuery analyzed,
+      AnalyzedQuery::Create(catalog, spec, options.estimation));
+
+  SearchState state;
+  state.catalog = &catalog;
+  state.spec = &spec;
+  state.options = &options;
+  state.analyzed = &analyzed;
+
+  const int n = spec.num_tables();
+  state.scans.resize(n);
+  for (int t = 0; t < n; ++t) {
+    ScanInfo& scan = state.scans[t];
+    // Push the local predicates the rewrite produced. With PTC enabled this
+    // includes derived predicates (early selection — the reason PTC alone
+    // already improves plans); without it, only the user's own predicates.
+    for (const Predicate& p : analyzed.predicates()) {
+      if (p.kind != Predicate::Kind::kJoin && p.left.table == t) {
+        scan.filter.push_back(p);
+      }
+    }
+    scan.raw_rows = catalog.stats(spec.tables[t].catalog_id).row_count;
+    scan.est_rows = analyzed.BaseCardinality(t);
+    scan.scan_cost = ScanCost(options.cost, scan.raw_rows,
+                              static_cast<int>(scan.filter.size()));
+  }
+
+  if (n == 1) {
+    Candidate single;
+    single.valid = true;
+    single.rows = state.scans[0].est_rows;
+    single.cost = state.scans[0].scan_cost;
+    single.plan = MakeAnnotatedScan(state, 0);
+    return FinishPlan(state, std::move(single));
+  }
+
+  switch (options.enumerator) {
+    case OptimizerOptions::Enumerator::kGreedy:
+      return OptimizeGreedy(state);
+    case OptimizerOptions::Enumerator::kIterativeImprovement:
+      return OptimizeIterativeImprovement(state);
+    case OptimizerOptions::Enumerator::kSimulatedAnnealing:
+      return OptimizeSimulatedAnnealing(state);
+    case OptimizerOptions::Enumerator::kDynamicProgramming:
+      // DP space is 2^n (3^n bushy); beyond the caps fall back to the
+      // polynomial greedy enumerator (documented behaviour).
+      if (options.allow_bushy && n <= 13) return OptimizeDpBushy(state);
+      if (n > 16) return OptimizeGreedy(state);
+      return OptimizeDp(state);
+  }
+  return Internal("unknown enumerator");
+}
+
+}  // namespace joinest

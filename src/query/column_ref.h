@@ -1,0 +1,38 @@
+// A reference to a column of one of the tables in a query.
+//
+// `table` is the query-local table index (position in QuerySpec::tables),
+// NOT the catalog table id: the rewrite engine and optimizer key everything
+// by query-local index so table subsets pack into bitmasks.
+
+#ifndef JOINEST_QUERY_COLUMN_REF_H_
+#define JOINEST_QUERY_COLUMN_REF_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace joinest {
+
+struct ColumnRef {
+  int table = -1;   // Query-local table index.
+  int column = -1;  // Column index within that table's schema.
+
+  bool operator==(const ColumnRef& other) const {
+    return table == other.table && column == other.column;
+  }
+  bool operator!=(const ColumnRef& other) const { return !(*this == other); }
+  // Lexicographic; used to canonicalise predicate operand order.
+  bool operator<(const ColumnRef& other) const {
+    return table != other.table ? table < other.table : column < other.column;
+  }
+};
+
+struct ColumnRefHash {
+  size_t operator()(const ColumnRef& ref) const {
+    return std::hash<int64_t>()((static_cast<int64_t>(ref.table) << 32) ^
+                                static_cast<uint32_t>(ref.column));
+  }
+};
+
+}  // namespace joinest
+
+#endif  // JOINEST_QUERY_COLUMN_REF_H_

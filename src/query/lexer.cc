@@ -1,0 +1,120 @@
+#include "query/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace joinest {
+
+bool Token::IsKeyword(const std::string& keyword) const {
+  if (kind != TokenKind::kIdentifier || text.size() != keyword.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(text[i])) !=
+        std::toupper(static_cast<unsigned char>(keyword[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+StatusOr<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.position = static_cast<int>(i);
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '_')) {
+        ++j;
+      }
+      token.kind = TokenKind::kIdentifier;
+      token.text = input.substr(i, j - i);
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t j = i + 1;
+      bool is_float = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '.' || input[j] == 'e' || input[j] == 'E' ||
+                       ((input[j] == '+' || input[j] == '-') &&
+                        (input[j - 1] == 'e' || input[j - 1] == 'E')))) {
+        if (input[j] == '.' || input[j] == 'e' || input[j] == 'E') {
+          is_float = true;
+        }
+        ++j;
+      }
+      const std::string text = input.substr(i, j - i);
+      if (is_float) {
+        token.kind = TokenKind::kFloat;
+        token.float_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        token.kind = TokenKind::kInteger;
+        token.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      token.text = text;
+      i = j;
+    } else if (c == '\'') {
+      size_t j = i + 1;
+      std::string body;
+      while (j < n && input[j] != '\'') body += input[j++];
+      if (j >= n) {
+        return InvalidArgument("unterminated string literal at offset " +
+                               std::to_string(i));
+      }
+      token.kind = TokenKind::kString;
+      token.text = body;
+      i = j + 1;
+    } else if (c == '<') {
+      token.kind = TokenKind::kSymbol;
+      if (i + 1 < n && input[i + 1] == '=') {
+        token.text = "<=";
+        i += 2;
+      } else if (i + 1 < n && input[i + 1] == '>') {
+        token.text = "<>";
+        i += 2;
+      } else {
+        token.text = "<";
+        ++i;
+      }
+    } else if (c == '>') {
+      token.kind = TokenKind::kSymbol;
+      if (i + 1 < n && input[i + 1] == '=') {
+        token.text = ">=";
+        i += 2;
+      } else {
+        token.text = ">";
+        ++i;
+      }
+    } else if (c == '!' && i + 1 < n && input[i + 1] == '=') {
+      token.kind = TokenKind::kSymbol;
+      token.text = "<>";  // Normalise != to <>.
+      i += 2;
+    } else if (c == '(' || c == ')' || c == ',' || c == '.' || c == '*' ||
+               c == '=') {
+      token.kind = TokenKind::kSymbol;
+      token.text = std::string(1, c);
+      ++i;
+    } else {
+      return InvalidArgument(std::string("unexpected character '") + c +
+                             "' at offset " + std::to_string(i));
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = static_cast<int>(n);
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace joinest

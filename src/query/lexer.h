@@ -1,0 +1,43 @@
+// Tokenizer for the SQL subset accepted by query/parser.h.
+
+#ifndef JOINEST_QUERY_LEXER_H_
+#define JOINEST_QUERY_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace joinest {
+
+enum class TokenKind {
+  kIdentifier,  // Bare word, case preserved; keywords matched case-insensitively.
+  kInteger,
+  kFloat,
+  kString,  // 'single quoted'
+  kSymbol,  // One of ( ) , . * = <> < <= > >=
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;      // Identifier/symbol text, or string literal body.
+  int64_t int_value = 0;
+  double float_value = 0;
+  int position = 0;  // Byte offset in the input, for error messages.
+
+  // Case-insensitive keyword match for identifiers.
+  bool IsKeyword(const std::string& keyword) const;
+  bool IsSymbol(const std::string& symbol) const {
+    return kind == TokenKind::kSymbol && text == symbol;
+  }
+};
+
+// Tokenizes `input`, appending a kEnd token. Errors on unterminated strings
+// and unexpected characters.
+StatusOr<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace joinest
+
+#endif  // JOINEST_QUERY_LEXER_H_

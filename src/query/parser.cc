@@ -1,0 +1,301 @@
+#include "query/parser.h"
+
+#include <optional>
+#include <utility>
+
+#include "query/lexer.h"
+
+namespace joinest {
+
+namespace {
+
+// Either a column reference or a literal; the two operand shapes of a
+// conjunct.
+struct Operand {
+  std::optional<ColumnRef> column;
+  std::optional<Value> literal;
+};
+
+class Parser {
+ public:
+  Parser(const Catalog& catalog, std::vector<Token> tokens)
+      : catalog_(catalog), tokens_(std::move(tokens)) {}
+
+  StatusOr<QuerySpec> Parse() {
+    QuerySpec spec;
+    JOINEST_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+
+    // Select list: COUNT(*) or column list. The select list may reference
+    // tables declared later in FROM, so record it textually and resolve
+    // after FROM is parsed.
+    bool count_star = false;
+    std::vector<std::pair<std::string, std::string>> select_columns;
+    if (Peek().IsKeyword("COUNT")) {
+      Advance();
+      JOINEST_RETURN_IF_ERROR(ExpectSymbol("("));
+      JOINEST_RETURN_IF_ERROR(ExpectSymbol("*"));
+      JOINEST_RETURN_IF_ERROR(ExpectSymbol(")"));
+      count_star = true;
+    } else {
+      while (true) {
+        JOINEST_ASSIGN_OR_RETURN(auto name, ParseColumnName());
+        select_columns.push_back(std::move(name));
+        if (!Peek().IsSymbol(",")) break;
+        Advance();
+      }
+    }
+
+    JOINEST_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    while (true) {
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return ErrorAt(Peek(), "expected table name");
+      }
+      const std::string table_name = Peek().text;
+      Advance();
+      std::string alias;
+      if (Peek().IsKeyword("AS")) {
+        Advance();
+        if (Peek().kind != TokenKind::kIdentifier) {
+          return ErrorAt(Peek(), "expected alias after AS");
+        }
+      }
+      if (Peek().kind == TokenKind::kIdentifier && !Peek().IsKeyword("WHERE") &&
+          !Peek().IsKeyword("AND")) {
+        alias = Peek().text;
+        Advance();
+      }
+      JOINEST_ASSIGN_OR_RETURN([[maybe_unused]] int index,
+                               spec.AddTable(catalog_, table_name, alias));
+      if (!Peek().IsSymbol(",")) break;
+      Advance();
+    }
+
+    spec.count_star = count_star;
+    for (const auto& [alias, column] : select_columns) {
+      JOINEST_ASSIGN_OR_RETURN(ColumnRef ref,
+                               spec.ResolveColumn(catalog_, alias, column));
+      spec.select.push_back(ref);
+    }
+
+    if (Peek().IsKeyword("WHERE")) {
+      Advance();
+      while (true) {
+        JOINEST_RETURN_IF_ERROR(ParseConjunct(spec));
+        if (Peek().IsKeyword("AND")) {
+          Advance();
+          continue;
+        }
+        if (Peek().IsKeyword("OR")) {
+          return ErrorAt(Peek(),
+                         "disjunctions are not supported (the paper defers "
+                         "them to future work)");
+        }
+        break;
+      }
+    }
+
+    if (Peek().IsKeyword("GROUP")) {
+      Advance();
+      JOINEST_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        JOINEST_ASSIGN_OR_RETURN(auto name, ParseColumnName());
+        JOINEST_ASSIGN_OR_RETURN(
+            ColumnRef ref,
+            spec.ResolveColumn(catalog_, name.first, name.second));
+        spec.group_by.push_back(ref);
+        if (!Peek().IsSymbol(",")) break;
+        Advance();
+      }
+    }
+
+    if (Peek().kind != TokenKind::kEnd) {
+      return ErrorAt(Peek(), "unexpected trailing input");
+    }
+    JOINEST_RETURN_IF_ERROR(spec.Validate(catalog_));
+    return spec;
+  }
+
+ private:
+  const Token& Peek(int lookahead = 0) const {
+    const size_t index =
+        std::min(position_ + lookahead, tokens_.size() - 1);
+    return tokens_[index];
+  }
+  void Advance() {
+    if (position_ + 1 < tokens_.size()) ++position_;
+  }
+
+  Status ErrorAt(const Token& token, const std::string& message) const {
+    return InvalidArgument(message + " at offset " +
+                           std::to_string(token.position) +
+                           (token.text.empty() ? "" : " near '" + token.text +
+                                                          "'"));
+  }
+
+  Status ExpectKeyword(const std::string& keyword) {
+    if (!Peek().IsKeyword(keyword)) {
+      return ErrorAt(Peek(), "expected " + keyword);
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectSymbol(const std::string& symbol) {
+    if (!Peek().IsSymbol(symbol)) {
+      return ErrorAt(Peek(), "expected '" + symbol + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  // Parses `ident` or `ident.ident` into (alias, column) where alias may be
+  // empty.
+  StatusOr<std::pair<std::string, std::string>> ParseColumnName() {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return ErrorAt(Peek(), "expected column name");
+    }
+    std::string first = Peek().text;
+    Advance();
+    if (Peek().IsSymbol(".")) {
+      Advance();
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return ErrorAt(Peek(), "expected column name after '.'");
+      }
+      std::string second = Peek().text;
+      Advance();
+      return std::make_pair(std::move(first), std::move(second));
+    }
+    return std::make_pair(std::string(), std::move(first));
+  }
+
+  StatusOr<Operand> ParseOperand(const QuerySpec& spec) {
+    Operand operand;
+    const Token& token = Peek();
+    switch (token.kind) {
+      case TokenKind::kInteger:
+        operand.literal = Value(token.int_value);
+        Advance();
+        return operand;
+      case TokenKind::kFloat:
+        operand.literal = Value(token.float_value);
+        Advance();
+        return operand;
+      case TokenKind::kString:
+        operand.literal = Value(token.text);
+        Advance();
+        return operand;
+      case TokenKind::kIdentifier: {
+        if (token.IsKeyword("NOT")) {
+          return ErrorAt(token, "NOT is not supported");
+        }
+        JOINEST_ASSIGN_OR_RETURN(auto name, ParseColumnName());
+        JOINEST_ASSIGN_OR_RETURN(
+            ColumnRef ref,
+            spec.ResolveColumn(catalog_, name.first, name.second));
+        operand.column = ref;
+        return operand;
+      }
+      default:
+        return ErrorAt(token, "expected column or literal");
+    }
+  }
+
+  StatusOr<CompareOp> ParseCompareOp() {
+    const Token& token = Peek();
+    if (token.kind != TokenKind::kSymbol) {
+      return ErrorAt(token, "expected comparison operator");
+    }
+    CompareOp op;
+    if (token.text == "=") {
+      op = CompareOp::kEq;
+    } else if (token.text == "<>") {
+      op = CompareOp::kNe;
+    } else if (token.text == "<") {
+      op = CompareOp::kLt;
+    } else if (token.text == "<=") {
+      op = CompareOp::kLe;
+    } else if (token.text == ">") {
+      op = CompareOp::kGt;
+    } else if (token.text == ">=") {
+      op = CompareOp::kGe;
+    } else {
+      return ErrorAt(token, "expected comparison operator");
+    }
+    Advance();
+    return op;
+  }
+
+  Status ParseConjunct(QuerySpec& spec) {
+    // Parenthesised conjunct.
+    if (Peek().IsSymbol("(")) {
+      Advance();
+      JOINEST_RETURN_IF_ERROR(ParseConjunct(spec));
+      return ExpectSymbol(")");
+    }
+    JOINEST_ASSIGN_OR_RETURN(Operand left, ParseOperand(spec));
+    // column BETWEEN literal AND literal.
+    if (Peek().IsKeyword("BETWEEN")) {
+      Advance();
+      if (!left.column.has_value()) {
+        return ErrorAt(Peek(), "BETWEEN needs a column on the left");
+      }
+      JOINEST_ASSIGN_OR_RETURN(Operand lo, ParseOperand(spec));
+      JOINEST_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      JOINEST_ASSIGN_OR_RETURN(Operand hi, ParseOperand(spec));
+      if (!lo.literal.has_value() || !hi.literal.has_value()) {
+        return InvalidArgument("BETWEEN bounds must be literals");
+      }
+      spec.predicates.push_back(
+          Predicate::LocalConst(*left.column, CompareOp::kGe, *lo.literal));
+      spec.predicates.push_back(
+          Predicate::LocalConst(*left.column, CompareOp::kLe, *hi.literal));
+      return Status::OK();
+    }
+    JOINEST_ASSIGN_OR_RETURN(CompareOp op, ParseCompareOp());
+    JOINEST_ASSIGN_OR_RETURN(Operand right, ParseOperand(spec));
+
+    if (left.literal.has_value() && right.literal.has_value()) {
+      return InvalidArgument("constant-constant comparison is not a predicate");
+    }
+    // Normalise `literal op column` to `column flipped-op literal`.
+    if (left.literal.has_value()) {
+      std::swap(left, right);
+      op = FlipCompareOp(op);
+    }
+    if (right.literal.has_value()) {
+      spec.predicates.push_back(
+          Predicate::LocalConst(*left.column, op, *right.literal));
+      return Status::OK();
+    }
+    // Column-column.
+    const ColumnRef a = *left.column;
+    const ColumnRef b = *right.column;
+    if (a.table == b.table) {
+      if (a == b) {
+        return InvalidArgument("column compared with itself");
+      }
+      spec.predicates.push_back(Predicate::LocalColCol(a, op, b));
+      return Status::OK();
+    }
+    if (op != CompareOp::kEq) {
+      return Unimplemented("non-equality join predicates");
+    }
+    spec.predicates.push_back(Predicate::Join(a, b));
+    return Status::OK();
+  }
+
+  const Catalog& catalog_;
+  std::vector<Token> tokens_;
+  size_t position_ = 0;
+};
+
+}  // namespace
+
+StatusOr<QuerySpec> ParseQuery(const Catalog& catalog,
+                               const std::string& sql) {
+  JOINEST_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(catalog, std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace joinest

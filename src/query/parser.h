@@ -1,0 +1,38 @@
+// Parser for the conjunctive SPJ SQL subset the paper works with.
+//
+// Grammar (keywords case-insensitive):
+//
+//   query      := SELECT select FROM tables [WHERE conjunct (AND conjunct)*]
+//                 [GROUP BY column (, column)*]
+//   select     := COUNT ( * ) | column (, column)*
+//   tables     := table (, table)*
+//   table      := identifier [[AS] identifier]       -- optional alias
+//   conjunct   := ( conjunct ) | operand cmp operand
+//               | column BETWEEN literal AND literal
+//   cmp        := = | <> | < | <= | > | >=
+//   operand    := column | literal
+//   column     := identifier | identifier . identifier
+//   literal    := integer | float | 'string'
+//
+// BETWEEN desugars to the two inclusive range predicates.
+//
+// Everything the paper defers — disjunction (OR), nesting, NOT, arithmetic —
+// is rejected with a clear error. Constant-constant conjuncts are rejected
+// too (they are either tautologies or contradictions, not predicates).
+
+#ifndef JOINEST_QUERY_PARSER_H_
+#define JOINEST_QUERY_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "query/query_spec.h"
+#include "storage/catalog.h"
+
+namespace joinest {
+
+StatusOr<QuerySpec> ParseQuery(const Catalog& catalog, const std::string& sql);
+
+}  // namespace joinest
+
+#endif  // JOINEST_QUERY_PARSER_H_

@@ -1,0 +1,104 @@
+#include "query/predicate.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace joinest {
+
+Predicate Predicate::LocalConst(ColumnRef column, CompareOp op,
+                                Value constant) {
+  Predicate p;
+  p.kind = Kind::kLocalConst;
+  p.left = column;
+  p.op = op;
+  p.constant = std::move(constant);
+  return p;
+}
+
+Predicate Predicate::LocalColCol(ColumnRef left, CompareOp op,
+                                 ColumnRef right) {
+  JOINEST_CHECK_EQ(left.table, right.table);
+  JOINEST_CHECK(left != right) << "tautological column self-comparison";
+  Predicate p;
+  p.kind = Kind::kLocalColCol;
+  p.left = left;
+  p.op = op;
+  p.right = right;
+  return p;
+}
+
+Predicate Predicate::Join(ColumnRef left, ColumnRef right) {
+  JOINEST_CHECK_NE(left.table, right.table);
+  Predicate p;
+  p.kind = Kind::kJoin;
+  p.left = left;
+  p.op = CompareOp::kEq;
+  p.right = right;
+  return p;
+}
+
+Predicate Predicate::Canonical() const {
+  Predicate p = *this;
+  if (kind != Kind::kLocalConst && p.right < p.left) {
+    std::swap(p.left, p.right);
+    p.op = FlipCompareOp(p.op);
+  }
+  return p;
+}
+
+bool Predicate::operator==(const Predicate& other) const {
+  if (kind != other.kind || op != other.op || left != other.left) {
+    return false;
+  }
+  switch (kind) {
+    case Kind::kLocalConst:
+      return constant == other.constant;
+    case Kind::kLocalColCol:
+    case Kind::kJoin:
+      return right == other.right;
+  }
+  return false;
+}
+
+size_t Predicate::Hash() const {
+  size_t h = ColumnRefHash()(left);
+  auto mix = [&h](size_t v) { h ^= v + 0x9e3779b97f4a7c15ull + (h << 6); };
+  mix(static_cast<size_t>(kind));
+  mix(static_cast<size_t>(op));
+  switch (kind) {
+    case Kind::kLocalConst:
+      mix(constant.Hash());
+      break;
+    case Kind::kLocalColCol:
+    case Kind::kJoin:
+      mix(ColumnRefHash()(right));
+      break;
+  }
+  return h;
+}
+
+std::string Predicate::ToString() const {
+  std::ostringstream oss;
+  oss << "t" << left.table << ".c" << left.column << " "
+      << CompareOpSymbol(op) << " ";
+  if (kind == Kind::kLocalConst) {
+    oss << constant.ToString();
+  } else {
+    oss << "t" << right.table << ".c" << right.column;
+  }
+  return oss.str();
+}
+
+std::vector<Predicate> DeduplicatePredicates(
+    const std::vector<Predicate>& predicates) {
+  std::vector<Predicate> result;
+  std::unordered_set<Predicate, PredicateHash> seen;
+  for (const Predicate& p : predicates) {
+    if (seen.insert(p.Canonical()).second) result.push_back(p);
+  }
+  return result;
+}
+
+}  // namespace joinest

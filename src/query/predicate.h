@@ -1,0 +1,67 @@
+// Predicates of conjunctive queries.
+//
+// Following the paper's taxonomy (§2):
+//  * local predicate, column vs constant:   R.x op c      (kLocalConst)
+//  * local predicate, column vs column:     R.x op R.y    (kLocalColCol)
+//  * join predicate:                        R.x = S.y     (kJoin)
+//
+// Join predicates are equality-only — the paper's estimation framework (and
+// its transitive-closure rules) covers equi-joins; non-equality cross-table
+// predicates are rejected at query validation.
+
+#ifndef JOINEST_QUERY_PREDICATE_H_
+#define JOINEST_QUERY_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "query/column_ref.h"
+#include "stats/histogram.h"
+#include "types/value.h"
+
+namespace joinest {
+
+struct Predicate {
+  enum class Kind { kLocalConst, kLocalColCol, kJoin };
+
+  Kind kind = Kind::kLocalConst;
+  ColumnRef left;
+  CompareOp op = CompareOp::kEq;
+  // kLocalColCol / kJoin only.
+  ColumnRef right;
+  // kLocalConst only.
+  Value constant;
+
+  static Predicate LocalConst(ColumnRef column, CompareOp op, Value constant);
+  static Predicate LocalColCol(ColumnRef left, CompareOp op, ColumnRef right);
+  static Predicate Join(ColumnRef left, ColumnRef right);
+
+  bool is_equality() const { return op == CompareOp::kEq; }
+
+  // Canonical form for deduplication: column-column predicates order their
+  // operands (flipping the comparison), so `R1.x = R2.y` and `R2.y = R1.x`
+  // compare equal after canonicalisation.
+  Predicate Canonical() const;
+
+  bool operator==(const Predicate& other) const;
+
+  size_t Hash() const;
+
+  // Uses table aliases t0, t1, ... and raw column indexes; the pretty
+  // variant taking names lives in query_spec.h where the catalog is known.
+  std::string ToString() const;
+};
+
+struct PredicateHash {
+  size_t operator()(const Predicate& p) const { return p.Hash(); }
+};
+
+// Removes duplicates (modulo canonicalisation), preserving first-seen order.
+// Implements step 1 of Algorithm ELS ("remove any predicate that is
+// identical to another predicate").
+std::vector<Predicate> DeduplicatePredicates(
+    const std::vector<Predicate>& predicates);
+
+}  // namespace joinest
+
+#endif  // JOINEST_QUERY_PREDICATE_H_

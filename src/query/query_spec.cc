@@ -1,0 +1,164 @@
+#include "query/query_spec.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace joinest {
+
+StatusOr<int> QuerySpec::AddTable(const Catalog& catalog,
+                                  const std::string& name,
+                                  const std::string& alias) {
+  JOINEST_ASSIGN_OR_RETURN(int catalog_id, catalog.ResolveTable(name));
+  const std::string effective_alias = alias.empty() ? name : alias;
+  for (const TableRef& ref : tables) {
+    if (ref.alias == effective_alias) {
+      return AlreadyExists("duplicate table alias '" + effective_alias + "'");
+    }
+  }
+  tables.push_back(TableRef{catalog_id, effective_alias});
+  return num_tables() - 1;
+}
+
+StatusOr<ColumnRef> QuerySpec::ResolveColumn(const Catalog& catalog,
+                                             const std::string& alias,
+                                             const std::string& column) const {
+  if (!alias.empty()) {
+    for (int t = 0; t < num_tables(); ++t) {
+      if (tables[t].alias != alias) continue;
+      JOINEST_ASSIGN_OR_RETURN(
+          int col,
+          catalog.table(tables[t].catalog_id).schema().ResolveColumn(column));
+      return ColumnRef{t, col};
+    }
+    return NotFound("no table aliased '" + alias + "' in query");
+  }
+  // Unqualified: must match exactly one table's schema.
+  ColumnRef found{-1, -1};
+  for (int t = 0; t < num_tables(); ++t) {
+    const int col =
+        catalog.table(tables[t].catalog_id).schema().FindColumn(column);
+    if (col < 0) continue;
+    if (found.table >= 0) {
+      return InvalidArgument("ambiguous column '" + column + "'");
+    }
+    found = ColumnRef{t, col};
+  }
+  if (found.table < 0) return NotFound("no column named '" + column + "'");
+  return found;
+}
+
+Status QuerySpec::Validate(const Catalog& catalog) const {
+  if (tables.empty()) return InvalidArgument("query has no tables");
+  for (const TableRef& ref : tables) {
+    if (ref.catalog_id < 0 || ref.catalog_id >= catalog.num_tables()) {
+      return InvalidArgument("table ref out of range");
+    }
+  }
+  auto check_column = [&](ColumnRef ref) -> Status {
+    if (ref.table < 0 || ref.table >= num_tables()) {
+      return InvalidArgument("column ref names unknown table index " +
+                             std::to_string(ref.table));
+    }
+    const Schema& schema = catalog.table(tables[ref.table].catalog_id).schema();
+    if (ref.column < 0 || ref.column >= schema.num_columns()) {
+      return InvalidArgument("column index out of range");
+    }
+    return Status::OK();
+  };
+  for (const Predicate& p : predicates) {
+    JOINEST_RETURN_IF_ERROR(check_column(p.left));
+    switch (p.kind) {
+      case Predicate::Kind::kLocalConst:
+        break;
+      case Predicate::Kind::kLocalColCol:
+        JOINEST_RETURN_IF_ERROR(check_column(p.right));
+        if (p.right.table != p.left.table) {
+          return InvalidArgument("local col-col predicate crosses tables: " +
+                                 p.ToString());
+        }
+        break;
+      case Predicate::Kind::kJoin:
+        JOINEST_RETURN_IF_ERROR(check_column(p.right));
+        if (p.right.table == p.left.table) {
+          return InvalidArgument("join predicate within one table: " +
+                                 p.ToString());
+        }
+        if (p.op != CompareOp::kEq) {
+          return Unimplemented("non-equality join predicates");
+        }
+        break;
+    }
+  }
+  for (const ColumnRef& ref : select) JOINEST_RETURN_IF_ERROR(check_column(ref));
+  if (!count_star && select.empty()) {
+    return InvalidArgument("empty select list");
+  }
+  for (const ColumnRef& ref : group_by) {
+    JOINEST_RETURN_IF_ERROR(check_column(ref));
+  }
+  if (!group_by.empty() && !count_star) {
+    return Unimplemented("GROUP BY requires SELECT COUNT(*)");
+  }
+  return Status::OK();
+}
+
+std::string QuerySpec::ColumnToString(const Catalog& catalog,
+                                      ColumnRef ref) const {
+  JOINEST_CHECK_GE(ref.table, 0);
+  JOINEST_CHECK_LT(ref.table, num_tables());
+  const TableRef& table = tables[ref.table];
+  return table.alias + "." +
+         catalog.table(table.catalog_id).schema().column(ref.column).name;
+}
+
+std::string QuerySpec::PredicateToString(const Catalog& catalog,
+                                         const Predicate& predicate) const {
+  std::ostringstream oss;
+  oss << ColumnToString(catalog, predicate.left) << " "
+      << CompareOpSymbol(predicate.op) << " ";
+  if (predicate.kind == Predicate::Kind::kLocalConst) {
+    oss << predicate.constant.ToString();
+  } else {
+    oss << ColumnToString(catalog, predicate.right);
+  }
+  return oss.str();
+}
+
+std::string QuerySpec::ToString(const Catalog& catalog) const {
+  std::ostringstream oss;
+  oss << "SELECT ";
+  if (count_star) {
+    oss << "COUNT(*)";
+  } else {
+    for (size_t i = 0; i < select.size(); ++i) {
+      if (i > 0) oss << ", ";
+      oss << ColumnToString(catalog, select[i]);
+    }
+  }
+  oss << " FROM ";
+  for (int t = 0; t < num_tables(); ++t) {
+    if (t > 0) oss << ", ";
+    oss << catalog.table_name(tables[t].catalog_id);
+    if (tables[t].alias != catalog.table_name(tables[t].catalog_id)) {
+      oss << " " << tables[t].alias;
+    }
+  }
+  if (!predicates.empty()) {
+    oss << " WHERE ";
+    for (size_t i = 0; i < predicates.size(); ++i) {
+      if (i > 0) oss << " AND ";
+      oss << PredicateToString(catalog, predicates[i]);
+    }
+  }
+  if (!group_by.empty()) {
+    oss << " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) oss << ", ";
+      oss << ColumnToString(catalog, group_by[i]);
+    }
+  }
+  return oss.str();
+}
+
+}  // namespace joinest

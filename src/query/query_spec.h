@@ -1,0 +1,57 @@
+// A resolved conjunctive select-project-join query.
+
+#ifndef JOINEST_QUERY_QUERY_SPEC_H_
+#define JOINEST_QUERY_QUERY_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/predicate.h"
+#include "storage/catalog.h"
+
+namespace joinest {
+
+// One table occurrence in the FROM list.
+struct TableRef {
+  int catalog_id = -1;  // Id in the Catalog.
+  std::string alias;    // Defaults to the table name.
+};
+
+struct QuerySpec {
+  std::vector<TableRef> tables;
+  // Conjunction of predicates; column refs use query-local table indexes.
+  std::vector<Predicate> predicates;
+  // True for SELECT COUNT(*); otherwise `select` lists the projection.
+  bool count_star = false;
+  std::vector<ColumnRef> select;
+  // Optional GROUP BY columns (with count_star: one output row per group,
+  // the group key followed by its count).
+  std::vector<ColumnRef> group_by;
+
+  int num_tables() const { return static_cast<int>(tables.size()); }
+
+  // Convenience for hand-built queries: appends the named catalog table and
+  // returns its query-local index.
+  StatusOr<int> AddTable(const Catalog& catalog, const std::string& name,
+                         const std::string& alias = "");
+
+  // Resolves "alias.column" against this spec.
+  StatusOr<ColumnRef> ResolveColumn(const Catalog& catalog,
+                                    const std::string& alias,
+                                    const std::string& column) const;
+
+  // Checks internal consistency: table indexes in range, column indexes
+  // valid, join predicates cross tables, equality-only joins.
+  Status Validate(const Catalog& catalog) const;
+
+  // Human-readable rendering with real table aliases and column names.
+  std::string ToString(const Catalog& catalog) const;
+  std::string PredicateToString(const Catalog& catalog,
+                                const Predicate& predicate) const;
+  std::string ColumnToString(const Catalog& catalog, ColumnRef ref) const;
+};
+
+}  // namespace joinest
+
+#endif  // JOINEST_QUERY_QUERY_SPEC_H_

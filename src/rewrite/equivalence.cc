@@ -1,0 +1,80 @@
+#include "rewrite/equivalence.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+#include "common/union_find.h"
+
+namespace joinest {
+
+EquivalenceClasses EquivalenceClasses::Build(
+    const std::vector<Predicate>& predicates) {
+  // Dense ids for every column mentioned by any predicate.
+  std::unordered_map<ColumnRef, int, ColumnRefHash> dense;
+  std::vector<ColumnRef> columns;
+  auto id_of = [&](ColumnRef ref) {
+    const auto [it, inserted] =
+        dense.emplace(ref, static_cast<int>(columns.size()));
+    if (inserted) columns.push_back(ref);
+    return it->second;
+  };
+  for (const Predicate& p : predicates) {
+    id_of(p.left);
+    if (p.kind != Predicate::Kind::kLocalConst) id_of(p.right);
+  }
+
+  UnionFind sets(static_cast<int>(columns.size()));
+  for (const Predicate& p : predicates) {
+    if (p.kind == Predicate::Kind::kLocalConst || !p.is_equality()) continue;
+    sets.Union(id_of(p.left), id_of(p.right));
+  }
+
+  // Compress roots to contiguous class ids, ordered by smallest member for
+  // deterministic output.
+  std::map<int, std::vector<ColumnRef>> by_root;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    by_root[sets.Find(static_cast<int>(i))].push_back(columns[i]);
+  }
+  EquivalenceClasses result;
+  for (auto& [root, members] : by_root) {
+    std::sort(members.begin(), members.end());
+    const int class_id = static_cast<int>(result.classes_.size());
+    for (const ColumnRef& ref : members) result.class_of_[ref] = class_id;
+    result.classes_.push_back(std::move(members));
+  }
+  // Order classes by their smallest member for determinism regardless of
+  // union-find root choice.
+  std::sort(result.classes_.begin(), result.classes_.end(),
+            [](const std::vector<ColumnRef>& a,
+               const std::vector<ColumnRef>& b) { return a[0] < b[0]; });
+  result.class_of_.clear();
+  for (size_t c = 0; c < result.classes_.size(); ++c) {
+    for (const ColumnRef& ref : result.classes_[c]) {
+      result.class_of_[ref] = static_cast<int>(c);
+    }
+  }
+  return result;
+}
+
+int EquivalenceClasses::ClassOf(ColumnRef column) const {
+  const auto it = class_of_.find(column);
+  return it == class_of_.end() ? -1 : it->second;
+}
+
+const std::vector<ColumnRef>& EquivalenceClasses::members(int id) const {
+  JOINEST_CHECK_GE(id, 0);
+  JOINEST_CHECK_LT(id, num_classes());
+  return classes_[id];
+}
+
+std::vector<ColumnRef> EquivalenceClasses::MembersOfTable(int id,
+                                                          int table) const {
+  std::vector<ColumnRef> result;
+  for (const ColumnRef& ref : members(id)) {
+    if (ref.table == table) result.push_back(ref);
+  }
+  return result;
+}
+
+}  // namespace joinest

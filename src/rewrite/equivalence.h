@@ -1,0 +1,59 @@
+// Equivalence classes of columns linked by equality predicates (paper §2).
+//
+// "Initially, each column is an equivalence class by itself. When an
+//  equality (local or join) predicate is seen during query optimization, the
+//  equivalence classes corresponding to the two columns on each side of the
+//  equality are merged."
+//
+// Classes drive everything downstream: transitive closure emits all implied
+// predicates within a class, Rule LS picks one selectivity per class, and
+// the single-table handling (§6) groups a table's j-equivalent columns.
+
+#ifndef JOINEST_REWRITE_EQUIVALENCE_H_
+#define JOINEST_REWRITE_EQUIVALENCE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "query/predicate.h"
+
+namespace joinest {
+
+class EquivalenceClasses {
+ public:
+  // Builds classes from the equality column-column predicates (join and
+  // local col-col) in `predicates`. Non-equality and constant predicates do
+  // not merge classes. Columns that appear only in non-equality predicates
+  // still get singleton classes.
+  static EquivalenceClasses Build(const std::vector<Predicate>& predicates);
+
+  // Class id of `column`, or -1 if the column appears in no predicate.
+  int ClassOf(ColumnRef column) const;
+
+  bool SameClass(ColumnRef a, ColumnRef b) const {
+    const int ca = ClassOf(a);
+    return ca >= 0 && ca == ClassOf(b);
+  }
+
+  int num_classes() const { return static_cast<int>(classes_.size()); }
+
+  // Members of class `id`, sorted by (table, column).
+  const std::vector<ColumnRef>& members(int id) const;
+
+  // All classes, indexed by class id.
+  const std::vector<std::vector<ColumnRef>>& classes() const {
+    return classes_;
+  }
+
+  // Members of class `id` belonging to query-local table `table`. Two or
+  // more results means the single-table j-equivalent case of §6 applies.
+  std::vector<ColumnRef> MembersOfTable(int id, int table) const;
+
+ private:
+  std::unordered_map<ColumnRef, int, ColumnRefHash> class_of_;
+  std::vector<std::vector<ColumnRef>> classes_;
+};
+
+}  // namespace joinest
+
+#endif  // JOINEST_REWRITE_EQUIVALENCE_H_

@@ -1,0 +1,255 @@
+#include "rewrite/local_merge.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace joinest {
+
+std::string ColumnRestriction::ToString() const {
+  if (contradictory) return "FALSE";
+  std::ostringstream oss;
+  if (equals.has_value()) {
+    oss << "= " << equals->ToString();
+  } else {
+    if (lower.has_value()) {
+      oss << (lower_inclusive ? ">= " : "> ") << lower->ToString();
+    }
+    if (upper.has_value()) {
+      if (lower.has_value()) oss << " AND ";
+      oss << (upper_inclusive ? "<= " : "< ") << upper->ToString();
+    }
+  }
+  for (const Value& v : excluded) oss << " AND <> " << v.ToString();
+  std::string text = oss.str();
+  return text.empty() ? "TRUE" : text;
+}
+
+namespace {
+
+// Applies one predicate to the running restriction.
+void Apply(ColumnRestriction& r, CompareOp op, const Value& c) {
+  if (r.contradictory) return;
+  switch (op) {
+    case CompareOp::kEq:
+      if (r.equals.has_value()) {
+        if (*r.equals != c) r.contradictory = true;
+        return;
+      }
+      r.equals = c;
+      return;
+    case CompareOp::kNe:
+      for (const Value& v : r.excluded) {
+        if (v == c) return;
+      }
+      r.excluded.push_back(c);
+      return;
+    case CompareOp::kLt:
+    case CompareOp::kLe: {
+      const bool inclusive = (op == CompareOp::kLe);
+      if (!r.upper.has_value() || c < *r.upper ||
+          (c == *r.upper && !inclusive && r.upper_inclusive)) {
+        r.upper = c;
+        r.upper_inclusive = inclusive;
+      }
+      return;
+    }
+    case CompareOp::kGt:
+    case CompareOp::kGe: {
+      const bool inclusive = (op == CompareOp::kGe);
+      if (!r.lower.has_value() || *r.lower < c ||
+          (c == *r.lower && !inclusive && r.lower_inclusive)) {
+        r.lower = c;
+        r.lower_inclusive = inclusive;
+      }
+      return;
+    }
+  }
+}
+
+// Folds equality/range interactions and prunes incompatible exclusions.
+void Normalize(ColumnRestriction& r) {
+  if (r.contradictory) return;
+  if (r.equals.has_value()) {
+    const Value& e = *r.equals;
+    if (r.lower.has_value() &&
+        (e < *r.lower || (e == *r.lower && !r.lower_inclusive))) {
+      r.contradictory = true;
+      return;
+    }
+    if (r.upper.has_value() &&
+        (*r.upper < e || (e == *r.upper && !r.upper_inclusive))) {
+      r.contradictory = true;
+      return;
+    }
+    for (const Value& v : r.excluded) {
+      if (v == e) {
+        r.contradictory = true;
+        return;
+      }
+    }
+    // Equality subsumes ranges and exclusions.
+    r.lower.reset();
+    r.upper.reset();
+    r.excluded.clear();
+    return;
+  }
+  if (r.lower.has_value() && r.upper.has_value()) {
+    if (*r.upper < *r.lower ||
+        (*r.lower == *r.upper && !(r.lower_inclusive && r.upper_inclusive))) {
+      r.contradictory = true;
+      return;
+    }
+    // A fully pinned range is an equality.
+    if (*r.lower == *r.upper) {
+      r.equals = *r.lower;
+      r.lower.reset();
+      r.upper.reset();
+      Normalize(r);
+      return;
+    }
+  }
+  // Drop exclusions outside the range — they don't restrict anything.
+  auto outside = [&](const Value& v) {
+    if (r.lower.has_value() &&
+        (v < *r.lower || (v == *r.lower && !r.lower_inclusive))) {
+      return true;
+    }
+    if (r.upper.has_value() &&
+        (*r.upper < v || (v == *r.upper && !r.upper_inclusive))) {
+      return true;
+    }
+    return false;
+  };
+  r.excluded.erase(
+      std::remove_if(r.excluded.begin(), r.excluded.end(), outside),
+      r.excluded.end());
+}
+
+}  // namespace
+
+ColumnRestriction MergeColumnPredicates(
+    const std::vector<Predicate>& predicates) {
+  ColumnRestriction r;
+  for (const Predicate& p : predicates) {
+    JOINEST_CHECK(p.kind == Predicate::Kind::kLocalConst)
+        << "MergeColumnPredicates expects constant predicates";
+    JOINEST_CHECK(predicates[0].left == p.left)
+        << "predicates must target a single column";
+    Apply(r, p.op, p.constant);
+  }
+  Normalize(r);
+  return r;
+}
+
+namespace {
+
+// Selectivity of `column op-range` via uniform interpolation over
+// [min, max]. Treats the domain as continuous with d equally likely values,
+// adding 1/d of mass per included endpoint beyond the open-interval length.
+double UniformRangeSelectivity(const ColumnRestriction& r,
+                               const ColumnStats& stats) {
+  if (!stats.min.has_value() || !stats.max.has_value() ||
+      stats.distinct_count <= 0) {
+    return kDefaultRangeSelectivity;
+  }
+  const double min = *stats.min;
+  const double max = *stats.max;
+  const double d = stats.distinct_count;
+  double lo = r.lower.has_value() ? r.lower->ToNumeric() : min;
+  double hi = r.upper.has_value() ? r.upper->ToNumeric() : max;
+  lo = std::max(lo, min);
+  hi = std::min(hi, max);
+  if (lo > hi) return 0.0;
+  if (max == min) return 1.0;
+  // Model the d distinct values as evenly spaced over [min, max]; a value
+  // range of width w then holds ~ w/(max-min) * (d-1) + 1 values inclusive.
+  double values_in_range = (hi - lo) / (max - min) * (d - 1) + 1;
+  if (r.lower.has_value() && !r.lower_inclusive &&
+      r.lower->ToNumeric() >= min) {
+    values_in_range -= 1;
+  }
+  if (r.upper.has_value() && !r.upper_inclusive &&
+      r.upper->ToNumeric() <= max) {
+    values_in_range -= 1;
+  }
+  return std::clamp(values_in_range / d, 0.0, 1.0);
+}
+
+}  // namespace
+
+LocalSelectivityEstimate EstimateLocalSelectivity(
+    const ColumnRestriction& restriction, const ColumnStats& stats,
+    const LocalSelectivityOptions& options) {
+  LocalSelectivityEstimate result;
+  const double d = std::max(stats.distinct_count, 1.0);
+  if (restriction.contradictory) {
+    result.selectivity = 0.0;
+    result.distinct_after = 0.0;
+    return result;
+  }
+  if (restriction.IsUnrestricted()) {
+    result.selectivity = 1.0;
+    result.distinct_after = stats.distinct_count;
+    return result;
+  }
+  const Histogram* histogram =
+      options.use_histograms ? stats.histogram.get() : nullptr;
+
+  if (restriction.equals.has_value()) {
+    // Equality: histogram frequency, else uniformity 1/d.
+    double sel;
+    if (histogram != nullptr &&
+        restriction.equals->type() != TypeKind::kString) {
+      sel = histogram->Selectivity(CompareOp::kEq,
+                                   restriction.equals->ToNumeric());
+    } else if (stats.distinct_count > 0) {
+      sel = 1.0 / d;
+    } else {
+      sel = kDefaultEqSelectivity;
+    }
+    result.selectivity = sel;
+    result.distinct_after = sel > 0 ? 1.0 : 0.0;
+    return result;
+  }
+
+  // Range part.
+  double sel = 1.0;
+  const bool has_range =
+      restriction.lower.has_value() || restriction.upper.has_value();
+  if (has_range) {
+    const bool numeric =
+        (!restriction.lower.has_value() ||
+         restriction.lower->type() != TypeKind::kString) &&
+        (!restriction.upper.has_value() ||
+         restriction.upper->type() != TypeKind::kString);
+    if (histogram != nullptr && numeric) {
+      const double lo = restriction.lower.has_value()
+                            ? restriction.lower->ToNumeric()
+                            : -HUGE_VAL;
+      const double hi = restriction.upper.has_value()
+                            ? restriction.upper->ToNumeric()
+                            : HUGE_VAL;
+      sel = histogram->RangeSelectivity(lo, restriction.lower_inclusive, hi,
+                                        restriction.upper_inclusive);
+    } else if (numeric) {
+      sel = UniformRangeSelectivity(restriction, stats);
+    } else {
+      sel = kDefaultRangeSelectivity;
+    }
+  }
+  // <>-exclusions each remove ~1/d of the surviving mass.
+  for (size_t i = 0; i < restriction.excluded.size(); ++i) {
+    sel = std::max(0.0, sel - 1.0 / d);
+  }
+  result.selectivity = std::clamp(sel, 0.0, 1.0);
+  // Paper §5: a predicate with selectivity S_L on column y leaves
+  // d_y' = d_y × S_L distinct values in y.
+  result.distinct_after =
+      std::max(result.selectivity > 0 ? 1.0 : 0.0, d * result.selectivity);
+  return result;
+}
+
+}  // namespace joinest

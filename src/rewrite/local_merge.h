@@ -1,0 +1,81 @@
+// Resolution of multiple local constant predicates on a single column, and
+// local-predicate selectivity estimation (paper §4 step 3, detailed in the
+// companion report [16]).
+//
+// "In essence, the most restrictive equality predicate is chosen if it
+//  exists, otherwise we choose a pair of range predicates which form the
+//  tightest bound."
+//
+// We additionally detect contradictions (x = 3 AND x = 5, x < 2 AND x > 7),
+// which yield selectivity 0, and track <> predicates, which chip 1/d each
+// off the surviving fraction.
+//
+// Selectivity uses, in order of preference: the column's histogram if one
+// was collected, else uniform interpolation over [min, max], else the
+// uniformity assumption 1/d for equalities and a System R-style default for
+// ranges.
+
+#ifndef JOINEST_REWRITE_LOCAL_MERGE_H_
+#define JOINEST_REWRITE_LOCAL_MERGE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "query/predicate.h"
+#include "stats/column_stats.h"
+
+namespace joinest {
+
+// Default selectivities when no statistics can decide (cf. Selinger [13]).
+inline constexpr double kDefaultEqSelectivity = 0.1;
+inline constexpr double kDefaultRangeSelectivity = 1.0 / 3.0;
+
+// The merged restriction on one column.
+struct ColumnRestriction {
+  // Set iff an equality predicate exists; all other predicates are folded
+  // into `contradictory` against it.
+  std::optional<Value> equals;
+  // Tightest surviving range bounds otherwise.
+  std::optional<Value> lower;
+  bool lower_inclusive = false;
+  std::optional<Value> upper;
+  bool upper_inclusive = false;
+  // Distinct <>-constants (only those compatible with the range).
+  std::vector<Value> excluded;
+  // True if the conjunction is unsatisfiable.
+  bool contradictory = false;
+
+  bool IsUnrestricted() const {
+    return !contradictory && !equals.has_value() && !lower.has_value() &&
+           !upper.has_value() && excluded.empty();
+  }
+  std::string ToString() const;
+};
+
+// Merges the constant predicates (all on the same column) into one
+// restriction. `predicates` may be empty (unrestricted result).
+ColumnRestriction MergeColumnPredicates(
+    const std::vector<Predicate>& predicates);
+
+struct LocalSelectivityOptions {
+  // Use the column histogram when available; otherwise interpolate over
+  // [min, max] (numeric) or fall back to uniformity defaults.
+  bool use_histograms = true;
+};
+
+struct LocalSelectivityEstimate {
+  // Fraction of the table's rows satisfying the restriction, in [0, 1].
+  double selectivity = 1.0;
+  // Estimated distinct values remaining in *this* column: 1 for an
+  // equality, d × selectivity for a range (paper §5: "d_y' = d_y × S_L").
+  double distinct_after = 0;
+};
+
+LocalSelectivityEstimate EstimateLocalSelectivity(
+    const ColumnRestriction& restriction, const ColumnStats& stats,
+    const LocalSelectivityOptions& options = {});
+
+}  // namespace joinest
+
+#endif  // JOINEST_REWRITE_LOCAL_MERGE_H_

@@ -1,0 +1,34 @@
+#include "stats/column_stats.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/table_printer.h"
+
+namespace joinest {
+
+std::string ColumnStats::ToString() const {
+  std::ostringstream oss;
+  oss << "d=" << FormatNumber(distinct_count);
+  if (min.has_value()) oss << " min=" << FormatNumber(*min);
+  if (max.has_value()) oss << " max=" << FormatNumber(*max);
+  if (histogram != nullptr) oss << " hist=" << histogram->ToString();
+  return oss.str();
+}
+
+const ColumnStats& TableStats::column(int i) const {
+  JOINEST_CHECK_GE(i, 0);
+  JOINEST_CHECK_LT(static_cast<size_t>(i), columns.size());
+  return columns[i];
+}
+
+std::string TableStats::ToString() const {
+  std::ostringstream oss;
+  oss << "rows=" << FormatNumber(row_count);
+  for (size_t i = 0; i < columns.size(); ++i) {
+    oss << " col" << i << "{" << columns[i].ToString() << "}";
+  }
+  return oss.str();
+}
+
+}  // namespace joinest

@@ -1,0 +1,43 @@
+// Catalog statistics: the two statistics the paper identifies as central
+// (§2) — table cardinality ||R|| and column cardinality d_x — plus optional
+// min/max and a histogram for distribution-aware local selectivities.
+
+#ifndef JOINEST_STATS_COLUMN_STATS_H_
+#define JOINEST_STATS_COLUMN_STATS_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stats/histogram.h"
+
+namespace joinest {
+
+struct ColumnStats {
+  // Column cardinality d_x: number of distinct values.
+  double distinct_count = 0;
+  // Value range, for numeric columns.
+  std::optional<double> min;
+  std::optional<double> max;
+  // Optional distribution statistics (numeric columns only). Shared so
+  // TableStats stays copyable.
+  std::shared_ptr<const Histogram> histogram;
+
+  std::string ToString() const;
+};
+
+struct TableStats {
+  // Table cardinality ||R||.
+  double row_count = 0;
+  // One entry per schema column.
+  std::vector<ColumnStats> columns;
+
+  const ColumnStats& column(int i) const;
+  std::string ToString() const;
+};
+
+}  // namespace joinest
+
+#endif  // JOINEST_STATS_COLUMN_STATS_H_

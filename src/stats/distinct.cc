@@ -1,0 +1,30 @@
+#include "stats/distinct.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace joinest {
+
+double UrnModelDistinct(double d, double k) {
+  JOINEST_CHECK_GE(d, 0.0);
+  JOINEST_CHECK_GE(k, 0.0);
+  if (d == 0.0 || k == 0.0) return 0.0;
+  if (d == 1.0) return 1.0;
+  // 1 - (1 - 1/d)^k  ==  -expm1(k * log1p(-1/d)), stable for large d where
+  // (1 - 1/d) is close to 1 and the naive power would lose all precision.
+  return d * -std::expm1(k * std::log1p(-1.0 / d));
+}
+
+double LinearRatioDistinct(double d, double n, double k) {
+  JOINEST_CHECK_GT(n, 0.0);
+  JOINEST_CHECK_GE(d, 0.0);
+  JOINEST_CHECK_GE(k, 0.0);
+  return d * (k / n);
+}
+
+double UrnModelDistinctCeil(double d, double k) {
+  return std::ceil(UrnModelDistinct(d, k));
+}
+
+}  // namespace joinest

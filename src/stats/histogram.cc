@@ -1,0 +1,382 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/table_printer.h"
+
+namespace joinest {
+
+const char* CompareOpSymbol(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+CompareOp FlipCompareOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return CompareOp::kEq;
+    case CompareOp::kNe:
+      return CompareOp::kNe;
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+  }
+  return op;
+}
+
+namespace {
+
+// Counts rows and distinct values of `sorted` in [begin, end).
+HistogramBucket MakeBucket(const std::vector<double>& sorted, size_t begin,
+                           size_t end) {
+  HistogramBucket bucket;
+  bucket.lo = sorted[begin];
+  bucket.hi = sorted[end - 1];
+  bucket.rows = static_cast<double>(end - begin);
+  double distinct = 1;
+  for (size_t i = begin + 1; i < end; ++i) {
+    if (sorted[i] != sorted[i - 1]) ++distinct;
+  }
+  bucket.distinct = distinct;
+  return bucket;
+}
+
+}  // namespace
+
+Histogram::Histogram(Kind kind, std::vector<HistogramBucket> buckets)
+    : kind_(kind), buckets_(std::move(buckets)) {
+  for (const HistogramBucket& b : buckets_) total_rows_ += b.rows;
+}
+
+Histogram Histogram::BuildEquiWidth(const std::vector<double>& data,
+                                    int num_buckets) {
+  JOINEST_CHECK_GT(num_buckets, 0);
+  if (data.empty()) return Histogram(Kind::kEquiWidth, {});
+  std::vector<double> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  const double min = sorted.front();
+  const double max = sorted.back();
+  if (min == max) {
+    return Histogram(Kind::kEquiWidth,
+                     {MakeBucket(sorted, 0, sorted.size())});
+  }
+  const double width = (max - min) / num_buckets;
+  std::vector<HistogramBucket> buckets;
+  size_t begin = 0;
+  for (int b = 0; b < num_buckets && begin < sorted.size(); ++b) {
+    // Rows with value < boundary belong to bucket b; the final bucket takes
+    // everything left (including max itself).
+    const double boundary = min + width * (b + 1);
+    size_t end;
+    if (b == num_buckets - 1) {
+      end = sorted.size();
+    } else {
+      end = std::lower_bound(sorted.begin() + begin, sorted.end(), boundary) -
+            sorted.begin();
+    }
+    if (end > begin) {
+      buckets.push_back(MakeBucket(sorted, begin, end));
+      begin = end;
+    }
+  }
+  return Histogram(Kind::kEquiWidth, std::move(buckets));
+}
+
+Histogram Histogram::BuildEquiDepth(const std::vector<double>& data,
+                                    int num_buckets) {
+  JOINEST_CHECK_GT(num_buckets, 0);
+  if (data.empty()) return Histogram(Kind::kEquiDepth, {});
+  std::vector<double> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  const size_t n = sorted.size();
+  std::vector<HistogramBucket> buckets;
+  size_t begin = 0;
+  for (int b = 0; b < num_buckets && begin < n; ++b) {
+    size_t end = (b == num_buckets - 1)
+                     ? n
+                     : (n * static_cast<size_t>(b + 1)) / num_buckets;
+    if (end <= begin) continue;
+    // Never split a run of equal values across buckets: extend to cover the
+    // full run so bucket boundaries are true quantile values.
+    while (end < n && sorted[end] == sorted[end - 1]) ++end;
+    buckets.push_back(MakeBucket(sorted, begin, end));
+    begin = end;
+  }
+  return Histogram(Kind::kEquiDepth, std::move(buckets));
+}
+
+Histogram Histogram::FromBuckets(Kind kind,
+                                 std::vector<HistogramBucket> buckets) {
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    JOINEST_CHECK_LE(buckets[i].lo, buckets[i].hi);
+    if (i > 0) {
+      JOINEST_CHECK_GT(buckets[i].lo, buckets[i - 1].hi)
+          << "buckets must be sorted and disjoint";
+    }
+  }
+  return Histogram(kind, std::move(buckets));
+}
+
+Histogram Histogram::BuildEndBiased(const std::vector<double>& data,
+                                    int num_singletons, int num_buckets) {
+  JOINEST_CHECK_GT(num_singletons, 0);
+  JOINEST_CHECK_GT(num_buckets, 0);
+  if (data.empty()) return Histogram(Kind::kEndBiased, {});
+  // Frequency census.
+  std::vector<double> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  struct ValueCount {
+    double value;
+    double count;
+  };
+  std::vector<ValueCount> census;
+  for (size_t i = 0; i < sorted.size();) {
+    size_t j = i;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    census.push_back({sorted[i], static_cast<double>(j - i)});
+    i = j;
+  }
+  // Pick the heaviest values as singletons.
+  std::vector<ValueCount> by_count = census;
+  std::sort(by_count.begin(), by_count.end(),
+            [](const ValueCount& a, const ValueCount& b) {
+              return a.count != b.count ? a.count > b.count
+                                        : a.value < b.value;
+            });
+  const size_t k =
+      std::min<size_t>(num_singletons, by_count.size());
+  std::vector<double> singleton_values;
+  for (size_t i = 0; i < k; ++i) singleton_values.push_back(by_count[i].value);
+  std::sort(singleton_values.begin(), singleton_values.end());
+  auto is_singleton = [&](double v) {
+    return std::binary_search(singleton_values.begin(),
+                              singleton_values.end(), v);
+  };
+
+  std::vector<HistogramBucket> buckets;
+  for (double v : singleton_values) {
+    HistogramBucket bucket;
+    bucket.lo = bucket.hi = v;
+    bucket.distinct = 1;
+    for (const ValueCount& vc : census) {
+      if (vc.value == v) {
+        bucket.rows = vc.count;
+        break;
+      }
+    }
+    buckets.push_back(bucket);
+  }
+
+  // Equi-depth the tail within the segments between singleton values, so
+  // buckets stay disjoint. Bucket budget is spread proportionally to
+  // segment row counts.
+  std::vector<double> tail;
+  for (double v : sorted) {
+    if (!is_singleton(v)) tail.push_back(v);
+  }
+  if (!tail.empty()) {
+    // Segment boundaries: indices in `tail` where a singleton value would
+    // sort between neighbours.
+    std::vector<std::pair<size_t, size_t>> segments;
+    size_t begin = 0;
+    for (double s : singleton_values) {
+      const size_t end =
+          std::lower_bound(tail.begin() + begin, tail.end(), s) -
+          tail.begin();
+      if (end > begin) segments.emplace_back(begin, end);
+      begin = end;
+    }
+    if (begin < tail.size()) segments.emplace_back(begin, tail.size());
+    for (const auto& [seg_begin, seg_end] : segments) {
+      const double fraction =
+          static_cast<double>(seg_end - seg_begin) / tail.size();
+      const int budget = std::max(
+          1, static_cast<int>(std::lround(fraction * num_buckets)));
+      const std::vector<double> segment(tail.begin() + seg_begin,
+                                        tail.begin() + seg_end);
+      const Histogram inner = BuildEquiDepth(segment, budget);
+      for (const HistogramBucket& b : inner.buckets()) buckets.push_back(b);
+    }
+  }
+  std::sort(buckets.begin(), buckets.end(),
+            [](const HistogramBucket& a, const HistogramBucket& b) {
+              return a.lo < b.lo;
+            });
+  return Histogram(Kind::kEndBiased, std::move(buckets));
+}
+
+double Histogram::FractionEq(double value) const {
+  if (total_rows_ == 0) return 0;
+  for (const HistogramBucket& b : buckets_) {
+    if (value < b.lo) break;
+    if (value <= b.hi) {
+      // Per-bucket uniformity over the bucket's distinct values.
+      return (b.rows / total_rows_) / std::max(b.distinct, 1.0);
+    }
+  }
+  return 0;
+}
+
+double Histogram::FractionBelow(double value) const {
+  if (total_rows_ == 0) return 0;
+  double rows_below = 0;
+  for (const HistogramBucket& b : buckets_) {
+    if (value > b.hi) {
+      rows_below += b.rows;
+      continue;
+    }
+    if (value >= b.lo) {
+      // Linear interpolation inside the bucket. A zero-width bucket holds a
+      // single value run; nothing in it is strictly below `value == lo`.
+      const double span = b.hi - b.lo;
+      if (span > 0) rows_below += b.rows * (value - b.lo) / span;
+    }
+    break;
+  }
+  return std::min(1.0, rows_below / total_rows_);
+}
+
+double Histogram::Selectivity(CompareOp op, double value) const {
+  if (total_rows_ == 0) return 0;
+  const double eq = FractionEq(value);
+  // Interpolation at the top of a bucket can claim the whole bucket as
+  // "strictly below"; cap so that below + eq never exceeds 1 and the six
+  // operators stay mutually consistent.
+  const double below = std::min(FractionBelow(value), 1.0 - eq);
+  switch (op) {
+    case CompareOp::kEq:
+      return eq;
+    case CompareOp::kNe:
+      return 1.0 - eq;
+    case CompareOp::kLt:
+      return below;
+    case CompareOp::kLe:
+      return below + eq;
+    case CompareOp::kGt:
+      return 1.0 - below - eq;
+    case CompareOp::kGe:
+      return 1.0 - below;
+  }
+  return 0;
+}
+
+double Histogram::RangeSelectivity(double lo, bool lo_inclusive, double hi,
+                                   bool hi_inclusive) const {
+  if (total_rows_ == 0) return 0;
+  if (lo > hi) return 0;
+  const double below_hi =
+      Selectivity(hi_inclusive ? CompareOp::kLe : CompareOp::kLt, hi);
+  const double below_lo =
+      Selectivity(lo_inclusive ? CompareOp::kLt : CompareOp::kLe, lo);
+  return std::max(0.0, below_hi - below_lo);
+}
+
+Histogram Histogram::Slice(double lo, double hi) const {
+  std::vector<HistogramBucket> clipped;
+  for (const HistogramBucket& b : buckets_) {
+    const double new_lo = std::max(b.lo, lo);
+    const double new_hi = std::min(b.hi, hi);
+    if (new_lo > new_hi) continue;
+    const double span = b.hi - b.lo;
+    const double fraction = span == 0 ? 1.0 : (new_hi - new_lo) / span;
+    if (fraction <= 0) continue;
+    HistogramBucket piece;
+    piece.lo = new_lo;
+    piece.hi = new_hi;
+    piece.rows = b.rows * fraction;
+    piece.distinct = std::max(b.distinct * fraction, 1.0);
+    clipped.push_back(piece);
+  }
+  return Histogram(kind_, std::move(clipped));
+}
+
+double HistogramJoinSelectivity(const Histogram& left,
+                                const Histogram& right) {
+  if (left.total_rows_ <= 0 || right.total_rows_ <= 0) return 0;
+  double matches = 0;
+  // Buckets within a histogram are disjoint, so every (bl, br) overlap is a
+  // distinct value segment; a sorted two-pointer sweep visits them all.
+  size_t i = 0, j = 0;
+  const auto& lbs = left.buckets_;
+  const auto& rbs = right.buckets_;
+  while (i < lbs.size() && j < rbs.size()) {
+    const HistogramBucket& bl = lbs[i];
+    const HistogramBucket& br = rbs[j];
+    const double lo = std::max(bl.lo, br.lo);
+    const double hi = std::min(bl.hi, br.hi);
+    if (lo <= hi) {
+      const double span_l = bl.hi - bl.lo;
+      const double span_r = br.hi - br.lo;
+      if (span_l == 0 && span_r == 0) {
+        // Two point buckets at the same value.
+        matches += bl.rows * br.rows;
+      } else if (span_l == 0) {
+        // Hot key on the left inside a range bucket on the right: it meets
+        // one value's share of the right bucket.
+        matches += bl.rows * br.rows / std::max(br.distinct, 1.0);
+      } else if (span_r == 0) {
+        matches += br.rows * bl.rows / std::max(bl.distinct, 1.0);
+      } else {
+        // Continuous overlap: Equation 1 restricted to the segment.
+        const double frac_l = (hi - lo) / span_l;
+        const double frac_r = (hi - lo) / span_r;
+        const double rows_l = bl.rows * frac_l;
+        const double rows_r = br.rows * frac_r;
+        const double d_l = std::max(bl.distinct * frac_l, 1e-9);
+        const double d_r = std::max(br.distinct * frac_r, 1e-9);
+        matches += std::min(d_l, d_r) * (rows_l / d_l) * (rows_r / d_r);
+      }
+    }
+    // Advance whichever bucket ends first.
+    if (bl.hi < br.hi) {
+      ++i;
+    } else if (br.hi < bl.hi) {
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  const double selectivity =
+      matches / (left.total_rows_ * right.total_rows_);
+  return std::clamp(selectivity, 0.0, 1.0);
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream oss;
+  const char* kind_name = kind_ == Kind::kEquiWidth   ? "equi-width"
+                          : kind_ == Kind::kEquiDepth ? "equi-depth"
+                                                      : "end-biased";
+  oss << kind_name << " ["
+      << buckets_.size() << " buckets, " << FormatNumber(total_rows_)
+      << " rows]";
+  for (const HistogramBucket& b : buckets_) {
+    oss << " {[" << FormatNumber(b.lo) << "," << FormatNumber(b.hi)
+        << "] rows=" << FormatNumber(b.rows)
+        << " d=" << FormatNumber(b.distinct) << "}";
+  }
+  return oss.str();
+}
+
+}  // namespace joinest

@@ -1,0 +1,135 @@
+#include "stats/stats_io.h"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace joinest {
+
+namespace {
+
+std::string Num(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+}  // namespace
+
+std::string SerializeTableStats(const TableStats& stats) {
+  std::ostringstream oss;
+  oss << "rows " << Num(stats.row_count) << "\n";
+  for (size_t c = 0; c < stats.columns.size(); ++c) {
+    const ColumnStats& col = stats.columns[c];
+    oss << "column " << c << " distinct " << Num(col.distinct_count);
+    if (col.min.has_value()) oss << " min " << Num(*col.min);
+    if (col.max.has_value()) oss << " max " << Num(*col.max);
+    oss << "\n";
+    if (col.histogram != nullptr) {
+      for (const HistogramBucket& b : col.histogram->buckets()) {
+        oss << "bucket " << c << " " << Num(b.lo) << " " << Num(b.hi) << " "
+            << Num(b.rows) << " " << Num(b.distinct) << "\n";
+      }
+    }
+  }
+  return oss.str();
+}
+
+StatusOr<TableStats> ParseTableStats(const std::string& text,
+                                     int expected_columns) {
+  TableStats stats;
+  std::map<int, std::vector<double>> bucket_data;  // col -> flat quadruples.
+  std::istringstream in(text);
+  std::string line;
+  int line_number = 0;
+  bool saw_rows = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream fields(line);
+    std::string keyword;
+    if (!(fields >> keyword)) continue;  // Blank line.
+    auto parse_error = [&](const std::string& what) {
+      return InvalidArgument("stats line " + std::to_string(line_number) +
+                             ": " + what);
+    };
+    if (keyword == "rows") {
+      if (!(fields >> stats.row_count) || stats.row_count < 0) {
+        return parse_error("bad row count");
+      }
+      saw_rows = true;
+    } else if (keyword == "column") {
+      int index = -1;
+      std::string distinct_kw;
+      ColumnStats col;
+      if (!(fields >> index >> distinct_kw >> col.distinct_count) ||
+          distinct_kw != "distinct" || index < 0 || col.distinct_count < 0) {
+        return parse_error("expected: column <i> distinct <d> ...");
+      }
+      std::string extra;
+      while (fields >> extra) {
+        double value = 0;
+        if (!(fields >> value)) return parse_error("missing value");
+        if (extra == "min") {
+          col.min = value;
+        } else if (extra == "max") {
+          col.max = value;
+        } else {
+          return parse_error("unknown attribute '" + extra + "'");
+        }
+      }
+      if (static_cast<size_t>(index) >= stats.columns.size()) {
+        stats.columns.resize(index + 1);
+      }
+      stats.columns[index] = std::move(col);
+    } else if (keyword == "bucket") {
+      int index = -1;
+      double lo = 0, hi = 0, rows = 0, distinct = 0;
+      if (!(fields >> index >> lo >> hi >> rows >> distinct) || index < 0 ||
+          hi < lo || rows < 0 || distinct < 0) {
+        return parse_error("expected: bucket <col> <lo> <hi> <rows> <d>");
+      }
+      auto& flat = bucket_data[index];
+      flat.push_back(lo);
+      flat.push_back(hi);
+      flat.push_back(rows);
+      flat.push_back(distinct);
+    } else {
+      return parse_error("unknown keyword '" + keyword + "'");
+    }
+  }
+  if (!saw_rows) return InvalidArgument("stats text missing 'rows' line");
+  for (auto& [index, flat] : bucket_data) {
+    if (static_cast<size_t>(index) >= stats.columns.size()) {
+      return InvalidArgument("bucket for undeclared column " +
+                             std::to_string(index));
+    }
+    // Rebuild a histogram from the bucket list. The builder API takes raw
+    // data, so synthesise via the internal representation: buckets must be
+    // sorted and disjoint.
+    std::vector<HistogramBucket> buckets;
+    for (size_t i = 0; i < flat.size(); i += 4) {
+      buckets.push_back({flat[i], flat[i + 1], flat[i + 2], flat[i + 3]});
+    }
+    for (size_t i = 1; i < buckets.size(); ++i) {
+      if (buckets[i].lo <= buckets[i - 1].hi) {
+        return InvalidArgument("buckets for column " + std::to_string(index) +
+                               " overlap or are unsorted");
+      }
+    }
+    stats.columns[index].histogram = std::make_shared<Histogram>(
+        Histogram::FromBuckets(Histogram::Kind::kEquiDepth,
+                               std::move(buckets)));
+  }
+  if (expected_columns >= 0 &&
+      static_cast<int>(stats.columns.size()) != expected_columns) {
+    return InvalidArgument(
+        "stats describe " + std::to_string(stats.columns.size()) +
+        " columns; table has " + std::to_string(expected_columns));
+  }
+  return stats;
+}
+
+}  // namespace joinest

@@ -1,0 +1,35 @@
+// Text serialisation of table statistics.
+//
+// Lets users snapshot a catalog's statistics, hand-edit them (what-if
+// analysis: "what does the optimizer do if it believes d_x = 10?"), and
+// load them back — the manual counterpart of workloads/perturb.h.
+//
+// Format (line-based, '#' comments allowed):
+//
+//   rows <count>
+//   column <index> distinct <d> [min <v> max <v>]
+//   bucket <column-index> <lo> <hi> <rows> <distinct>
+//
+// Buckets, if any, are grouped into an equi-depth-kind histogram per
+// column (bucket kind does not affect estimation).
+
+#ifndef JOINEST_STATS_STATS_IO_H_
+#define JOINEST_STATS_STATS_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "stats/column_stats.h"
+
+namespace joinest {
+
+std::string SerializeTableStats(const TableStats& stats);
+
+// Parses the format above. `expected_columns` (if >= 0) validates the
+// column count.
+StatusOr<TableStats> ParseTableStats(const std::string& text,
+                                     int expected_columns = -1);
+
+}  // namespace joinest
+
+#endif  // JOINEST_STATS_STATS_IO_H_

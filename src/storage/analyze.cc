@@ -1,0 +1,117 @@
+#include "storage/analyze.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace joinest {
+
+namespace {
+
+// GEE (Guaranteed-Error Estimator): d̂ = √(n/r)·f₁ + Σ_{j≥2} f_j. At full
+// scan (r == n) every value's full multiplicity is in the sample, so the
+// estimate degenerates to the exact distinct count.
+double GeeDistinct(const std::unordered_map<Value, int64_t, ValueHash>&
+                       sample_counts,
+                   double total_rows, double sample_rows) {
+  if (sample_rows <= 0) return 0;
+  double singletons = 0;
+  double repeated = 0;
+  for (const auto& [value, count] : sample_counts) {
+    if (count == 1) {
+      singletons += 1;
+    } else {
+      repeated += 1;
+    }
+  }
+  const double scale = std::sqrt(total_rows / sample_rows);
+  double estimate = scale * singletons + repeated;
+  // Sanity clamps: at least what we saw, at most the table cardinality.
+  estimate = std::max(estimate, singletons + repeated);
+  estimate = std::min(estimate, total_rows);
+  return estimate;
+}
+
+}  // namespace
+
+TableStats AnalyzeTable(const Table& table, const AnalyzeOptions& options) {
+  JOINEST_CHECK_GT(options.sample_fraction, 0.0);
+  JOINEST_CHECK_LE(options.sample_fraction, 1.0);
+  const bool sampled = options.sample_fraction < 1.0;
+
+  // Bernoulli row sample (shared across columns so per-row correlations are
+  // preserved, as a real ANALYZE would).
+  std::vector<int64_t> sample_rows;
+  if (sampled) {
+    Rng rng(options.sample_seed);
+    sample_rows.reserve(
+        static_cast<size_t>(table.num_rows() * options.sample_fraction) + 1);
+    for (int64_t r = 0; r < table.num_rows(); ++r) {
+      if (rng.NextBool(options.sample_fraction)) sample_rows.push_back(r);
+    }
+  }
+
+  TableStats stats;
+  stats.row_count = static_cast<double>(table.num_rows());
+  stats.columns.resize(table.num_columns());
+  for (int c = 0; c < table.num_columns(); ++c) {
+    ColumnStats& col = stats.columns[c];
+    const std::vector<Value>& data = table.column(c);
+
+    if (!sampled) {
+      std::unordered_set<Value, ValueHash> distinct(data.begin(), data.end());
+      col.distinct_count = static_cast<double>(distinct.size());
+    } else {
+      std::unordered_map<Value, int64_t, ValueHash> counts;
+      for (int64_t r : sample_rows) ++counts[data[r]];
+      col.distinct_count =
+          GeeDistinct(counts, stats.row_count,
+                      static_cast<double>(sample_rows.size()));
+    }
+
+    const bool numeric = table.schema().column(c).type != TypeKind::kString;
+    if (!numeric) continue;
+
+    std::vector<double> values;
+    if (sampled) {
+      values.reserve(sample_rows.size());
+      for (int64_t r : sample_rows) values.push_back(data[r].ToNumeric());
+    } else {
+      values.reserve(data.size());
+      for (const Value& v : data) values.push_back(v.ToNumeric());
+    }
+    if (values.empty()) continue;
+    double min = values[0];
+    double max = values[0];
+    for (double v : values) {
+      if (v < min) min = v;
+      if (v > max) max = v;
+    }
+    col.min = min;
+    col.max = max;
+    switch (options.histogram_kind) {
+      case AnalyzeOptions::HistogramKind::kNone:
+        break;
+      case AnalyzeOptions::HistogramKind::kEquiWidth:
+        col.histogram = std::make_shared<Histogram>(
+            Histogram::BuildEquiWidth(values, options.histogram_buckets));
+        break;
+      case AnalyzeOptions::HistogramKind::kEquiDepth:
+        col.histogram = std::make_shared<Histogram>(
+            Histogram::BuildEquiDepth(values, options.histogram_buckets));
+        break;
+      case AnalyzeOptions::HistogramKind::kEndBiased:
+        col.histogram = std::make_shared<Histogram>(
+            Histogram::BuildEndBiased(values, options.end_biased_singletons,
+                                      options.histogram_buckets));
+        break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace joinest

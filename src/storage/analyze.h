@@ -1,0 +1,41 @@
+// Statistics collection (ANALYZE).
+//
+// Computes the catalog statistics the estimator consumes: exact table
+// cardinality ||R||, exact per-column distinct counts d_x, numeric min/max,
+// and (optionally) a histogram per numeric column.
+
+#ifndef JOINEST_STORAGE_ANALYZE_H_
+#define JOINEST_STORAGE_ANALYZE_H_
+
+#include "stats/column_stats.h"
+#include "storage/table.h"
+
+namespace joinest {
+
+struct AnalyzeOptions {
+  // Histogram to attach to numeric columns; kNone keeps only d/min/max so
+  // local selectivities fall back to the uniformity assumption.
+  enum class HistogramKind { kNone, kEquiWidth, kEquiDepth, kEndBiased };
+  HistogramKind histogram_kind = HistogramKind::kNone;
+  int histogram_buckets = 32;
+  // kEndBiased only: number of heavy-hitter values kept exactly.
+  int end_biased_singletons = 16;
+
+  // Row-sampling: 1.0 scans everything (exact statistics); below 1.0 a
+  // Bernoulli row sample is taken, distinct counts are extrapolated with
+  // the GEE estimator (Charikar et al.: d̂ = √(n/r)·f₁ + Σ_{j≥2} f_j, where
+  // f_j is the number of values seen exactly j times in the sample), and
+  // min/max/histograms come from the sample. The table cardinality stays
+  // exact (systems know it from storage metadata). This models the
+  // imperfect catalog statistics whose error propagation the paper cites
+  // ([4]).
+  double sample_fraction = 1.0;
+  uint64_t sample_seed = 1;
+};
+
+TableStats AnalyzeTable(const Table& table,
+                        const AnalyzeOptions& options = AnalyzeOptions());
+
+}  // namespace joinest
+
+#endif  // JOINEST_STORAGE_ANALYZE_H_

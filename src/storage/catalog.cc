@@ -1,0 +1,57 @@
+#include "storage/catalog.h"
+
+#include "common/logging.h"
+
+namespace joinest {
+
+StatusOr<int> Catalog::AddTable(const std::string& name, Table table,
+                                const AnalyzeOptions& options) {
+  TableStats stats = AnalyzeTable(table, options);
+  return AddTableWithStats(name, std::move(table), std::move(stats));
+}
+
+StatusOr<int> Catalog::AddTableWithStats(const std::string& name, Table table,
+                                         TableStats stats) {
+  if (by_name_.count(name) > 0) {
+    return AlreadyExists("table '" + name + "' already registered");
+  }
+  JOINEST_CHECK_EQ(static_cast<int>(stats.columns.size()),
+                   table.num_columns());
+  const int id = num_tables();
+  entries_.push_back(std::make_unique<CatalogEntry>(
+      CatalogEntry{name, std::move(table), std::move(stats)}));
+  by_name_[name] = id;
+  return id;
+}
+
+StatusOr<int> Catalog::ResolveTable(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return NotFound("no table named '" + name + "'");
+  return it->second;
+}
+
+const CatalogEntry& Catalog::entry(int table_id) const {
+  JOINEST_CHECK_GE(table_id, 0);
+  JOINEST_CHECK_LT(table_id, num_tables());
+  return *entries_[table_id];
+}
+
+Status Catalog::Reanalyze(int table_id, const AnalyzeOptions& options) {
+  JOINEST_CHECK_GE(table_id, 0);
+  JOINEST_CHECK_LT(table_id, num_tables());
+  entries_[table_id]->stats = AnalyzeTable(entries_[table_id]->table, options);
+  return Status::OK();
+}
+
+Status Catalog::SetStats(int table_id, TableStats stats) {
+  JOINEST_CHECK_GE(table_id, 0);
+  JOINEST_CHECK_LT(table_id, num_tables());
+  if (static_cast<int>(stats.columns.size()) !=
+      entries_[table_id]->table.num_columns()) {
+    return InvalidArgument("stats column count does not match the schema");
+  }
+  entries_[table_id]->stats = std::move(stats);
+  return Status::OK();
+}
+
+}  // namespace joinest

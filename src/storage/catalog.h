@@ -1,0 +1,73 @@
+// Catalog: named tables with their collected statistics.
+//
+// Tables get dense integer ids (0, 1, ...) in registration order; queries,
+// the rewrite engine and the optimizer all refer to tables by id so that
+// table sets can be represented as bitmasks.
+
+#ifndef JOINEST_STORAGE_CATALOG_H_
+#define JOINEST_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "stats/column_stats.h"
+#include "storage/analyze.h"
+#include "storage/table.h"
+
+namespace joinest {
+
+struct CatalogEntry {
+  std::string name;
+  Table table;
+  TableStats stats;
+};
+
+class Catalog {
+ public:
+  Catalog() = default;
+
+  // Non-copyable (owns bulk data), movable.
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+
+  // Registers a table, collecting statistics with `options`. Returns the
+  // table id, or an error if the name is taken.
+  StatusOr<int> AddTable(const std::string& name, Table table,
+                         const AnalyzeOptions& options = AnalyzeOptions());
+
+  // Registers a table with caller-supplied statistics (used by tests and
+  // benches that model hypothetical catalogs without materialising data).
+  StatusOr<int> AddTableWithStats(const std::string& name, Table table,
+                                  TableStats stats);
+
+  StatusOr<int> ResolveTable(const std::string& name) const;
+
+  int num_tables() const { return static_cast<int>(entries_.size()); }
+  const CatalogEntry& entry(int table_id) const;
+  const Table& table(int table_id) const { return entry(table_id).table; }
+  const TableStats& stats(int table_id) const { return entry(table_id).stats; }
+  const std::string& table_name(int table_id) const {
+    return entry(table_id).name;
+  }
+
+  // Re-collects statistics for one table (e.g. after switching histogram
+  // settings).
+  Status Reanalyze(int table_id, const AnalyzeOptions& options);
+
+  // Replaces a table's statistics wholesale (what-if analysis, loading
+  // serialised stats). The column count must match the schema.
+  Status SetStats(int table_id, TableStats stats);
+
+ private:
+  std::vector<std::unique_ptr<CatalogEntry>> entries_;
+  std::unordered_map<std::string, int> by_name_;
+};
+
+}  // namespace joinest
+
+#endif  // JOINEST_STORAGE_CATALOG_H_

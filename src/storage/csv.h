@@ -1,0 +1,30 @@
+// CSV import/export for tables.
+//
+// Format: RFC-4180-flavoured — comma-separated, optional double-quoting
+// with "" escapes, first line is a header naming the columns. Import is
+// schema-driven: the caller supplies the schema; header names must match
+// (in order), and values are parsed to each column's type.
+
+#ifndef JOINEST_STORAGE_CSV_H_
+#define JOINEST_STORAGE_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace joinest {
+
+// Writes `table` as CSV (with header) to `out`.
+void WriteCsv(const Table& table, std::ostream& out);
+Status WriteCsvFile(const Table& table, const std::string& path);
+
+// Parses CSV from `in` into a table with `schema`. Fails with
+// kInvalidArgument on header mismatch, ragged rows, or unparseable values.
+StatusOr<Table> ReadCsv(const Schema& schema, std::istream& in);
+StatusOr<Table> ReadCsvFile(const Schema& schema, const std::string& path);
+
+}  // namespace joinest
+
+#endif  // JOINEST_STORAGE_CSV_H_

@@ -1,0 +1,76 @@
+#include "storage/datagen.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace joinest {
+
+std::vector<int64_t> MakeUniformColumn(int64_t n, int64_t d, Rng& rng,
+                                       bool ensure_cover) {
+  JOINEST_CHECK_GE(n, 0);
+  JOINEST_CHECK_GE(d, 1);
+  std::vector<int64_t> data(n);
+  int64_t i = 0;
+  if (ensure_cover && n >= d) {
+    for (; i < d; ++i) data[i] = i;
+  }
+  for (; i < n; ++i) data[i] = static_cast<int64_t>(rng.NextBounded(d));
+  // Shuffle so the covered prefix isn't positionally biased.
+  for (int64_t j = n - 1; j > 0; --j) {
+    const int64_t k = static_cast<int64_t>(rng.NextBounded(j + 1));
+    std::swap(data[j], data[k]);
+  }
+  return data;
+}
+
+std::vector<int64_t> MakeKeyColumn(int64_t n, Rng& rng) {
+  return rng.Permutation(n);
+}
+
+std::vector<int64_t> MakeBalancedColumn(int64_t n, int64_t d, Rng& rng) {
+  JOINEST_CHECK_GE(n, 0);
+  JOINEST_CHECK_GE(d, 1);
+  JOINEST_CHECK_EQ(n % d, 0) << "d must divide n for an equifrequent column";
+  std::vector<int64_t> data(n);
+  for (int64_t i = 0; i < n; ++i) data[i] = i % d;
+  for (int64_t j = n - 1; j > 0; --j) {
+    const int64_t k = static_cast<int64_t>(rng.NextBounded(j + 1));
+    std::swap(data[j], data[k]);
+  }
+  return data;
+}
+
+std::vector<int64_t> MakeSequentialColumn(int64_t n) {
+  std::vector<int64_t> data(n);
+  for (int64_t i = 0; i < n; ++i) data[i] = i;
+  return data;
+}
+
+std::vector<int64_t> MakeZipfColumn(int64_t n, int64_t d, double theta,
+                                    Rng& rng) {
+  JOINEST_CHECK_GE(n, 0);
+  JOINEST_CHECK_GE(d, 1);
+  ZipfDistribution zipf(d, theta);
+  std::vector<int64_t> data(n);
+  for (int64_t i = 0; i < n; ++i) data[i] = zipf.Sample(rng) - 1;
+  return data;
+}
+
+std::vector<std::string> MakeStringColumn(int64_t n, int64_t d, Rng& rng) {
+  JOINEST_CHECK_GE(n, 0);
+  JOINEST_CHECK_GE(d, 1);
+  std::vector<std::string> data(n);
+  for (int64_t i = 0; i < n; ++i) {
+    data[i] = "v" + std::to_string(rng.NextBounded(d));
+  }
+  return data;
+}
+
+int64_t CountDistinct(const std::vector<int64_t>& data) {
+  std::unordered_set<int64_t> seen(data.begin(), data.end());
+  return static_cast<int64_t>(seen.size());
+}
+
+}  // namespace joinest

@@ -1,0 +1,54 @@
+// Synthetic column generators.
+//
+// The paper's assumptions (§2) shape these generators:
+//  * Uniformity — MakeUniformColumn draws each row's value uniformly from
+//    {0, ..., d-1}, and by default guarantees that all d values appear
+//    (so the collected column cardinality equals the intended d exactly).
+//  * Containment — value domains are prefixes {0..d-1}, so the values of a
+//    column with smaller cardinality are a subset of any larger domain.
+//  * Skew — MakeZipfColumn breaks the uniformity assumption on purpose
+//    (Zipf(θ) frequencies) for the skew-sensitivity ablation.
+
+#ifndef JOINEST_STORAGE_DATAGEN_H_
+#define JOINEST_STORAGE_DATAGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace joinest {
+
+// n rows uniform over {0..d-1}, shuffled. If `ensure_cover` (default) and
+// n >= d, every one of the d values appears at least once so the realised
+// column cardinality is exactly d. Requires n >= 0, d >= 1.
+std::vector<int64_t> MakeUniformColumn(int64_t n, int64_t d, Rng& rng,
+                                       bool ensure_cover = true);
+
+// A key column: a random permutation of {0..n-1}; column cardinality n.
+std::vector<int64_t> MakeKeyColumn(int64_t n, Rng& rng);
+
+// An exactly equifrequent column: each of the d values appears exactly n/d
+// times (requires d to divide n), shuffled. Makes the paper's uniformity
+// assumption hold EXACTLY, so Equation 3 predicts join sizes without
+// sampling noise. Requires n >= 0, d >= 1, n % d == 0.
+std::vector<int64_t> MakeBalancedColumn(int64_t n, int64_t d, Rng& rng);
+
+// 0, 1, ..., n-1 in order.
+std::vector<int64_t> MakeSequentialColumn(int64_t n);
+
+// n rows over {0..d-1} with Zipf(theta) frequencies: value v has frequency
+// rank v+1 (value 0 is the most frequent). theta == 0 is uniform.
+std::vector<int64_t> MakeZipfColumn(int64_t n, int64_t d, double theta,
+                                    Rng& rng);
+
+// Uniform string column over d distinct strings "v<k>".
+std::vector<std::string> MakeStringColumn(int64_t n, int64_t d, Rng& rng);
+
+// Exact number of distinct values in a column (test/bench ground truth).
+int64_t CountDistinct(const std::vector<int64_t>& data);
+
+}  // namespace joinest
+
+#endif  // JOINEST_STORAGE_DATAGEN_H_

@@ -1,0 +1,84 @@
+#include "storage/datasets.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/datagen.h"
+#include "storage/table.h"
+
+namespace joinest {
+
+namespace {
+
+// One table with a key join column (a permutation of {0..rows-1}) and an
+// optional payload column.
+Status AddKeyTable(Catalog& catalog, const std::string& table_name,
+                   const std::string& column_name, int64_t rows, Rng& rng,
+                   bool with_payload, const AnalyzeOptions& analyze) {
+  std::vector<ColumnDef> defs = {{column_name, TypeKind::kInt64}};
+  if (with_payload) defs.push_back({"payload", TypeKind::kInt64});
+  std::vector<std::vector<Value>> columns;
+  columns.push_back(ToValueColumn(MakeKeyColumn(rows, rng)));
+  if (with_payload) {
+    columns.push_back(ToValueColumn(MakeUniformColumn(
+        rows, std::max<int64_t>(rows / 10, 1), rng, /*ensure_cover=*/false)));
+  }
+  Table table = Table::FromColumns(Schema(std::move(defs)),
+                                   std::move(columns));
+  JOINEST_ASSIGN_OR_RETURN([[maybe_unused]] int id,
+                           catalog.AddTable(table_name, std::move(table),
+                                            analyze));
+  return Status::OK();
+}
+
+}  // namespace
+
+Status BuildPaperDataset(Catalog& catalog,
+                         const PaperDatasetOptions& options) {
+  Rng rng(options.seed);
+  const int64_t scale = options.scale;
+  JOINEST_RETURN_IF_ERROR(AddKeyTable(catalog, "S", "s", 1000 * scale, rng,
+                                      options.with_payload, options.analyze));
+  JOINEST_RETURN_IF_ERROR(AddKeyTable(catalog, "M", "m", 10000 * scale, rng,
+                                      options.with_payload, options.analyze));
+  JOINEST_RETURN_IF_ERROR(AddKeyTable(catalog, "B", "b", 50000 * scale, rng,
+                                      options.with_payload, options.analyze));
+  JOINEST_RETURN_IF_ERROR(AddKeyTable(catalog, "G", "g", 100000 * scale, rng,
+                                      options.with_payload, options.analyze));
+  return Status::OK();
+}
+
+Status BuildExample1Dataset(Catalog& catalog, uint64_t seed) {
+  Rng rng(seed);
+  // R1(a, x): 100 rows, d_x = 10. Balanced columns make the uniformity
+  // assumption exact, so Equation 3's prediction (1000) is the true size.
+  {
+    Table table = Table::FromColumns(
+        Schema({{"a", TypeKind::kInt64}, {"x", TypeKind::kInt64}}),
+        {ToValueColumn(MakeSequentialColumn(100)),
+         ToValueColumn(MakeBalancedColumn(100, 10, rng))});
+    JOINEST_ASSIGN_OR_RETURN([[maybe_unused]] int id,
+                             catalog.AddTable("R1", std::move(table)));
+  }
+  // R2(y): 1000 rows, d_y = 100.
+  {
+    Table table = Table::FromColumns(
+        Schema({{"y", TypeKind::kInt64}}),
+        {ToValueColumn(MakeBalancedColumn(1000, 100, rng))});
+    JOINEST_ASSIGN_OR_RETURN([[maybe_unused]] int id,
+                             catalog.AddTable("R2", std::move(table)));
+  }
+  // R3(z): 1000 rows, d_z = 1000.
+  {
+    Table table = Table::FromColumns(
+        Schema({{"z", TypeKind::kInt64}}),
+        {ToValueColumn(MakeKeyColumn(1000, rng))});
+    JOINEST_ASSIGN_OR_RETURN([[maybe_unused]] int id,
+                             catalog.AddTable("R3", std::move(table)));
+  }
+  return Status::OK();
+}
+
+}  // namespace joinest

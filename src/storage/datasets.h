@@ -1,0 +1,45 @@
+// Canonical datasets used across tests, examples and benchmarks.
+//
+// BuildPaperDataset materialises the §8 experiment's tables exactly:
+//   ||S|| = 1000, ||M|| = 10000, ||B|| = 50000, ||G|| = 100000
+//   d_s = 1000, d_m = 10000, d_b = 50000, d_g = 100000
+// Each table's join column is a random permutation of {0..n-1}, which makes
+// every column a key (d = ||R||) and makes the containment assumption hold
+// exactly (smaller domains are prefixes of larger ones). Consequently the
+// true size of any join subset restricted by `s < 100·scale` is exactly
+// 100·scale, the paper's ground truth.
+//
+// BuildExample1Dataset materialises tables with the statistics of the
+// paper's running example (Examples 1a/1b/2/3):
+//   ||R1|| = 100, ||R2|| = 1000, ||R3|| = 1000, d_x = 10, d_y = 100,
+//   d_z = 1000.
+
+#ifndef JOINEST_STORAGE_DATASETS_H_
+#define JOINEST_STORAGE_DATASETS_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "storage/catalog.h"
+
+namespace joinest {
+
+struct PaperDatasetOptions {
+  // Multiplies every table and column cardinality. scale=1 reproduces the
+  // paper's numbers.
+  int64_t scale = 1;
+  uint64_t seed = 42;
+  // Extra payload column per table so tuples have realistic width.
+  bool with_payload = true;
+  AnalyzeOptions analyze;
+};
+
+// Adds tables S, M, B, G (join columns s, m, b, g) to `catalog`.
+Status BuildPaperDataset(Catalog& catalog, const PaperDatasetOptions& options);
+
+// Adds tables R1(a, x), R2(y), R3(z) with Example 1b's statistics.
+Status BuildExample1Dataset(Catalog& catalog, uint64_t seed = 42);
+
+}  // namespace joinest
+
+#endif  // JOINEST_STORAGE_DATASETS_H_

@@ -1,0 +1,48 @@
+#include "types/schema.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace joinest {
+
+Schema::Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {
+  std::unordered_set<std::string> seen;
+  for (const ColumnDef& col : columns_) {
+    JOINEST_CHECK(seen.insert(col.name).second)
+        << "duplicate column name: " << col.name;
+  }
+}
+
+const ColumnDef& Schema::column(int i) const {
+  JOINEST_CHECK_GE(i, 0);
+  JOINEST_CHECK_LT(i, num_columns());
+  return columns_[i];
+}
+
+int Schema::FindColumn(const std::string& name) const {
+  for (int i = 0; i < num_columns(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return -1;
+}
+
+StatusOr<int> Schema::ResolveColumn(const std::string& name) const {
+  const int index = FindColumn(name);
+  if (index < 0) return NotFound("no column named '" + name + "'");
+  return index;
+}
+
+std::string Schema::ToString() const {
+  std::string result = "(";
+  for (int i = 0; i < num_columns(); ++i) {
+    if (i > 0) result += ", ";
+    result += columns_[i].name;
+    result += " ";
+    result += TypeKindName(columns_[i].type);
+  }
+  result += ")";
+  return result;
+}
+
+}  // namespace joinest

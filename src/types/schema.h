@@ -1,0 +1,43 @@
+// Table schemas: named, typed columns.
+
+#ifndef JOINEST_TYPES_SCHEMA_H_
+#define JOINEST_TYPES_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/value.h"
+
+namespace joinest {
+
+struct ColumnDef {
+  std::string name;
+  TypeKind type = TypeKind::kInt64;
+};
+
+// An ordered list of column definitions with unique names.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const ColumnDef& column(int i) const;
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  // Index of the named column, or -1 if absent.
+  int FindColumn(const std::string& name) const;
+
+  // Like FindColumn but returns an error naming the missing column.
+  StatusOr<int> ResolveColumn(const std::string& name) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace joinest
+
+#endif  // JOINEST_TYPES_SCHEMA_H_

@@ -1,0 +1,117 @@
+#include "types/value.h"
+
+#include <ostream>
+
+#include "common/logging.h"
+#include "common/table_printer.h"
+
+namespace joinest {
+
+const char* TypeKindName(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kInt64:
+      return "INT64";
+    case TypeKind::kDouble:
+      return "DOUBLE";
+    case TypeKind::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+int64_t Value::AsInt64() const {
+  JOINEST_CHECK(type() == TypeKind::kInt64) << "not an int64";
+  return std::get<int64_t>(data_);
+}
+
+double Value::AsDouble() const {
+  JOINEST_CHECK(type() == TypeKind::kDouble) << "not a double";
+  return std::get<double>(data_);
+}
+
+const std::string& Value::AsString() const {
+  JOINEST_CHECK(type() == TypeKind::kString) << "not a string";
+  return std::get<std::string>(data_);
+}
+
+double Value::ToNumeric() const {
+  switch (type()) {
+    case TypeKind::kInt64:
+      return static_cast<double>(std::get<int64_t>(data_));
+    case TypeKind::kDouble:
+      return std::get<double>(data_);
+    case TypeKind::kString:
+      JOINEST_CHECK(false) << "ToNumeric on string value";
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case TypeKind::kInt64:
+      return std::to_string(std::get<int64_t>(data_));
+    case TypeKind::kDouble:
+      return FormatNumber(std::get<double>(data_));
+    case TypeKind::kString:
+      return std::get<std::string>(data_);
+  }
+  return "";
+}
+
+namespace {
+
+bool BothNumeric(const Value& a, const Value& b) {
+  return a.type() != TypeKind::kString && b.type() != TypeKind::kString;
+}
+
+}  // namespace
+
+bool Value::operator==(const Value& other) const {
+  if (type() == other.type()) return data_ == other.data_;
+  JOINEST_CHECK(BothNumeric(*this, other))
+      << "comparing " << TypeKindName(type()) << " with "
+      << TypeKindName(other.type());
+  return ToNumeric() == other.ToNumeric();
+}
+
+bool Value::operator<(const Value& other) const {
+  if (type() == other.type()) return data_ < other.data_;
+  JOINEST_CHECK(BothNumeric(*this, other))
+      << "comparing " << TypeKindName(type()) << " with "
+      << TypeKindName(other.type());
+  return ToNumeric() < other.ToNumeric();
+}
+
+bool Value::operator<=(const Value& other) const {
+  return *this < other || *this == other;
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case TypeKind::kInt64: {
+      // Mix so that dense key ranges spread across buckets.
+      uint64_t x = static_cast<uint64_t>(std::get<int64_t>(data_));
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      return static_cast<size_t>(x ^ (x >> 31));
+    }
+    case TypeKind::kDouble: {
+      const double d = std::get<double>(data_);
+      // Hash doubles that hold integral values identically to the int64, so
+      // mixed-type equality is consistent with hashing.
+      if (d == static_cast<double>(static_cast<int64_t>(d))) {
+        return Value(static_cast<int64_t>(d)).Hash();
+      }
+      return std::hash<double>()(d);
+    }
+    case TypeKind::kString:
+      return std::hash<std::string>()(std::get<std::string>(data_));
+  }
+  return 0;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& value) {
+  return os << value.ToString();
+}
+
+}  // namespace joinest

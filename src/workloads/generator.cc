@@ -1,0 +1,137 @@
+#include "workloads/generator.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/datagen.h"
+
+namespace joinest {
+
+namespace {
+
+// Edge list of the requested query shape over tables 0..n-1.
+std::vector<std::pair<int, int>> ShapeEdges(WorkloadOptions::Shape shape,
+                                            int n) {
+  std::vector<std::pair<int, int>> edges;
+  switch (shape) {
+    case WorkloadOptions::Shape::kChain:
+      for (int i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+      break;
+    case WorkloadOptions::Shape::kStar:
+      for (int i = 1; i < n; ++i) edges.emplace_back(0, i);
+      break;
+    case WorkloadOptions::Shape::kClique:
+      for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) edges.emplace_back(i, j);
+      }
+      break;
+    case WorkloadOptions::Shape::kCycle:
+      for (int i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+      if (n > 2) edges.emplace_back(n - 1, 0);
+      break;
+  }
+  return edges;
+}
+
+StatusOr<GeneratedWorkload> GenerateSingleClass(
+    const WorkloadOptions& options, Rng& rng) {
+  GeneratedWorkload w;
+  for (int t = 0; t < options.num_tables; ++t) {
+    int64_t rows = rng.NextInt(options.min_rows, options.max_rows);
+    const int64_t d_cap = std::min(rows, options.max_distinct);
+    const int64_t d = rng.NextInt(std::min(options.min_distinct, d_cap),
+                                  d_cap);
+    std::vector<int64_t> column;
+    if (options.balanced) {
+      rows = std::max<int64_t>(rows - rows % d, d);  // Multiple of d.
+      column = MakeBalancedColumn(rows, d, rng);
+    } else if (options.zipf_theta > 0) {
+      column = MakeZipfColumn(rows, d, options.zipf_theta, rng);
+    } else {
+      column = MakeUniformColumn(rows, d, rng);
+    }
+    Table table = Table::FromColumns(
+        Schema({{"k" + std::to_string(t), TypeKind::kInt64}}),
+        {ToValueColumn(std::move(column))});
+    JOINEST_ASSIGN_OR_RETURN(
+        [[maybe_unused]] int id,
+        w.catalog.AddTable("T" + std::to_string(t), std::move(table),
+                           options.analyze));
+  }
+  w.spec.count_star = true;
+  for (int t = 0; t < options.num_tables; ++t) {
+    JOINEST_ASSIGN_OR_RETURN(
+        [[maybe_unused]] int index,
+        w.spec.AddTable(w.catalog, "T" + std::to_string(t)));
+  }
+  for (const auto& [a, b] : ShapeEdges(options.shape, options.num_tables)) {
+    w.spec.predicates.push_back(
+        Predicate::Join(ColumnRef{a, 0}, ColumnRef{b, 0}));
+  }
+  return w;
+}
+
+StatusOr<GeneratedWorkload> GenerateFkChain(const WorkloadOptions& options,
+                                            Rng& rng) {
+  if (options.shape != WorkloadOptions::Shape::kChain) {
+    return Unimplemented(
+        "multi-class workloads support the chain shape only");
+  }
+  GeneratedWorkload w;
+  const int n = options.num_tables;
+  std::vector<int64_t> rows(n);
+  for (int t = 0; t < n; ++t) {
+    rows[t] = rng.NextInt(options.min_rows, options.max_rows);
+  }
+  for (int t = 0; t < n; ++t) {
+    const int64_t fk_domain = t + 1 < n ? rows[t + 1] : rows[t];
+    Table table = Table::FromColumns(
+        Schema({{"pk", TypeKind::kInt64}, {"fk", TypeKind::kInt64}}),
+        {ToValueColumn(MakeKeyColumn(rows[t], rng)),
+         ToValueColumn(MakeUniformColumn(rows[t], fk_domain, rng,
+                                         /*ensure_cover=*/false))});
+    JOINEST_ASSIGN_OR_RETURN(
+        [[maybe_unused]] int id,
+        w.catalog.AddTable("T" + std::to_string(t), std::move(table),
+                           options.analyze));
+  }
+  w.spec.count_star = true;
+  for (int t = 0; t < n; ++t) {
+    JOINEST_ASSIGN_OR_RETURN(
+        [[maybe_unused]] int index,
+        w.spec.AddTable(w.catalog, "T" + std::to_string(t)));
+  }
+  for (int t = 0; t + 1 < n; ++t) {
+    w.spec.predicates.push_back(
+        Predicate::Join(ColumnRef{t, 1}, ColumnRef{t + 1, 0}));
+  }
+  return w;
+}
+
+}  // namespace
+
+StatusOr<GeneratedWorkload> GenerateWorkload(const WorkloadOptions& options) {
+  if (options.num_tables < 2) {
+    return InvalidArgument("workloads need at least two tables");
+  }
+  Rng rng(options.seed);
+  JOINEST_ASSIGN_OR_RETURN(
+      GeneratedWorkload w,
+      options.single_class ? GenerateSingleClass(options, rng)
+                           : GenerateFkChain(options, rng));
+  if (options.add_local_predicate) {
+    // Restrict ~20% of table 0's first column. Domains start at 0, so a
+    // `< ceil(domain/5)` bound does the job for all generators here.
+    const double d = w.catalog.stats(0).column(0).distinct_count;
+    const int64_t bound = std::max<int64_t>(1, static_cast<int64_t>(d / 5));
+    w.spec.predicates.push_back(Predicate::LocalConst(
+        ColumnRef{0, 0}, CompareOp::kLt, Value(bound)));
+  }
+  JOINEST_RETURN_IF_ERROR(w.spec.Validate(w.catalog));
+  return w;
+}
+
+}  // namespace joinest

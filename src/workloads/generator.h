@@ -1,0 +1,57 @@
+// Synthetic workload generation: catalogs plus conjunctive join queries in
+// the shapes estimation papers sweep over (chain, star, clique, cycle).
+//
+// Two regimes:
+//  * single_class = true — every table contributes one join column to ONE
+//    equivalence class (nested prefix domains, so containment holds). This
+//    is the regime where Rules M / SS / LS diverge.
+//  * single_class = false — a foreign-key chain on distinct attributes
+//    (kChain only): one predicate per class, bounded true sizes; the
+//    control regime where all rules agree.
+//
+// With balanced = true the columns are exactly equifrequent, making the
+// paper's uniformity assumption exact (Rule LS's estimate then equals the
+// true size); zipf_theta > 0 breaks uniformity on purpose.
+
+#ifndef JOINEST_WORKLOADS_GENERATOR_H_
+#define JOINEST_WORKLOADS_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "query/query_spec.h"
+#include "storage/catalog.h"
+
+namespace joinest {
+
+struct WorkloadOptions {
+  enum class Shape { kChain, kStar, kClique, kCycle };
+  Shape shape = Shape::kChain;
+  int num_tables = 4;
+  bool single_class = true;
+  // Row counts drawn uniformly from [min_rows, max_rows]; single-class
+  // column cardinalities from [min_distinct, min(rows, max_distinct)].
+  int64_t min_rows = 100;
+  int64_t max_rows = 2000;
+  int64_t min_distinct = 20;
+  int64_t max_distinct = 500;
+  // Exactly equifrequent columns (rows rounded to a multiple of d).
+  bool balanced = true;
+  // When > 0 (and balanced == false), join columns are Zipf-distributed.
+  double zipf_theta = 0.0;
+  // Adds `t0.c < constant` restricting the first table to ~20%.
+  bool add_local_predicate = false;
+  uint64_t seed = 1;
+  AnalyzeOptions analyze;
+};
+
+struct GeneratedWorkload {
+  Catalog catalog;
+  QuerySpec spec;
+};
+
+StatusOr<GeneratedWorkload> GenerateWorkload(const WorkloadOptions& options);
+
+}  // namespace joinest
+
+#endif  // JOINEST_WORKLOADS_GENERATOR_H_

@@ -1,0 +1,52 @@
+#include "workloads/metrics.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/table_printer.h"
+
+namespace joinest {
+
+double QError(double estimate, double truth) {
+  if (estimate <= 0 && truth <= 0) return 1.0;
+  if (estimate <= 0 || truth <= 0) return HUGE_VAL;
+  return std::max(estimate / truth, truth / estimate);
+}
+
+AccuracySummary Summarize(
+    const std::vector<std::pair<double, double>>& estimate_truth) {
+  AccuracySummary summary;
+  double log_ratio_sum = 0;
+  double q_sum = 0;
+  double q_max = 1.0;
+  int within2 = 0;
+  for (const auto& [estimate, truth] : estimate_truth) {
+    if (truth <= 0) continue;
+    ++summary.count;
+    const double q = QError(estimate, truth);
+    q_sum += q;
+    q_max = std::max(q_max, q);
+    if (q <= 2.0) ++within2;
+    log_ratio_sum +=
+        std::log(std::max(estimate, 1e-300) / truth);
+  }
+  if (summary.count == 0) return summary;
+  summary.geometric_mean_ratio = std::exp(log_ratio_sum / summary.count);
+  summary.mean_q_error = q_sum / summary.count;
+  summary.max_q_error = q_max;
+  summary.within_factor_two =
+      static_cast<double>(within2) / summary.count;
+  return summary;
+}
+
+std::string AccuracySummary::ToString() const {
+  std::ostringstream oss;
+  oss << "n=" << count << " gmean(est/true)=" <<
+      FormatNumber(geometric_mean_ratio, 3)
+      << " mean-q=" << FormatNumber(mean_q_error, 3)
+      << " max-q=" << FormatNumber(max_q_error, 3)
+      << " within2x=" << FormatNumber(100 * within_factor_two, 3) << "%";
+  return oss.str();
+}
+
+}  // namespace joinest

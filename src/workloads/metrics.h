@@ -1,0 +1,36 @@
+// Accuracy metrics for cardinality estimates.
+
+#ifndef JOINEST_WORKLOADS_METRICS_H_
+#define JOINEST_WORKLOADS_METRICS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace joinest {
+
+// The q-error max(estimate/truth, truth/estimate): ≥ 1, symmetric in over-
+// and under-estimation; the standard cardinality-estimation metric. Both
+// zero → 1; one of them zero → +inf.
+double QError(double estimate, double truth);
+
+struct AccuracySummary {
+  int count = 0;
+  // Geometric mean of estimate/truth (1 = unbiased on a log scale;
+  // < 1 systematic underestimation).
+  double geometric_mean_ratio = 1.0;
+  double mean_q_error = 1.0;
+  double max_q_error = 1.0;
+  // Fraction of estimates within a factor of two of the truth.
+  double within_factor_two = 1.0;
+
+  std::string ToString() const;
+};
+
+// Summarises (estimate, truth) pairs; pairs with truth <= 0 are skipped.
+AccuracySummary Summarize(
+    const std::vector<std::pair<double, double>>& estimate_truth);
+
+}  // namespace joinest
+
+#endif  // JOINEST_WORKLOADS_METRICS_H_

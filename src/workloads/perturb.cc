@@ -1,0 +1,41 @@
+#include "workloads/perturb.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace joinest {
+
+namespace {
+
+double LogUniformFactor(double epsilon, Rng& rng) {
+  if (epsilon <= 0) return 1.0;
+  const double hi = std::log1p(epsilon);
+  // Uniform in [-hi, hi] on the log scale.
+  return std::exp((rng.NextDouble() * 2 - 1) * hi);
+}
+
+}  // namespace
+
+TableStats PerturbStats(const TableStats& stats,
+                        const PerturbOptions& options, Rng& rng) {
+  JOINEST_CHECK_GE(options.epsilon, 0.0);
+  TableStats result = stats;
+  if (options.perturb_row_count) {
+    result.row_count = std::max(
+        1.0, std::round(stats.row_count *
+                        LogUniformFactor(options.epsilon, rng)));
+  }
+  if (options.perturb_distinct) {
+    for (ColumnStats& col : result.columns) {
+      col.distinct_count = std::clamp(
+          std::round(col.distinct_count *
+                     LogUniformFactor(options.epsilon, rng)),
+          1.0, result.row_count);
+    }
+  }
+  return result;
+}
+
+}  // namespace joinest

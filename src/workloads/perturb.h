@@ -1,0 +1,29 @@
+// Catalog-statistics perturbation, for studying how errors in the
+// maintained statistics propagate through join-size estimation (the paper
+// cites Ioannidis & Christodoulakis [4] for exactly this question).
+
+#ifndef JOINEST_WORKLOADS_PERTURB_H_
+#define JOINEST_WORKLOADS_PERTURB_H_
+
+#include "common/random.h"
+#include "stats/column_stats.h"
+
+namespace joinest {
+
+struct PerturbOptions {
+  // Each statistic s becomes s × f with f drawn log-uniformly from
+  // [1/(1+epsilon), 1+epsilon]. epsilon = 0 is a no-op.
+  double epsilon = 0.0;
+  bool perturb_row_count = true;
+  bool perturb_distinct = true;
+};
+
+// Returns a perturbed copy. Distinct counts stay within [1, row_count];
+// histograms/min/max are left untouched (they are derived data the
+// perturbation study doesn't target).
+TableStats PerturbStats(const TableStats& stats,
+                        const PerturbOptions& options, Rng& rng);
+
+}  // namespace joinest
+
+#endif  // JOINEST_WORKLOADS_PERTURB_H_

@@ -1,0 +1,297 @@
+// Tests for common/: Status, StatusOr, Rng, ZipfDistribution, UnionFind,
+// TablePrinter.
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/table_printer.h"
+#include "common/union_find.h"
+#include "gtest/gtest.h"
+
+namespace joinest {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = InvalidArgument("bad input");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad input");
+  EXPECT_EQ(status.ToString(), "INVALID_ARGUMENT: bad input");
+}
+
+TEST(StatusTest, FactoriesMapToCodes) {
+  EXPECT_EQ(NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(InvalidArgument("a"), InvalidArgument("a"));
+  EXPECT_FALSE(InvalidArgument("a") == InvalidArgument("b"));
+  EXPECT_FALSE(InvalidArgument("a") == NotFound("a"));
+}
+
+TEST(StatusTest, StreamInsertionPrintsToString) {
+  std::ostringstream oss;
+  oss << NotFound("missing");
+  EXPECT_EQ(oss.str(), "NOT_FOUND: missing");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result(NotFound("nope"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> result(std::string("payload"));
+  const std::string value = std::move(result).value();
+  EXPECT_EQ(value, "payload");
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) return InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseHalf(int x, int* out) {
+  JOINEST_ASSIGN_OR_RETURN(*out, Half(x));
+  return Status::OK();
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UseHalf(8, &out).ok());
+  EXPECT_EQ(out, 4);
+  EXPECT_EQ(UseHalf(7, &out).code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextBoundedInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversAllResidues) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBounded(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, NextIntRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.NextInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(13);
+  const std::vector<int64_t> perm = rng.Permutation(1000);
+  std::set<int64_t> values(perm.begin(), perm.end());
+  EXPECT_EQ(values.size(), 1000u);
+  EXPECT_EQ(*values.begin(), 0);
+  EXPECT_EQ(*values.rbegin(), 999);
+}
+
+TEST(RngTest, PermutationShuffles) {
+  Rng rng(13);
+  const std::vector<int64_t> perm = rng.Permutation(1000);
+  int fixed_points = 0;
+  for (int64_t i = 0; i < 1000; ++i) {
+    if (perm[i] == i) ++fixed_points;
+  }
+  // E[fixed points] = 1; 20 would be astronomically unlikely.
+  EXPECT_LT(fixed_points, 20);
+}
+
+// ---------------------------------------------------------------- Zipf
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  ZipfDistribution zipf(100, 0.0);
+  Rng rng(17);
+  std::vector<int> counts(100, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++counts[zipf.Sample(rng) - 1];
+  for (int c : counts) {
+    EXPECT_NEAR(c, draws / 100, draws / 100 * 0.35);
+  }
+}
+
+TEST(ZipfTest, SamplesWithinDomain) {
+  ZipfDistribution zipf(50, 1.0);
+  Rng rng(19);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = zipf.Sample(rng);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 50);
+  }
+}
+
+TEST(ZipfTest, Theta1MatchesHarmonicFrequencies) {
+  const int n = 10;
+  ZipfDistribution zipf(n, 1.0);
+  Rng rng(23);
+  std::vector<int> counts(n, 0);
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) ++counts[zipf.Sample(rng) - 1];
+  double harmonic = 0;
+  for (int k = 1; k <= n; ++k) harmonic += 1.0 / k;
+  for (int k = 1; k <= n; ++k) {
+    const double expected = draws / (k * harmonic);
+    EXPECT_NEAR(counts[k - 1], expected, expected * 0.1 + 30)
+        << "rank " << k;
+  }
+}
+
+TEST(ZipfTest, HigherThetaMoreSkewed) {
+  Rng rng(29);
+  ZipfDistribution mild(1000, 0.5), heavy(1000, 1.5);
+  int mild_top = 0, heavy_top = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (mild.Sample(rng) == 1) ++mild_top;
+    if (heavy.Sample(rng) == 1) ++heavy_top;
+  }
+  EXPECT_GT(heavy_top, mild_top * 3);
+}
+
+// ---------------------------------------------------------------- UnionFind
+
+TEST(UnionFindTest, SingletonsInitially) {
+  UnionFind sets(5);
+  EXPECT_EQ(sets.NumSets(), 5);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(sets.Find(i), i);
+}
+
+TEST(UnionFindTest, UnionMerges) {
+  UnionFind sets(4);
+  EXPECT_TRUE(sets.Union(0, 1));
+  EXPECT_TRUE(sets.Connected(0, 1));
+  EXPECT_FALSE(sets.Connected(0, 2));
+  EXPECT_EQ(sets.NumSets(), 3);
+}
+
+TEST(UnionFindTest, UnionIdempotent) {
+  UnionFind sets(3);
+  EXPECT_TRUE(sets.Union(0, 1));
+  EXPECT_FALSE(sets.Union(1, 0));
+  EXPECT_EQ(sets.NumSets(), 2);
+}
+
+TEST(UnionFindTest, TransitiveConnectivity) {
+  UnionFind sets(6);
+  sets.Union(0, 1);
+  sets.Union(2, 3);
+  sets.Union(1, 2);
+  EXPECT_TRUE(sets.Connected(0, 3));
+  EXPECT_FALSE(sets.Connected(0, 4));
+  EXPECT_EQ(sets.NumSets(), 3);  // {0,1,2,3}, {4}, {5}
+}
+
+TEST(UnionFindTest, AddElementGrows) {
+  UnionFind sets(2);
+  const int id = sets.AddElement();
+  EXPECT_EQ(id, 2);
+  EXPECT_EQ(sets.size(), 3);
+  EXPECT_EQ(sets.NumSets(), 3);
+  sets.Union(id, 0);
+  EXPECT_TRUE(sets.Connected(2, 0));
+}
+
+TEST(UnionFindTest, LargeChainCompresses) {
+  const int n = 10000;
+  UnionFind sets(n);
+  for (int i = 1; i < n; ++i) sets.Union(i - 1, i);
+  EXPECT_EQ(sets.NumSets(), 1);
+  EXPECT_EQ(sets.Find(0), sets.Find(n - 1));
+}
+
+// ---------------------------------------------------------------- Printer
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter printer({"a", "long_header"});
+  printer.AddRow({"xxxxxx", "1"});
+  const std::string out = printer.ToString();
+  // Both rows have the same width.
+  std::istringstream iss(out);
+  std::string line1, line2, line3;
+  std::getline(iss, line1);
+  std::getline(iss, line2);
+  std::getline(iss, line3);
+  EXPECT_EQ(line1.size(), line2.size());
+  EXPECT_EQ(line1.size(), line3.size());
+  EXPECT_NE(line1.find("long_header"), std::string::npos);
+  EXPECT_NE(line3.find("xxxxxx"), std::string::npos);
+}
+
+TEST(FormatNumberTest, Integers) {
+  EXPECT_EQ(FormatNumber(0), "0");
+  EXPECT_EQ(FormatNumber(100), "100");
+  EXPECT_EQ(FormatNumber(-42), "-42");
+}
+
+TEST(FormatNumberTest, TinyMagnitudesUseScientific) {
+  EXPECT_EQ(FormatNumber(4e-8), "4e-08");
+  EXPECT_EQ(FormatNumber(4e-21), "4e-21");
+}
+
+TEST(FormatNumberTest, SpecialValues) {
+  EXPECT_EQ(FormatNumber(std::nan("")), "nan");
+  EXPECT_EQ(FormatNumber(HUGE_VAL), "inf");
+}
+
+}  // namespace
+}  // namespace joinest

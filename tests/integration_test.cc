@@ -1,0 +1,355 @@
+// End-to-end tests: SQL text → parse → rewrite → estimate → optimize →
+// execute, validated against the reference executor and, where the data is
+// constructed to satisfy the paper's assumptions exactly, against the
+// closed-form Equation 3.
+
+#include <cmath>
+
+#include "estimator/presets.h"
+#include "executor/execute.h"
+#include "gtest/gtest.h"
+#include "optimizer/optimizer.h"
+#include "query/parser.h"
+#include "storage/datagen.h"
+#include "storage/datasets.h"
+#include "tests/test_util.h"
+
+namespace joinest {
+namespace {
+
+int64_t Optimized(const Catalog& catalog, const QuerySpec& spec,
+                  AlgorithmPreset preset) {
+  OptimizerOptions options;
+  options.estimation = PresetOptions(preset);
+  auto plan = OptimizeQuery(catalog, spec, options);
+  JOINEST_CHECK(plan.ok()) << plan.status();
+  auto result = ExecutePlan(catalog, spec, *plan->root);
+  JOINEST_CHECK(result.ok()) << result.status();
+  return result->count;
+}
+
+TEST(IntegrationTest, Example1DatasetEndToEnd) {
+  Catalog catalog;
+  ASSERT_TRUE(BuildExample1Dataset(catalog, 11).ok());
+  auto spec = ParseQuery(catalog,
+                         "SELECT COUNT(*) FROM R1, R2, R3 "
+                         "WHERE R1.x = R2.y AND R2.y = R3.z");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  auto truth = TrueResultSize(catalog, *spec);
+  ASSERT_TRUE(truth.ok());
+  for (AlgorithmPreset preset : PaperPresets()) {
+    EXPECT_EQ(Optimized(catalog, *spec, preset), *truth)
+        << PresetName(preset);
+  }
+}
+
+TEST(IntegrationTest, Equation3HoldsOnConformingData) {
+  // Key/containment-conforming data: true size must equal Equation 3 and
+  // the ELS estimate must match both.
+  Catalog catalog;
+  ASSERT_TRUE(BuildExample1Dataset(catalog, 23).ok());
+  auto spec = ParseQuery(catalog,
+                         "SELECT COUNT(*) FROM R1, R2, R3 "
+                         "WHERE R1.x = R2.y AND R2.y = R3.z");
+  ASSERT_TRUE(spec.ok());
+  auto truth = TrueResultSize(catalog, *spec);
+  ASSERT_TRUE(truth.ok());
+  // Equation 3: (100 × 1000 × 1000) / (100 × 1000) = 1000.
+  EXPECT_EQ(*truth, 1000);
+  auto analyzed = AnalyzedQuery::Create(catalog, *spec,
+                                        PresetOptions(AlgorithmPreset::kELS));
+  ASSERT_TRUE(analyzed.ok());
+  EXPECT_DOUBLE_EQ(analyzed->EstimateFullJoin(), 1000);
+}
+
+TEST(IntegrationTest, LocalPredicateQueryAccuracy) {
+  Catalog catalog;
+  ASSERT_TRUE(BuildExample1Dataset(catalog, 31).ok());
+  auto spec = ParseQuery(catalog,
+                         "SELECT COUNT(*) FROM R1, R2 WHERE R1.x = R2.y AND "
+                         "R1.a < 50");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  auto truth = TrueResultSize(catalog, *spec);
+  ASSERT_TRUE(truth.ok());
+  auto analyzed = AnalyzedQuery::Create(catalog, *spec,
+                                        PresetOptions(AlgorithmPreset::kELS));
+  ASSERT_TRUE(analyzed.ok());
+  // Uniform conforming data: the estimate should be within 2x of truth.
+  const double estimate = analyzed->EstimateFullJoin();
+  EXPECT_GT(estimate, *truth * 0.5);
+  EXPECT_LT(estimate, *truth * 2.0);
+}
+
+TEST(IntegrationTest, PaperQueryAtSmallScale) {
+  Catalog catalog;
+  PaperDatasetOptions options;
+  options.with_payload = false;
+  ASSERT_TRUE(BuildPaperDataset(catalog, options).ok());
+  auto spec = ParseQuery(catalog,
+                         "SELECT COUNT(*) FROM S, M, B, G WHERE s = m AND "
+                         "m = b AND b = g AND s < 100");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  // Ground truth by construction: exactly 100.
+  auto truth = TrueResultSize(catalog, *spec);
+  ASSERT_TRUE(truth.ok());
+  EXPECT_EQ(*truth, 100);
+  for (AlgorithmPreset preset : AllPresets()) {
+    EXPECT_EQ(Optimized(catalog, *spec, preset), 100) << PresetName(preset);
+  }
+}
+
+TEST(IntegrationTest, SelfJoinColumnsWithinTable) {
+  // R(y, w) with y = w as a user predicate: §6 machinery end to end.
+  Rng rng(3);
+  Catalog catalog;
+  const std::vector<int64_t> y = MakeUniformColumn(2000, 10, rng);
+  const std::vector<int64_t> w = MakeUniformColumn(2000, 50, rng);
+  Table table = Table::FromColumns(
+      Schema({{"y", TypeKind::kInt64}, {"w", TypeKind::kInt64}}),
+      {ToValueColumn(y), ToValueColumn(w)});
+  ASSERT_TRUE(catalog.AddTable("R", std::move(table)).ok());
+
+  auto spec = ParseQuery(catalog, "SELECT COUNT(*) FROM R WHERE R.y = R.w");
+  ASSERT_TRUE(spec.ok());
+  auto truth = TrueResultSize(catalog, *spec);
+  ASSERT_TRUE(truth.ok());
+  auto analyzed = AnalyzedQuery::Create(catalog, *spec,
+                                        PresetOptions(AlgorithmPreset::kELS));
+  ASSERT_TRUE(analyzed.ok());
+  // ||R||' = ⌈2000/50⌉ = 40 expected ≈ truth for conforming data.
+  EXPECT_DOUBLE_EQ(analyzed->BaseCardinality(0), 40);
+  EXPECT_NEAR(static_cast<double>(*truth), 40, 20);
+}
+
+TEST(IntegrationTest, ContradictoryQueryReturnsZero) {
+  Catalog catalog;
+  ASSERT_TRUE(BuildExample1Dataset(catalog).ok());
+  auto spec = ParseQuery(catalog,
+                         "SELECT COUNT(*) FROM R1, R2 WHERE R1.x = R2.y AND "
+                         "R1.x = 3 AND R1.x = 5");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  auto truth = TrueResultSize(catalog, *spec);
+  ASSERT_TRUE(truth.ok());
+  EXPECT_EQ(*truth, 0);
+  auto analyzed = AnalyzedQuery::Create(catalog, *spec,
+                                        PresetOptions(AlgorithmPreset::kELS));
+  ASSERT_TRUE(analyzed.ok());
+  EXPECT_DOUBLE_EQ(analyzed->EstimateFullJoin(), 0);
+  EXPECT_EQ(Optimized(catalog, *spec, AlgorithmPreset::kELS), 0);
+}
+
+TEST(IntegrationTest, EqualityConstantPropagatesThroughJoin) {
+  // R1.x = R2.y AND R1.x = 7 — rule e gives R2.y = 7; estimates and truth
+  // must line up on conforming data.
+  Catalog catalog;
+  ASSERT_TRUE(BuildExample1Dataset(catalog, 41).ok());
+  auto spec = ParseQuery(catalog,
+                         "SELECT COUNT(*) FROM R1, R2 WHERE R1.x = R2.y AND "
+                         "R1.x = 7");
+  ASSERT_TRUE(spec.ok());
+  auto truth = TrueResultSize(catalog, *spec);
+  ASSERT_TRUE(truth.ok());
+  auto analyzed = AnalyzedQuery::Create(catalog, *spec,
+                                        PresetOptions(AlgorithmPreset::kELS));
+  ASSERT_TRUE(analyzed.ok());
+  // ||R1||/d_x × ||R2||/d_y = 10 × 10 = 100 expected.
+  EXPECT_NEAR(analyzed->EstimateFullJoin(), 100, 1);
+  EXPECT_NEAR(static_cast<double>(*truth), 100, 60);
+}
+
+TEST(IntegrationTest, ProjectionQueryReturnsRows) {
+  Catalog catalog;
+  ASSERT_TRUE(BuildExample1Dataset(catalog).ok());
+  auto spec = ParseQuery(
+      catalog, "SELECT R1.a FROM R1, R2 WHERE R1.x = R2.y AND R1.a < 10");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  OptimizerOptions options;
+  options.estimation = PresetOptions(AlgorithmPreset::kELS);
+  auto plan = OptimizeQuery(catalog, *spec, options);
+  ASSERT_TRUE(plan.ok());
+  auto result = ExecutePlan(catalog, *spec, *plan->root);
+  ASSERT_TRUE(result.ok());
+  auto truth = TrueResultSize(catalog, *spec);
+  ASSERT_TRUE(truth.ok());
+  EXPECT_EQ(result->output_rows, *truth);
+}
+
+TEST(IntegrationTest, FiveTableChainAllPresetsCorrect) {
+  Rng rng(17);
+  Catalog catalog;
+  for (int i = 0; i < 5; ++i) {
+    const int64_t rows = 200 * (i + 1);
+    const int64_t d = 40 * (i + 1);
+    Table table = Table::FromColumns(
+        Schema({{"k" + std::to_string(i), TypeKind::kInt64}}),
+        {ToValueColumn(MakeUniformColumn(rows, d, rng))});
+    ASSERT_TRUE(
+        catalog.AddTable("T" + std::to_string(i), std::move(table)).ok());
+  }
+  QuerySpec spec = MakeCountSpec(catalog, 5);
+  for (int i = 0; i + 1 < 5; ++i) {
+    spec.predicates.push_back(
+        Predicate::Join(ColumnRef{i, 0}, ColumnRef{i + 1, 0}));
+  }
+  spec.predicates.push_back(Predicate::LocalConst(
+      ColumnRef{0, 0}, CompareOp::kLt, Value(int64_t{20})));
+  auto truth = TrueResultSize(catalog, spec);
+  ASSERT_TRUE(truth.ok());
+  for (AlgorithmPreset preset : AllPresets()) {
+    EXPECT_EQ(Optimized(catalog, spec, preset), *truth) << PresetName(preset);
+  }
+}
+
+TEST(IntegrationTest, SelfJoinViaAliases) {
+  // The same table twice under different aliases: estimation treats the
+  // occurrences as distinct tables with identical statistics.
+  Catalog catalog;
+  ASSERT_TRUE(BuildExample1Dataset(catalog, 47).ok());
+  auto spec = ParseQuery(
+      catalog, "SELECT COUNT(*) FROM R1 a, R1 b WHERE a.x = b.x");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  auto truth = TrueResultSize(catalog, *spec);
+  ASSERT_TRUE(truth.ok());
+  // Balanced x (10 values × 10 rows each): Σ count² = 10 × 100 = 1000.
+  EXPECT_EQ(*truth, 1000);
+  auto analyzed = AnalyzedQuery::Create(catalog, *spec,
+                                        PresetOptions(AlgorithmPreset::kELS));
+  ASSERT_TRUE(analyzed.ok());
+  EXPECT_DOUBLE_EQ(analyzed->EstimateFullJoin(), 1000);  // 100²/10.
+  EXPECT_EQ(Optimized(catalog, *spec, AlgorithmPreset::kELS), 1000);
+}
+
+TEST(IntegrationTest, StringJoinColumns) {
+  Rng rng(71);
+  Catalog catalog;
+  Table t1 = Table::FromColumns(Schema({{"s1", TypeKind::kString}}),
+                                {ToValueColumn(MakeStringColumn(500, 20, rng))});
+  Table t2 = Table::FromColumns(Schema({{"s2", TypeKind::kString}}),
+                                {ToValueColumn(MakeStringColumn(300, 20, rng))});
+  ASSERT_TRUE(catalog.AddTable("T1", std::move(t1)).ok());
+  ASSERT_TRUE(catalog.AddTable("T2", std::move(t2)).ok());
+  auto spec = ParseQuery(catalog,
+                         "SELECT COUNT(*) FROM T1, T2 WHERE T1.s1 = T2.s2 "
+                         "AND T1.s1 <> 'v0'");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  auto truth = TrueResultSize(catalog, *spec);
+  ASSERT_TRUE(truth.ok());
+  EXPECT_EQ(Optimized(catalog, *spec, AlgorithmPreset::kELS), *truth);
+  // Estimation stays sane on string columns (uniformity fallback).
+  auto analyzed = AnalyzedQuery::Create(catalog, *spec,
+                                        PresetOptions(AlgorithmPreset::kELS));
+  ASSERT_TRUE(analyzed.ok());
+  EXPECT_GT(analyzed->EstimateFullJoin(), 0);
+}
+
+TEST(IntegrationTest, BushyOptimizerOnPaperQuery) {
+  Catalog catalog;
+  PaperDatasetOptions options;
+  options.with_payload = false;
+  ASSERT_TRUE(BuildPaperDataset(catalog, options).ok());
+  auto spec = ParseQuery(catalog,
+                         "SELECT COUNT(*) FROM S, M, B, G WHERE s = m AND "
+                         "m = b AND b = g AND s < 100");
+  ASSERT_TRUE(spec.ok());
+  OptimizerOptions optimizer;
+  optimizer.allow_bushy = true;
+  optimizer.estimation = PresetOptions(AlgorithmPreset::kELS);
+  auto plan = OptimizeQuery(catalog, *spec, optimizer);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  auto result = ExecutePlan(catalog, *spec, *plan->root);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->count, 100);
+}
+
+TEST(IntegrationTest, GroupByCountsAndGroupEstimate) {
+  // GROUP BY on a filtered table: the number of groups is exactly what the
+  // §5 urn model predicts in expectation.
+  Rng rng(83);
+  Catalog catalog;
+  Table t = Table::FromColumns(
+      Schema({{"g", TypeKind::kInt64}, {"v", TypeKind::kInt64}}),
+      {ToValueColumn(MakeUniformColumn(20000, 500, rng)),
+       ToValueColumn(MakeUniformColumn(20000, 10, rng))});
+  ASSERT_TRUE(catalog.AddTable("T", std::move(t)).ok());
+  auto spec = ParseQuery(
+      catalog, "SELECT COUNT(*) FROM T WHERE T.v = 3 GROUP BY T.g");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  ASSERT_EQ(spec->group_by.size(), 1u);
+
+  // Execute via a trivial scan plan.
+  auto plan = MakeScanNode(0, {spec->predicates[0]});
+  auto result = ExecutePlan(catalog, *spec, *plan);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // The counts over groups must add back up to the filtered row count.
+  QuerySpec ungrouped = *spec;
+  ungrouped.group_by.clear();
+  auto total = TrueResultSize(catalog, ungrouped);
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(result->count, *total);
+
+  // Group-count estimate (urn model) vs the real number of groups.
+  auto analyzed = AnalyzedQuery::Create(catalog, *spec,
+                                        PresetOptions(AlgorithmPreset::kELS));
+  ASSERT_TRUE(analyzed.ok());
+  const double estimate = analyzed->EstimateGroupCount();
+  EXPECT_NEAR(estimate, static_cast<double>(result->output_rows),
+              result->output_rows * 0.1);
+}
+
+TEST(IntegrationTest, GroupByOverJoin) {
+  Catalog catalog;
+  ASSERT_TRUE(BuildExample1Dataset(catalog, 91).ok());
+  auto spec = ParseQuery(catalog,
+                         "SELECT COUNT(*) FROM R1, R2 WHERE R1.x = R2.y "
+                         "GROUP BY R1.x");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  OptimizerOptions options;
+  options.estimation = PresetOptions(AlgorithmPreset::kELS);
+  auto plan = OptimizeQuery(catalog, *spec, options);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  auto result = ExecutePlan(catalog, *spec, *plan->root);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // d_x = 10 groups, every one populated (balanced data); the join size
+  // is 1000 spread over them.
+  EXPECT_EQ(result->output_rows, 10);
+  EXPECT_EQ(result->count, 1000);
+  auto analyzed = AnalyzedQuery::Create(catalog, *spec,
+                                        PresetOptions(AlgorithmPreset::kELS));
+  ASSERT_TRUE(analyzed.ok());
+  EXPECT_DOUBLE_EQ(analyzed->EstimateGroupCount(), 10);
+}
+
+TEST(IntegrationTest, GroupByWithoutCountRejected) {
+  Catalog catalog;
+  ASSERT_TRUE(BuildExample1Dataset(catalog, 93).ok());
+  EXPECT_FALSE(
+      ParseQuery(catalog, "SELECT R1.a FROM R1 GROUP BY R1.x").ok());
+}
+
+TEST(IntegrationTest, ZipfDataEstimateDegradesGracefully) {
+  // Non-conforming (skewed) data: ELS still returns a finite, positive
+  // estimate and the executor still gets the exact answer.
+  Rng rng(23);
+  Catalog catalog;
+  Table t1 = Table::FromColumns(
+      Schema({{"a", TypeKind::kInt64}}),
+      {ToValueColumn(MakeZipfColumn(5000, 200, 1.0, rng))});
+  Table t2 = Table::FromColumns(
+      Schema({{"b", TypeKind::kInt64}}),
+      {ToValueColumn(MakeZipfColumn(3000, 100, 1.0, rng))});
+  ASSERT_TRUE(catalog.AddTable("T1", std::move(t1)).ok());
+  ASSERT_TRUE(catalog.AddTable("T2", std::move(t2)).ok());
+  auto spec =
+      ParseQuery(catalog, "SELECT COUNT(*) FROM T1, T2 WHERE T1.a = T2.b");
+  ASSERT_TRUE(spec.ok());
+  auto analyzed = AnalyzedQuery::Create(catalog, *spec,
+                                        PresetOptions(AlgorithmPreset::kELS));
+  ASSERT_TRUE(analyzed.ok());
+  EXPECT_GT(analyzed->EstimateFullJoin(), 0);
+  EXPECT_TRUE(std::isfinite(analyzed->EstimateFullJoin()));
+  EXPECT_EQ(Optimized(catalog, *spec, AlgorithmPreset::kELS),
+            *TrueResultSize(catalog, *spec));
+}
+
+}  // namespace
+}  // namespace joinest

@@ -1,0 +1,424 @@
+// Property-based tests (parameterised sweeps over random instances).
+//
+// The central invariants from the paper:
+//  * Rule LS's incremental estimate equals Equation 3's closed form for a
+//    single equivalence class, for EVERY join order (the paper's
+//    correctness theorem, §7);
+//  * with multiple classes, the per-class factors multiply (independence);
+//  * Rule M ≤ Rule SS ≤ Rule LS pointwise (more selectivities multiplied ⇒
+//    smaller estimate; min ≤ max within a class);
+//  * on data constructed to satisfy uniformity + containment exactly
+//    (key-to-foreign-key joins), the ELS estimate matches the true size.
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/random.h"
+#include "estimator/presets.h"
+#include "executor/execute.h"
+#include "gtest/gtest.h"
+#include "optimizer/optimizer.h"
+#include "rewrite/transitive_closure.h"
+#include "stats/distinct.h"
+#include "storage/csv.h"
+#include "storage/datagen.h"
+#include "tests/test_util.h"
+#include "workloads/generator.h"
+
+namespace joinest {
+namespace {
+
+// Closed form of Equation 3 for one equivalence class: ∏||R_i|| divided by
+// every column cardinality except the smallest.
+double Equation3(const std::vector<double>& rows,
+                 const std::vector<double>& distinct) {
+  double numerator = 1;
+  for (double r : rows) numerator *= r;
+  std::vector<double> d = distinct;
+  std::sort(d.begin(), d.end());
+  double denominator = 1;
+  for (size_t i = 1; i < d.size(); ++i) denominator *= d[i];
+  return numerator / denominator;
+}
+
+class SeededTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededTest, ::testing::Range(0, 20));
+
+// Random single-class instance: n tables, each with one join column, all
+// pairwise joined through a random spanning tree.
+struct SingleClassInstance {
+  Catalog catalog;
+  QuerySpec spec;
+  std::vector<double> rows;
+  std::vector<double> distinct;
+};
+
+SingleClassInstance MakeSingleClass(uint64_t seed) {
+  Rng rng(seed);
+  SingleClassInstance inst;
+  const int n = 2 + static_cast<int>(rng.NextBounded(5));  // 2..6 tables.
+  for (int t = 0; t < n; ++t) {
+    const double rows = static_cast<double>(rng.NextInt(10, 100000));
+    const double d =
+        static_cast<double>(rng.NextInt(1, static_cast<int64_t>(rows)));
+    inst.rows.push_back(rows);
+    inst.distinct.push_back(d);
+    AddStatsOnlyTable(inst.catalog, "T" + std::to_string(t), rows, {d});
+  }
+  inst.spec = MakeCountSpec(inst.catalog, n);
+  // Random spanning tree: connect t to a random earlier table.
+  for (int t = 1; t < n; ++t) {
+    const int parent = static_cast<int>(rng.NextBounded(t));
+    inst.spec.predicates.push_back(
+        Predicate::Join(ColumnRef{parent, 0}, ColumnRef{t, 0}));
+  }
+  return inst;
+}
+
+TEST_P(SeededTest, RuleLSMatchesEquation3ForAllOrders) {
+  SingleClassInstance inst = MakeSingleClass(1000 + GetParam());
+  auto analyzed = AnalyzedQuery::Create(inst.catalog, inst.spec,
+                                        PresetOptions(AlgorithmPreset::kELS));
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status();
+  const double expected = Equation3(inst.rows, inst.distinct);
+  std::vector<int> order(inst.spec.num_tables());
+  std::iota(order.begin(), order.end(), 0);
+  // All permutations for small n (≤ 6! = 720 orders).
+  do {
+    const double estimate = analyzed->EstimateOrder(order).back();
+    ASSERT_NEAR(estimate / expected, 1.0, 1e-9)
+        << "order differs from Equation 3";
+  } while (std::next_permutation(order.begin(), order.end()));
+}
+
+TEST_P(SeededTest, RuleOrderingMleSSleLS) {
+  SingleClassInstance inst = MakeSingleClass(2000 + GetParam());
+  auto m = AnalyzedQuery::Create(inst.catalog, inst.spec,
+                                 PresetOptions(AlgorithmPreset::kSM));
+  auto ss = AnalyzedQuery::Create(inst.catalog, inst.spec,
+                                  PresetOptions(AlgorithmPreset::kSSS));
+  EstimationOptions ls_raw = PresetOptions(AlgorithmPreset::kSSS);
+  ls_raw.rule = SelectivityRule::kLargest;  // LS over identical statistics.
+  auto ls = AnalyzedQuery::Create(inst.catalog, inst.spec, ls_raw);
+  ASSERT_TRUE(m.ok() && ss.ok() && ls.ok());
+  std::vector<int> order(inst.spec.num_tables());
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(GetParam());
+  for (int shuffle = 0; shuffle < 5; ++shuffle) {
+    for (size_t i = order.size() - 1; i > 0; --i) {
+      std::swap(order[i], order[rng.NextBounded(i + 1)]);
+    }
+    const auto m_sizes = m->EstimateOrder(order);
+    const auto ss_sizes = ss->EstimateOrder(order);
+    const auto ls_sizes = ls->EstimateOrder(order);
+    for (size_t i = 0; i < m_sizes.size(); ++i) {
+      EXPECT_LE(m_sizes[i], ss_sizes[i] * (1 + 1e-12));
+      EXPECT_LE(ss_sizes[i], ls_sizes[i] * (1 + 1e-12));
+    }
+  }
+}
+
+TEST_P(SeededTest, MultipleClassesMultiplyIndependently) {
+  // Two tables, two independent join conditions: the LS estimate must be
+  // rows_a × rows_b / (max d of class 1) / (max d of class 2).
+  Rng rng(3000 + GetParam());
+  Catalog catalog;
+  const double rows_a = rng.NextInt(100, 10000);
+  const double rows_b = rng.NextInt(100, 10000);
+  const double d_a0 = rng.NextInt(1, static_cast<int64_t>(rows_a));
+  const double d_a1 = rng.NextInt(1, static_cast<int64_t>(rows_a));
+  const double d_b0 = rng.NextInt(1, static_cast<int64_t>(rows_b));
+  const double d_b1 = rng.NextInt(1, static_cast<int64_t>(rows_b));
+  AddStatsOnlyTable(catalog, "A", rows_a, {d_a0, d_a1});
+  AddStatsOnlyTable(catalog, "B", rows_b, {d_b0, d_b1});
+  QuerySpec spec = MakeCountSpec(catalog, 2);
+  spec.predicates.push_back(Predicate::Join(ColumnRef{0, 0}, ColumnRef{1, 0}));
+  spec.predicates.push_back(Predicate::Join(ColumnRef{0, 1}, ColumnRef{1, 1}));
+  auto analyzed = AnalyzedQuery::Create(catalog, spec,
+                                        PresetOptions(AlgorithmPreset::kELS));
+  ASSERT_TRUE(analyzed.ok());
+  const double expected =
+      rows_a * rows_b / std::max(d_a0, d_b0) / std::max(d_a1, d_b1);
+  EXPECT_NEAR(analyzed->EstimateFullJoin() / expected, 1.0, 1e-9);
+}
+
+TEST_P(SeededTest, EstimatesFiniteAndNonNegativeWithLocals) {
+  // Random instance with local predicates sprinkled in: every preset must
+  // produce a finite, non-negative estimate for every order tried.
+  Rng rng(4000 + GetParam());
+  SingleClassInstance inst = MakeSingleClass(5000 + GetParam());
+  const int n = inst.spec.num_tables();
+  for (int t = 0; t < n; ++t) {
+    if (rng.NextBool(0.5)) {
+      const CompareOp op =
+          rng.NextBool(0.5) ? CompareOp::kLt : CompareOp::kEq;
+      inst.spec.predicates.push_back(Predicate::LocalConst(
+          ColumnRef{t, 0}, op, Value(rng.NextInt(0, 1000))));
+    }
+  }
+  for (AlgorithmPreset preset : AllPresets()) {
+    auto analyzed =
+        AnalyzedQuery::Create(inst.catalog, inst.spec, PresetOptions(preset));
+    ASSERT_TRUE(analyzed.ok());
+    std::vector<int> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    for (double size : analyzed->EstimateOrder(order)) {
+      EXPECT_TRUE(std::isfinite(size)) << PresetName(preset);
+      EXPECT_GE(size, 0) << PresetName(preset);
+    }
+  }
+}
+
+TEST_P(SeededTest, KeyForeignKeyJoinEstimateIsExact) {
+  // A: key column over {0..nA-1}; B: FK uniform over {0..dB-1}, dB ≤ nA,
+  // with cover. Every B row matches exactly one A row, so truth = nB; the
+  // ELS estimate nA×nB/max(nA, dB) = nB must be exact.
+  Rng rng(6000 + GetParam());
+  const int64_t rows_a = rng.NextInt(100, 2000);
+  const int64_t rows_b = rng.NextInt(50, 1500);
+  const int64_t d_b = rng.NextInt(1, std::min(rows_a, rows_b));
+  Catalog catalog;
+  Table a = Table::FromColumns(Schema({{"k", TypeKind::kInt64}}),
+                               {ToValueColumn(MakeKeyColumn(rows_a, rng))});
+  Table b = Table::FromColumns(
+      Schema({{"fk", TypeKind::kInt64}}),
+      {ToValueColumn(MakeUniformColumn(rows_b, d_b, rng))});
+  ASSERT_TRUE(catalog.AddTable("A", std::move(a)).ok());
+  ASSERT_TRUE(catalog.AddTable("B", std::move(b)).ok());
+  QuerySpec spec = MakeCountSpec(catalog, 2);
+  spec.predicates.push_back(Predicate::Join(ColumnRef{0, 0}, ColumnRef{1, 0}));
+  auto analyzed = AnalyzedQuery::Create(catalog, spec,
+                                        PresetOptions(AlgorithmPreset::kELS));
+  ASSERT_TRUE(analyzed.ok());
+  EXPECT_DOUBLE_EQ(analyzed->EstimateFullJoin(),
+                   static_cast<double>(rows_b));
+  auto truth = TrueResultSize(catalog, spec);
+  ASSERT_TRUE(truth.ok());
+  EXPECT_EQ(*truth, rows_b);
+}
+
+TEST_P(SeededTest, ClosureIsMonotoneAndIdempotent) {
+  Rng rng(7000 + GetParam());
+  // Random predicate soup over 4 tables × 2 columns.
+  std::vector<Predicate> input;
+  const int num_predicates = 1 + static_cast<int>(rng.NextBounded(8));
+  for (int i = 0; i < num_predicates; ++i) {
+    const ColumnRef a{static_cast<int>(rng.NextBounded(4)),
+                      static_cast<int>(rng.NextBounded(2))};
+    ColumnRef b{static_cast<int>(rng.NextBounded(4)),
+                static_cast<int>(rng.NextBounded(2))};
+    if (rng.NextBool(0.3)) {
+      input.push_back(Predicate::LocalConst(a, CompareOp::kLt,
+                                            Value(rng.NextInt(0, 100))));
+      continue;
+    }
+    if (a == b) continue;
+    if (a.table == b.table) {
+      input.push_back(Predicate::LocalColCol(a, CompareOp::kEq, b));
+    } else {
+      input.push_back(Predicate::Join(a, b));
+    }
+  }
+  const ClosureResult once = ComputeTransitiveClosure(input);
+  // Monotone: every input predicate survives (modulo dedup).
+  for (const Predicate& p : DeduplicatePredicates(input)) {
+    bool found = false;
+    for (const Predicate& q : once.predicates) {
+      if (q.Canonical() == p.Canonical()) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+  // Idempotent.
+  const ClosureResult twice = ComputeTransitiveClosure(once.predicates);
+  EXPECT_EQ(twice.predicates.size(), once.predicates.size());
+  EXPECT_EQ(twice.num_derived, 0);
+  // Classes: every equality predicate's operands share a class.
+  for (const Predicate& p : once.predicates) {
+    if (p.kind != Predicate::Kind::kLocalConst && p.is_equality()) {
+      EXPECT_TRUE(once.classes.SameClass(p.left, p.right));
+    }
+  }
+}
+
+TEST_P(SeededTest, UniformJoinWithinFactorTwoOfTruth) {
+  // Fully conforming uniform data with covered domains: ELS should land
+  // within 2x of the exact answer (sampling noise only).
+  Rng rng(8000 + GetParam());
+  const int64_t rows_a = rng.NextInt(500, 3000);
+  const int64_t rows_b = rng.NextInt(500, 3000);
+  const int64_t d_a = rng.NextInt(10, 400);
+  const int64_t d_b = rng.NextInt(10, 400);
+  Catalog catalog;
+  Table a = Table::FromColumns(
+      Schema({{"x", TypeKind::kInt64}}),
+      {ToValueColumn(MakeUniformColumn(rows_a, d_a, rng))});
+  Table b = Table::FromColumns(
+      Schema({{"y", TypeKind::kInt64}}),
+      {ToValueColumn(MakeUniformColumn(rows_b, d_b, rng))});
+  ASSERT_TRUE(catalog.AddTable("A", std::move(a)).ok());
+  ASSERT_TRUE(catalog.AddTable("B", std::move(b)).ok());
+  QuerySpec spec = MakeCountSpec(catalog, 2);
+  spec.predicates.push_back(Predicate::Join(ColumnRef{0, 0}, ColumnRef{1, 0}));
+  auto analyzed = AnalyzedQuery::Create(catalog, spec,
+                                        PresetOptions(AlgorithmPreset::kELS));
+  ASSERT_TRUE(analyzed.ok());
+  auto truth = TrueResultSize(catalog, spec);
+  ASSERT_TRUE(truth.ok());
+  ASSERT_GT(*truth, 0);
+  const double ratio =
+      analyzed->EstimateFullJoin() / static_cast<double>(*truth);
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST_P(SeededTest, GeneratedShapesLSExactAndOrderInvariant) {
+  // Across chain/star/clique/cycle single-class workloads on balanced data:
+  // the ELS estimate equals the true size and is join-order invariant.
+  const WorkloadOptions::Shape shapes[] = {
+      WorkloadOptions::Shape::kChain, WorkloadOptions::Shape::kStar,
+      WorkloadOptions::Shape::kClique, WorkloadOptions::Shape::kCycle};
+  WorkloadOptions options;
+  options.shape = shapes[GetParam() % 4];
+  options.num_tables = 3 + GetParam() % 3;
+  options.balanced = true;
+  options.max_rows = 500;
+  options.seed = 40000 + GetParam();
+  auto w = GenerateWorkload(options);
+  ASSERT_TRUE(w.ok()) << w.status();
+  auto truth = TrueResultSize(w->catalog, w->spec);
+  ASSERT_TRUE(truth.ok());
+  auto analyzed = AnalyzedQuery::Create(w->catalog, w->spec,
+                                        PresetOptions(AlgorithmPreset::kELS));
+  ASSERT_TRUE(analyzed.ok());
+  const double expected = static_cast<double>(*truth);
+  std::vector<int> order(w->spec.num_tables());
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(GetParam());
+  for (int shuffle = 0; shuffle < 6; ++shuffle) {
+    for (size_t i = order.size() - 1; i > 0; --i) {
+      std::swap(order[i], order[rng.NextBounded(i + 1)]);
+    }
+    EXPECT_NEAR(analyzed->EstimateOrder(order).back() / expected, 1.0, 1e-9);
+  }
+}
+
+TEST_P(SeededTest, ExecutorJoinMethodsAgreeOnGeneratedWorkloads) {
+  WorkloadOptions options;
+  options.num_tables = 3;
+  options.balanced = false;
+  options.zipf_theta = GetParam() % 2 == 0 ? 0.0 : 1.0;
+  options.max_rows = 400;
+  options.add_local_predicate = true;
+  options.seed = 50000 + GetParam();
+  auto w = GenerateWorkload(options);
+  ASSERT_TRUE(w.ok()) << w.status();
+
+  std::vector<Predicate> local0;
+  std::vector<Predicate> joins;
+  for (const Predicate& p : w->spec.predicates) {
+    if (p.kind == Predicate::Kind::kJoin) {
+      joins.push_back(p);
+    } else {
+      local0.push_back(p);
+    }
+  }
+  ASSERT_EQ(joins.size(), 2u);
+  int64_t reference = -1;
+  for (JoinMethod method :
+       {JoinMethod::kNestedLoop, JoinMethod::kHash, JoinMethod::kSortMerge,
+        JoinMethod::kIndexNestedLoop}) {
+    auto plan = MakeJoinNode(
+        method,
+        MakeJoinNode(method, MakeScanNode(0, local0), MakeScanNode(1, {}),
+                     {joins[0]}),
+        MakeScanNode(2, {}), {joins[1]});
+    auto result = ExecutePlan(w->catalog, w->spec, *plan);
+    ASSERT_TRUE(result.ok()) << result.status();
+    if (reference < 0) {
+      reference = result->count;
+    } else {
+      EXPECT_EQ(result->count, reference) << JoinMethodName(method);
+    }
+  }
+  EXPECT_EQ(reference, *TrueResultSize(w->catalog, w->spec));
+}
+
+TEST_P(SeededTest, OptimizerPlansMatchTruthOnGeneratedWorkloads) {
+  WorkloadOptions options;
+  options.shape = GetParam() % 2 == 0 ? WorkloadOptions::Shape::kStar
+                                      : WorkloadOptions::Shape::kChain;
+  options.num_tables = 4;
+  options.max_rows = 400;
+  options.add_local_predicate = GetParam() % 3 == 0;
+  options.seed = 60000 + GetParam();
+  auto w = GenerateWorkload(options);
+  ASSERT_TRUE(w.ok()) << w.status();
+  auto truth = TrueResultSize(w->catalog, w->spec);
+  ASSERT_TRUE(truth.ok());
+  for (AlgorithmPreset preset :
+       {AlgorithmPreset::kSM, AlgorithmPreset::kELS}) {
+    OptimizerOptions optimizer;
+    optimizer.estimation = PresetOptions(preset);
+    auto plan = OptimizeQuery(w->catalog, w->spec, optimizer);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    auto result = ExecutePlan(w->catalog, w->spec, *plan->root);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->count, *truth) << PresetName(preset);
+  }
+}
+
+TEST_P(SeededTest, CsvRoundTripRandomTables) {
+  Rng rng(10000 + GetParam());
+  const int64_t rows = rng.NextInt(0, 200);
+  Table table = Table::FromColumns(
+      Schema({{"i", TypeKind::kInt64},
+              {"d", TypeKind::kDouble},
+              {"s", TypeKind::kString}}),
+      {ToValueColumn(MakeUniformColumn(rows, 50, rng, false)),
+       [&] {
+         std::vector<double> data(rows);
+         for (auto& v : data) v = rng.NextDouble() * 1e6 - 5e5;
+         return ToValueColumn(data);
+       }(),
+       [&] {
+         // Strings with CSV-hostile characters.
+         static const char* const kShapes[] = {"plain", "with,comma",
+                                               "with\"quote", "", "  spaced"};
+         std::vector<std::string> data(rows);
+         for (auto& s : data) s = kShapes[rng.NextBounded(5)];
+         return ToValueColumn(data);
+       }()});
+  std::ostringstream out;
+  WriteCsv(table, out);
+  std::istringstream in(out.str());
+  auto read = ReadCsv(table.schema(), in);
+  ASSERT_TRUE(read.ok()) << read.status();
+  ASSERT_EQ(read->num_rows(), table.num_rows());
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      ASSERT_EQ(read->at(r, c), table.at(r, c)) << r << "," << c;
+    }
+  }
+}
+
+TEST_P(SeededTest, UrnModelBounds) {
+  Rng rng(9000 + GetParam());
+  const double d = static_cast<double>(rng.NextInt(1, 100000));
+  const double k = static_cast<double>(rng.NextInt(0, 200000));
+  const double estimate = UrnModelDistinct(d, k);
+  EXPECT_GE(estimate, 0);
+  EXPECT_LE(estimate, d);
+  EXPECT_LE(estimate, k + 1e-9);  // Can't see more distinct than draws.
+  if (k >= 1) {
+    EXPECT_GE(estimate, 1.0 - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace joinest

@@ -1,0 +1,458 @@
+// Tests for query/: lexer, Predicate canonicalisation and deduplication,
+// QuerySpec resolution/validation, and the SQL parser.
+
+#include <iterator>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "query/lexer.h"
+#include "query/parser.h"
+#include "query/predicate.h"
+#include "query/query_spec.h"
+#include "tests/test_util.h"
+
+namespace joinest {
+namespace {
+
+// ---------------------------------------------------------------- Lexer
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = Tokenize("SELECT a1 FROM t WHERE x >= 10");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 9u);  // 8 tokens + end.
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIdentifier);
+  EXPECT_TRUE((*tokens)[0].IsKeyword("select"));
+  EXPECT_TRUE((*tokens)[6].IsSymbol(">="));
+  EXPECT_EQ((*tokens)[7].kind, TokenKind::kInteger);
+  EXPECT_EQ((*tokens)[7].int_value, 10);
+  EXPECT_EQ(tokens->back().kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, NumbersIntAndFloat) {
+  auto tokens = Tokenize("42 -7 2.5 1e3");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].int_value, 42);
+  EXPECT_EQ((*tokens)[1].int_value, -7);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ((*tokens)[2].float_value, 2.5);
+  EXPECT_DOUBLE_EQ((*tokens)[3].float_value, 1000.0);
+}
+
+TEST(LexerTest, StringLiterals) {
+  auto tokens = Tokenize("'hello world'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[0].text, "hello world");
+}
+
+TEST(LexerTest, UnterminatedStringErrors) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  auto tokens = Tokenize("< <= > >= = <> !=");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].IsSymbol("<"));
+  EXPECT_TRUE((*tokens)[1].IsSymbol("<="));
+  EXPECT_TRUE((*tokens)[2].IsSymbol(">"));
+  EXPECT_TRUE((*tokens)[3].IsSymbol(">="));
+  EXPECT_TRUE((*tokens)[4].IsSymbol("="));
+  EXPECT_TRUE((*tokens)[5].IsSymbol("<>"));
+  EXPECT_TRUE((*tokens)[6].IsSymbol("<>"));  // != normalised.
+}
+
+TEST(LexerTest, UnexpectedCharacterErrors) {
+  EXPECT_FALSE(Tokenize("a & b").ok());
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = Tokenize("select SELECT SeLeCt");
+  ASSERT_TRUE(tokens.ok());
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE((*tokens)[i].IsKeyword("SELECT"));
+}
+
+// ---------------------------------------------------------------- Predicate
+
+TEST(PredicateTest, FactoriesSetKinds) {
+  const Predicate c =
+      Predicate::LocalConst(ColumnRef{0, 1}, CompareOp::kLt, Value(int64_t{5}));
+  EXPECT_EQ(c.kind, Predicate::Kind::kLocalConst);
+  const Predicate j = Predicate::Join(ColumnRef{0, 0}, ColumnRef{1, 0});
+  EXPECT_EQ(j.kind, Predicate::Kind::kJoin);
+  EXPECT_TRUE(j.is_equality());
+  const Predicate l =
+      Predicate::LocalColCol(ColumnRef{0, 0}, CompareOp::kEq, ColumnRef{0, 1});
+  EXPECT_EQ(l.kind, Predicate::Kind::kLocalColCol);
+}
+
+TEST(PredicateTest, CanonicalOrdersOperands) {
+  const Predicate a = Predicate::Join(ColumnRef{1, 0}, ColumnRef{0, 0});
+  const Predicate canonical = a.Canonical();
+  EXPECT_EQ(canonical.left.table, 0);
+  EXPECT_EQ(canonical.right.table, 1);
+}
+
+TEST(PredicateTest, CanonicalFlipsComparison) {
+  const Predicate a =
+      Predicate::LocalColCol(ColumnRef{0, 1}, CompareOp::kLt, ColumnRef{0, 0});
+  const Predicate canonical = a.Canonical();
+  EXPECT_EQ(canonical.left.column, 0);
+  EXPECT_EQ(canonical.op, CompareOp::kGt);
+}
+
+TEST(PredicateTest, SwappedJoinPredicatesDeduplicate) {
+  const Predicate a = Predicate::Join(ColumnRef{0, 0}, ColumnRef{1, 0});
+  const Predicate b = Predicate::Join(ColumnRef{1, 0}, ColumnRef{0, 0});
+  const auto deduped = DeduplicatePredicates({a, b});
+  EXPECT_EQ(deduped.size(), 1u);
+}
+
+TEST(PredicateTest, DuplicateLocalPredicatesRemoved) {
+  // The paper's step 1 example: (R1.x > 500) AND (R1.x > 500).
+  const Predicate p = Predicate::LocalConst(ColumnRef{0, 0}, CompareOp::kGt,
+                                            Value(int64_t{500}));
+  const auto deduped = DeduplicatePredicates({p, p});
+  EXPECT_EQ(deduped.size(), 1u);
+}
+
+TEST(PredicateTest, DistinctConstantsNotDeduplicated) {
+  const Predicate a = Predicate::LocalConst(ColumnRef{0, 0}, CompareOp::kGt,
+                                            Value(int64_t{500}));
+  const Predicate b = Predicate::LocalConst(ColumnRef{0, 0}, CompareOp::kGt,
+                                            Value(int64_t{501}));
+  EXPECT_EQ(DeduplicatePredicates({a, b}).size(), 2u);
+}
+
+TEST(PredicateTest, DedupPreservesFirstSeenOrder) {
+  const Predicate a = Predicate::Join(ColumnRef{0, 0}, ColumnRef{1, 0});
+  const Predicate b = Predicate::Join(ColumnRef{1, 0}, ColumnRef{2, 0});
+  const auto deduped = DeduplicatePredicates({a, b, a});
+  ASSERT_EQ(deduped.size(), 2u);
+  EXPECT_EQ(deduped[0], a);
+  EXPECT_EQ(deduped[1], b);
+}
+
+TEST(PredicateTest, HashConsistentWithEquality) {
+  const Predicate a = Predicate::Join(ColumnRef{0, 0}, ColumnRef{1, 0});
+  const Predicate b = Predicate::Join(ColumnRef{0, 0}, ColumnRef{1, 0});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+// ---------------------------------------------------------------- QuerySpec
+
+class QuerySpecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    AddStatsOnlyTable(catalog_, "orders",
+                      {{"id", TypeKind::kInt64}, {"user", TypeKind::kInt64}},
+                      100, {100, 20});
+    AddStatsOnlyTable(catalog_, "users",
+                      {{"id", TypeKind::kInt64}, {"age", TypeKind::kInt64}},
+                      20, {20, 15});
+  }
+  Catalog catalog_;
+};
+
+TEST_F(QuerySpecTest, AddTableAssignsIndexes) {
+  QuerySpec spec;
+  EXPECT_EQ(*spec.AddTable(catalog_, "orders"), 0);
+  EXPECT_EQ(*spec.AddTable(catalog_, "users"), 1);
+  EXPECT_EQ(spec.num_tables(), 2);
+}
+
+TEST_F(QuerySpecTest, DuplicateAliasRejected) {
+  QuerySpec spec;
+  ASSERT_TRUE(spec.AddTable(catalog_, "orders", "o").ok());
+  EXPECT_FALSE(spec.AddTable(catalog_, "users", "o").ok());
+}
+
+TEST_F(QuerySpecTest, ResolveQualifiedColumn) {
+  QuerySpec spec;
+  ASSERT_TRUE(spec.AddTable(catalog_, "orders", "o").ok());
+  ASSERT_TRUE(spec.AddTable(catalog_, "users", "u").ok());
+  const auto ref = spec.ResolveColumn(catalog_, "u", "age");
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(ref->table, 1);
+  EXPECT_EQ(ref->column, 1);
+}
+
+TEST_F(QuerySpecTest, ResolveUnqualifiedUniqueColumn) {
+  QuerySpec spec;
+  ASSERT_TRUE(spec.AddTable(catalog_, "orders").ok());
+  ASSERT_TRUE(spec.AddTable(catalog_, "users").ok());
+  const auto ref = spec.ResolveColumn(catalog_, "", "age");
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(ref->table, 1);
+}
+
+TEST_F(QuerySpecTest, AmbiguousUnqualifiedColumnErrors) {
+  QuerySpec spec;
+  ASSERT_TRUE(spec.AddTable(catalog_, "orders").ok());
+  ASSERT_TRUE(spec.AddTable(catalog_, "users").ok());
+  // "id" exists in both tables.
+  EXPECT_FALSE(spec.ResolveColumn(catalog_, "", "id").ok());
+}
+
+TEST_F(QuerySpecTest, ValidateRejectsCrossTableLocal) {
+  QuerySpec spec = MakeCountSpec(catalog_, 2);
+  Predicate bad =
+      Predicate::LocalConst(ColumnRef{0, 0}, CompareOp::kEq, Value(int64_t{1}));
+  bad.kind = Predicate::Kind::kLocalColCol;
+  bad.right = ColumnRef{1, 0};
+  spec.predicates.push_back(bad);
+  EXPECT_FALSE(spec.Validate(catalog_).ok());
+}
+
+TEST_F(QuerySpecTest, ValidateRejectsOutOfRangeColumn) {
+  QuerySpec spec = MakeCountSpec(catalog_, 2);
+  spec.predicates.push_back(Predicate::LocalConst(
+      ColumnRef{0, 99}, CompareOp::kEq, Value(int64_t{1})));
+  EXPECT_FALSE(spec.Validate(catalog_).ok());
+}
+
+TEST_F(QuerySpecTest, ToStringRendersQuery) {
+  QuerySpec spec = MakeCountSpec(catalog_, 2);
+  spec.predicates.push_back(
+      Predicate::Join(ColumnRef{0, 1}, ColumnRef{1, 0}));
+  const std::string text = spec.ToString(catalog_);
+  EXPECT_NE(text.find("SELECT COUNT(*)"), std::string::npos);
+  EXPECT_NE(text.find("orders.user = users.id"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- Parser
+
+class ParserTest : public QuerySpecTest {};
+
+TEST_F(ParserTest, CountStarJoinQuery) {
+  auto spec = ParseQuery(catalog_,
+                         "SELECT COUNT(*) FROM orders, users "
+                         "WHERE orders.user = users.id AND users.age < 30");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_TRUE(spec->count_star);
+  EXPECT_EQ(spec->num_tables(), 2);
+  ASSERT_EQ(spec->predicates.size(), 2u);
+  EXPECT_EQ(spec->predicates[0].kind, Predicate::Kind::kJoin);
+  EXPECT_EQ(spec->predicates[1].kind, Predicate::Kind::kLocalConst);
+  EXPECT_EQ(spec->predicates[1].op, CompareOp::kLt);
+}
+
+TEST_F(ParserTest, ProjectionList) {
+  auto spec =
+      ParseQuery(catalog_, "SELECT orders.id, users.age FROM orders, users");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_FALSE(spec->count_star);
+  ASSERT_EQ(spec->select.size(), 2u);
+  EXPECT_EQ(spec->select[0], (ColumnRef{0, 0}));
+  EXPECT_EQ(spec->select[1], (ColumnRef{1, 1}));
+}
+
+TEST_F(ParserTest, TableAliases) {
+  auto spec = ParseQuery(
+      catalog_, "SELECT COUNT(*) FROM orders o, users u WHERE o.user = u.id");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->tables[0].alias, "o");
+  EXPECT_EQ(spec->predicates[0].kind, Predicate::Kind::kJoin);
+}
+
+TEST_F(ParserTest, LiteralOnLeftNormalised) {
+  auto spec = ParseQuery(catalog_,
+                         "SELECT COUNT(*) FROM users WHERE 30 > users.age");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  ASSERT_EQ(spec->predicates.size(), 1u);
+  EXPECT_EQ(spec->predicates[0].kind, Predicate::Kind::kLocalConst);
+  EXPECT_EQ(spec->predicates[0].op, CompareOp::kLt);  // age < 30.
+  EXPECT_EQ(spec->predicates[0].constant.AsInt64(), 30);
+}
+
+TEST_F(ParserTest, SameTableColumnComparison) {
+  auto spec = ParseQuery(catalog_,
+                         "SELECT COUNT(*) FROM users WHERE users.id = "
+                         "users.age");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->predicates[0].kind, Predicate::Kind::kLocalColCol);
+}
+
+TEST_F(ParserTest, PaperSection8Query) {
+  Catalog catalog;
+  AddStatsOnlyTable(catalog, "S", {{"s", TypeKind::kInt64}}, 1000, {1000});
+  AddStatsOnlyTable(catalog, "M", {{"m", TypeKind::kInt64}}, 10000, {10000});
+  AddStatsOnlyTable(catalog, "B", {{"b", TypeKind::kInt64}}, 50000, {50000});
+  AddStatsOnlyTable(catalog, "G", {{"g", TypeKind::kInt64}}, 100000,
+                    {100000});
+  auto spec = ParseQuery(catalog,
+                         "SELECT COUNT(*) FROM S, M, B, G "
+                         "WHERE s = m AND m = b AND b = g AND s < 100");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->num_tables(), 4);
+  EXPECT_EQ(spec->predicates.size(), 4u);
+}
+
+TEST_F(ParserTest, RejectsDisjunction) {
+  const auto spec = ParseQuery(
+      catalog_, "SELECT COUNT(*) FROM users WHERE users.age < 30 OR "
+                "users.age > 60");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().message().find("disjunction"), std::string::npos);
+}
+
+TEST_F(ParserTest, RejectsNonEqualityJoin) {
+  const auto spec = ParseQuery(
+      catalog_,
+      "SELECT COUNT(*) FROM orders, users WHERE orders.user < users.id");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_EQ(spec.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(ParserTest, RejectsConstantConstant) {
+  EXPECT_FALSE(
+      ParseQuery(catalog_, "SELECT COUNT(*) FROM users WHERE 1 = 1").ok());
+}
+
+TEST_F(ParserTest, RejectsUnknownTable) {
+  EXPECT_FALSE(ParseQuery(catalog_, "SELECT COUNT(*) FROM nope").ok());
+}
+
+TEST_F(ParserTest, RejectsUnknownColumn) {
+  EXPECT_FALSE(
+      ParseQuery(catalog_, "SELECT COUNT(*) FROM users WHERE users.wat = 1")
+          .ok());
+}
+
+TEST_F(ParserTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(
+      ParseQuery(catalog_, "SELECT COUNT(*) FROM users LIMIT 5").ok());
+}
+
+TEST_F(ParserTest, RejectsSelfComparison) {
+  EXPECT_FALSE(ParseQuery(catalog_,
+                          "SELECT COUNT(*) FROM users WHERE users.id = "
+                          "users.id")
+                   .ok());
+}
+
+TEST_F(ParserTest, StringLiteralPredicate) {
+  Catalog catalog;
+  AddStatsOnlyTable(catalog, "t", {{"name", TypeKind::kString}}, 10, {5});
+  auto spec =
+      ParseQuery(catalog, "SELECT COUNT(*) FROM t WHERE t.name = 'bob'");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->predicates[0].constant.AsString(), "bob");
+}
+
+TEST_F(ParserTest, FloatLiteralPredicate) {
+  Catalog catalog;
+  AddStatsOnlyTable(catalog, "t", {{"score", TypeKind::kDouble}}, 10, {5});
+  auto spec =
+      ParseQuery(catalog, "SELECT COUNT(*) FROM t WHERE t.score >= 2.5");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_DOUBLE_EQ(spec->predicates[0].constant.AsDouble(), 2.5);
+}
+
+TEST_F(ParserTest, MalformedInputsErrorGracefully) {
+  // None of these may crash; all must return a status.
+  const char* cases[] = {
+      "",
+      "SELECT",
+      "SELECT COUNT",
+      "SELECT COUNT(",
+      "SELECT COUNT(*)",
+      "SELECT COUNT(*) FROM",
+      "SELECT COUNT(*) FROM users WHERE",
+      "SELECT COUNT(*) FROM users WHERE users.age",
+      "SELECT COUNT(*) FROM users WHERE users.age <",
+      "SELECT COUNT(*) FROM users WHERE users.age < AND",
+      "SELECT COUNT(*) FROM users WHERE users.age < 5 AND",
+      "SELECT , FROM users",
+      "SELECT COUNT(*) FROM users, ",
+      "SELECT COUNT(*) FROM users users users",
+      "FROM users SELECT COUNT(*)",
+      "SELECT COUNT(*) FROM users WHERE (users.age < 5",
+      "SELECT COUNT(*) FROM users WHERE users.age BETWEEN 5",
+      "SELECT COUNT(*) FROM users WHERE users.age BETWEEN 5 AND",
+      "SELECT COUNT(*) FROM users WHERE 5 BETWEEN 1 AND 10",
+      "SELECT COUNT(*) FROM users AS",
+      "SELECT COUNT(*) FROM users WHERE users . ",
+      "SELECT COUNT(*) FROM users WHERE 'a' = 'b'",
+      "select count(*) from users where users.age <> <> 5",
+  };
+  for (const char* sql : cases) {
+    const auto result = ParseQuery(catalog_, sql);
+    EXPECT_FALSE(result.ok()) << "accepted: " << sql;
+    EXPECT_FALSE(result.status().message().empty());
+  }
+}
+
+TEST_F(ParserTest, RandomTokenSoupNeverCrashes) {
+  // Pseudo-random token sequences exercise every parser error path.
+  const char* tokens[] = {"SELECT", "COUNT",  "(",     ")",    "*",
+                          "FROM",   "WHERE",  "AND",   ",",    ".",
+                          "users",  "orders", "id",    "age",  "user",
+                          "<",      "<=",     "=",     "<>",   ">",
+                          "42",     "3.5",    "'txt'", "zzz"};
+  Rng rng(123);
+  for (int i = 0; i < 500; ++i) {
+    std::string sql;
+    const int length = 1 + static_cast<int>(rng.NextBounded(15));
+    for (int j = 0; j < length; ++j) {
+      sql += tokens[rng.NextBounded(std::size(tokens))];
+      sql += ' ';
+    }
+    // Must terminate and either parse or error; never abort.
+    const auto result = ParseQuery(catalog_, sql);
+    if (result.ok()) {
+      EXPECT_TRUE(result->Validate(catalog_).ok()) << sql;
+    }
+  }
+}
+
+TEST_F(ParserTest, ParenthesisedConjuncts) {
+  auto spec = ParseQuery(catalog_,
+                         "SELECT COUNT(*) FROM users WHERE (users.age < 30) "
+                         "AND (users.id = 5)");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->predicates.size(), 2u);
+}
+
+TEST_F(ParserTest, BetweenDesugarsToRangePair) {
+  auto spec = ParseQuery(
+      catalog_, "SELECT COUNT(*) FROM users WHERE users.age BETWEEN 20 AND "
+                "40");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  ASSERT_EQ(spec->predicates.size(), 2u);
+  EXPECT_EQ(spec->predicates[0].op, CompareOp::kGe);
+  EXPECT_EQ(spec->predicates[0].constant.AsInt64(), 20);
+  EXPECT_EQ(spec->predicates[1].op, CompareOp::kLe);
+  EXPECT_EQ(spec->predicates[1].constant.AsInt64(), 40);
+}
+
+TEST_F(ParserTest, BetweenFollowedByConjunct) {
+  // The AND inside BETWEEN must not eat the following conjunct.
+  auto spec = ParseQuery(
+      catalog_, "SELECT COUNT(*) FROM users WHERE users.age BETWEEN 20 AND "
+                "40 AND users.id = 3");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->predicates.size(), 3u);
+}
+
+TEST_F(ParserTest, AsAliasKeyword) {
+  auto spec = ParseQuery(
+      catalog_, "SELECT COUNT(*) FROM orders AS o, users AS u WHERE "
+                "o.user = u.id");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->tables[0].alias, "o");
+  EXPECT_EQ(spec->tables[1].alias, "u");
+}
+
+TEST_F(ParserTest, DeeplyConjunctiveQueryParses) {
+  std::string sql = "SELECT COUNT(*) FROM users WHERE users.age < 1000";
+  for (int i = 0; i < 200; ++i) {
+    sql += " AND users.age < " + std::to_string(1000 + i);
+  }
+  auto spec = ParseQuery(catalog_, sql);
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->predicates.size(), 201u);
+}
+
+}  // namespace
+}  // namespace joinest

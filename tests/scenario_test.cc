@@ -1,0 +1,254 @@
+// Golden scenarios: hand-computed closed-form estimates for fixed catalogs,
+// pinned per algorithm preset. These guard the exact arithmetic of the
+// estimation pipeline (profiles × selectivities × rules) against
+// regressions; each expectation is derived in the comment above it.
+
+#include <cmath>
+
+#include "estimator/presets.h"
+#include "gtest/gtest.h"
+#include "stats/distinct.h"
+#include "tests/test_util.h"
+
+namespace joinest {
+namespace {
+
+Value V(int64_t v) { return Value(v); }
+
+// Adds a stats-only table whose single int64 column also has min/max
+// 0..d-1, so range selectivities are exact.
+int AddRangedTable(Catalog& catalog, const std::string& name, double rows,
+                   double d) {
+  TableStats stats;
+  stats.row_count = rows;
+  ColumnStats col;
+  col.distinct_count = d;
+  col.min = 0;
+  col.max = d - 1;
+  stats.columns.push_back(col);
+  Table table{Schema({{"c0", TypeKind::kInt64}})};
+  auto id = catalog.AddTableWithStats(name, std::move(table), std::move(stats));
+  JOINEST_CHECK(id.ok()) << id.status();
+  return *id;
+}
+
+double Estimate(const Catalog& catalog, const QuerySpec& spec,
+                AlgorithmPreset preset) {
+  auto analyzed = AnalyzedQuery::Create(catalog, spec, PresetOptions(preset));
+  JOINEST_CHECK(analyzed.ok()) << analyzed.status();
+  return analyzed->EstimateFullJoin();  // Table order 0, 1, ..., n-1.
+}
+
+// --------------------------------------------------------------- S1
+// Example 1b chain, order R1,R2,R3.
+//   no-PTC Rule M:   (100·1000·0.01) = 1000, ×1000×0.001 = 1000
+//   PTC Rule M:      second step multiplies J2 AND derived J3 → 1
+//   PTC Rule SS:     min(0.001, 0.001) = 0.001 → 1000 (this order!)
+//   ELS (Rule LS):   max(0.001, 0.001) → 1000
+//   REP(max): rep=0.01: 100·1000·0.01=1000; ×1000×0.01 = 10000
+//   REP(min): rep=0.001: 100·1000·0.001=100; ×1000×0.001 = 100
+TEST(ScenarioTest, S1_Example1bChain) {
+  Catalog catalog;
+  AddRangedTable(catalog, "R1", 100, 10);
+  AddRangedTable(catalog, "R2", 1000, 100);
+  AddRangedTable(catalog, "R3", 1000, 1000);
+  QuerySpec spec = MakeCountSpec(catalog, 3);
+  spec.predicates.push_back(Predicate::Join(ColumnRef{0, 0}, ColumnRef{1, 0}));
+  spec.predicates.push_back(Predicate::Join(ColumnRef{1, 0}, ColumnRef{2, 0}));
+  EXPECT_DOUBLE_EQ(Estimate(catalog, spec, AlgorithmPreset::kSMNoPtc), 1000);
+  EXPECT_DOUBLE_EQ(Estimate(catalog, spec, AlgorithmPreset::kSM), 1);
+  EXPECT_DOUBLE_EQ(Estimate(catalog, spec, AlgorithmPreset::kSSS), 1000);
+  EXPECT_DOUBLE_EQ(Estimate(catalog, spec, AlgorithmPreset::kELS), 1000);
+  EXPECT_DOUBLE_EQ(
+      Estimate(catalog, spec, AlgorithmPreset::kRepresentativeLarge), 10000);
+  EXPECT_DOUBLE_EQ(
+      Estimate(catalog, spec, AlgorithmPreset::kRepresentativeSmall), 100);
+}
+
+// --------------------------------------------------------------- S2
+// The §8 catalog, order S,M,B,G.
+//   ELS: every composite 100.
+//   PTC Rule M: 1e8 × (1e-4 · 2e-5 · 1e-5 · 2e-5 · 1e-5 · 1e-5) = 4e-21.
+//   PTC Rule SS (this order): 1 → ×100×2e-5 = 2e-3 → ×100×1e-5 = 2e-6.
+TEST(ScenarioTest, S2_Section8Stats) {
+  Catalog catalog;
+  AddRangedTable(catalog, "S", 1000, 1000);
+  AddRangedTable(catalog, "M", 10000, 10000);
+  AddRangedTable(catalog, "B", 50000, 50000);
+  AddRangedTable(catalog, "G", 100000, 100000);
+  QuerySpec spec = MakeCountSpec(catalog, 4);
+  for (int i = 0; i + 1 < 4; ++i) {
+    spec.predicates.push_back(
+        Predicate::Join(ColumnRef{i, 0}, ColumnRef{i + 1, 0}));
+  }
+  spec.predicates.push_back(
+      Predicate::LocalConst(ColumnRef{0, 0}, CompareOp::kLt, V(100)));
+  EXPECT_DOUBLE_EQ(Estimate(catalog, spec, AlgorithmPreset::kELS), 100);
+  EXPECT_NEAR(Estimate(catalog, spec, AlgorithmPreset::kSM) / 4e-21, 1.0,
+              1e-9);
+  EXPECT_NEAR(Estimate(catalog, spec, AlgorithmPreset::kSSS) / 2e-6, 1.0,
+              1e-9);
+}
+
+// --------------------------------------------------------------- S3
+// Plain FK join: A(5000, d=5000) ⋈ B(2000, d=800): 5000·2000/5000 = 2000
+// under every preset (one predicate, nothing to disagree about).
+TEST(ScenarioTest, S3_PlainForeignKeyJoin) {
+  Catalog catalog;
+  AddRangedTable(catalog, "A", 5000, 5000);
+  AddRangedTable(catalog, "B", 2000, 800);
+  QuerySpec spec = MakeCountSpec(catalog, 2);
+  spec.predicates.push_back(Predicate::Join(ColumnRef{0, 0}, ColumnRef{1, 0}));
+  for (AlgorithmPreset preset : AllPresets()) {
+    EXPECT_DOUBLE_EQ(Estimate(catalog, spec, preset), 2000)
+        << PresetName(preset);
+  }
+}
+
+// --------------------------------------------------------------- S4
+// Local equality on the join column: A(1000, d=100) ⋈ B(5000, d=200),
+// predicates a = b AND a = 7.
+//   ELS: A' = 10 (d'=1); rule e gives b = 7 → B' = 25 (d'=1); S = 1/1:
+//        estimate 10 × 25 = 250 — the true value under the assumptions.
+//   PTC standard (SM): rows reduced the same way (10, 25) but S from RAW
+//        d's = 1/200 → 1.25: the §3 "local predicates mishandled" defect.
+//   no-PTC SM: A'=10, B'=5000 (no derived predicate), S=1/200 → 250 —
+//        accidentally right, for the wrong reason.
+TEST(ScenarioTest, S4_LocalEqualityOnJoinColumn) {
+  Catalog catalog;
+  AddRangedTable(catalog, "A", 1000, 100);
+  AddRangedTable(catalog, "B", 5000, 200);
+  QuerySpec spec = MakeCountSpec(catalog, 2);
+  spec.predicates.push_back(Predicate::Join(ColumnRef{0, 0}, ColumnRef{1, 0}));
+  spec.predicates.push_back(
+      Predicate::LocalConst(ColumnRef{0, 0}, CompareOp::kEq, V(7)));
+  EXPECT_DOUBLE_EQ(Estimate(catalog, spec, AlgorithmPreset::kELS), 250);
+  EXPECT_DOUBLE_EQ(Estimate(catalog, spec, AlgorithmPreset::kSM), 1.25);
+  EXPECT_DOUBLE_EQ(Estimate(catalog, spec, AlgorithmPreset::kSMNoPtc), 250);
+}
+
+// --------------------------------------------------------------- S5
+// Single-table j-equivalence (§6): R1(100, d=100) ⋈ R2(1000; d_y=10,
+// d_w=50) on x=y AND x=w.
+//   ELS: ||R2||' = 20, d' = 9 → 100 × 20 × 1/max(100,9) = 20.
+//   SM: derived local y=w at naive 1/max(10,50) → B' = 20; raw
+//       selectivities 1/max(100,10) × 1/max(100,50) = 1e-4 →
+//       100 × 20 × 1e-4 = 0.2.
+//   SSS: same class, min(0.01, 0.01) = 0.01 → 20.
+TEST(ScenarioTest, S5_SingleTableJEquivalence) {
+  Catalog catalog;
+  AddRangedTable(catalog, "R1", 100, 100);
+  TableStats stats;
+  stats.row_count = 1000;
+  for (double d : {10.0, 50.0}) {
+    ColumnStats col;
+    col.distinct_count = d;
+    col.min = 0;
+    col.max = d - 1;
+    stats.columns.push_back(col);
+  }
+  Table r2{Schema({{"y", TypeKind::kInt64}, {"w", TypeKind::kInt64}})};
+  ASSERT_TRUE(
+      catalog.AddTableWithStats("R2", std::move(r2), std::move(stats)).ok());
+  QuerySpec spec = MakeCountSpec(catalog, 2);
+  spec.predicates.push_back(Predicate::Join(ColumnRef{0, 0}, ColumnRef{1, 0}));
+  spec.predicates.push_back(Predicate::Join(ColumnRef{0, 0}, ColumnRef{1, 1}));
+  EXPECT_DOUBLE_EQ(Estimate(catalog, spec, AlgorithmPreset::kELS), 20);
+  EXPECT_DOUBLE_EQ(Estimate(catalog, spec, AlgorithmPreset::kSM), 0.2);
+  EXPECT_DOUBLE_EQ(Estimate(catalog, spec, AlgorithmPreset::kSSS), 20);
+}
+
+// --------------------------------------------------------------- S6
+// Urn model feeding join selectivity: T(100000; c0 d=10000, c1 d=2) with
+// T.c1 = 0, joined to U(20000, d=600) on c0 = u0.
+//   T' = 50000, d'_c0 = ⌈urn(10000, 50000)⌉ = 9933.
+//   ELS: 50000 × 20000 / max(9933, 600) = 1e9 / 9933.
+//   linear-distinct ablation: d'_c0 = 5000 → 1e9 / 5000 = 200000.
+TEST(ScenarioTest, S6_UrnModelInJoinSelectivity) {
+  Catalog catalog;
+  TableStats t_stats;
+  t_stats.row_count = 100000;
+  {
+    ColumnStats c0;
+    c0.distinct_count = 10000;
+    c0.min = 0;
+    c0.max = 9999;
+    t_stats.columns.push_back(c0);
+    ColumnStats c1;
+    c1.distinct_count = 2;
+    c1.min = 0;
+    c1.max = 1;
+    t_stats.columns.push_back(c1);
+  }
+  Table t{Schema({{"c0", TypeKind::kInt64}, {"c1", TypeKind::kInt64}})};
+  ASSERT_TRUE(
+      catalog.AddTableWithStats("T", std::move(t), std::move(t_stats)).ok());
+  AddRangedTable(catalog, "U", 20000, 600);
+  QuerySpec spec = MakeCountSpec(catalog, 2);
+  spec.predicates.push_back(Predicate::Join(ColumnRef{0, 0}, ColumnRef{1, 0}));
+  spec.predicates.push_back(
+      Predicate::LocalConst(ColumnRef{0, 1}, CompareOp::kEq, V(0)));
+
+  EXPECT_NEAR(Estimate(catalog, spec, AlgorithmPreset::kELS), 1e9 / 9933,
+              1.0);
+  EstimationOptions linear = PresetOptions(AlgorithmPreset::kELS);
+  linear.profile.linear_distinct = true;
+  auto linear_q = AnalyzedQuery::Create(catalog, spec, linear);
+  ASSERT_TRUE(linear_q.ok());
+  EXPECT_DOUBLE_EQ(linear_q->EstimateFullJoin(), 200000);
+}
+
+// --------------------------------------------------------------- S7
+// Two independent classes between two tables: selectivities multiply.
+// A(1000; d=(100, 40)) ⋈ B(2000; d=(250, 10)) on both column pairs:
+// 1000 × 2000 / 250 / 40 = 200.
+TEST(ScenarioTest, S7_IndependentClassesMultiply) {
+  Catalog catalog;
+  AddStatsOnlyTable(catalog, "A", 1000, {100.0, 40.0});
+  AddStatsOnlyTable(catalog, "B", 2000, {250.0, 10.0});
+  QuerySpec spec = MakeCountSpec(catalog, 2);
+  spec.predicates.push_back(Predicate::Join(ColumnRef{0, 0}, ColumnRef{1, 0}));
+  spec.predicates.push_back(Predicate::Join(ColumnRef{0, 1}, ColumnRef{1, 1}));
+  for (AlgorithmPreset preset : {AlgorithmPreset::kSM, AlgorithmPreset::kSSS,
+                                 AlgorithmPreset::kELS}) {
+    EXPECT_DOUBLE_EQ(Estimate(catalog, spec, preset), 200)
+        << PresetName(preset);
+  }
+}
+
+// --------------------------------------------------------------- S8
+// Contradictory locals zero out everything downstream.
+TEST(ScenarioTest, S8_ContradictionPropagates) {
+  Catalog catalog;
+  AddRangedTable(catalog, "A", 1000, 100);
+  AddRangedTable(catalog, "B", 2000, 200);
+  QuerySpec spec = MakeCountSpec(catalog, 2);
+  spec.predicates.push_back(Predicate::Join(ColumnRef{0, 0}, ColumnRef{1, 0}));
+  spec.predicates.push_back(
+      Predicate::LocalConst(ColumnRef{0, 0}, CompareOp::kLt, V(10)));
+  spec.predicates.push_back(
+      Predicate::LocalConst(ColumnRef{0, 0}, CompareOp::kGt, V(20)));
+  for (AlgorithmPreset preset : AllPresets()) {
+    EXPECT_DOUBLE_EQ(Estimate(catalog, spec, preset), 0)
+        << PresetName(preset);
+  }
+}
+
+// --------------------------------------------------------------- S9
+// Range predicate on the join column: A(1000, d=100, values 0..99) with
+// a < 25 (sel 0.25, d' = 25) joined to B(4000, d=400).
+//   ELS: rule e → b < 25: B' = 4000 × 25/400 = 250, d'_b = 25;
+//        S = 1/max(25, 25) → 250 × 250 / 25 = 2500.
+TEST(ScenarioTest, S9_RangeOnJoinColumn) {
+  Catalog catalog;
+  AddRangedTable(catalog, "A", 1000, 100);
+  AddRangedTable(catalog, "B", 4000, 400);
+  QuerySpec spec = MakeCountSpec(catalog, 2);
+  spec.predicates.push_back(Predicate::Join(ColumnRef{0, 0}, ColumnRef{1, 0}));
+  spec.predicates.push_back(
+      Predicate::LocalConst(ColumnRef{0, 0}, CompareOp::kLt, V(25)));
+  EXPECT_DOUBLE_EQ(Estimate(catalog, spec, AlgorithmPreset::kELS), 2500);
+}
+
+}  // namespace
+}  // namespace joinest

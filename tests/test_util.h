@@ -1,0 +1,60 @@
+// Shared helpers for joinest tests.
+
+#ifndef JOINEST_TESTS_TEST_UTIL_H_
+#define JOINEST_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "query/query_spec.h"
+#include "stats/column_stats.h"
+#include "storage/catalog.h"
+
+namespace joinest {
+
+// Registers a table that carries hand-written statistics but no data.
+// Estimation-only tests need just ||R|| and d per column.
+inline int AddStatsOnlyTable(Catalog& catalog, const std::string& name,
+                             std::vector<ColumnDef> columns, double rows,
+                             std::vector<double> distinct) {
+  JOINEST_CHECK_EQ(columns.size(), distinct.size());
+  TableStats stats;
+  stats.row_count = rows;
+  for (double d : distinct) {
+    ColumnStats col;
+    col.distinct_count = d;
+    stats.columns.push_back(col);
+  }
+  Table table{Schema(std::move(columns))};
+  auto id =
+      catalog.AddTableWithStats(name, std::move(table), std::move(stats));
+  JOINEST_CHECK(id.ok()) << id.status();
+  return *id;
+}
+
+// Stats-only int64 table with columns named c0, c1, ....
+inline int AddStatsOnlyTable(Catalog& catalog, const std::string& name,
+                             double rows, std::vector<double> distinct) {
+  std::vector<ColumnDef> columns;
+  for (size_t i = 0; i < distinct.size(); ++i) {
+    columns.push_back({"c" + std::to_string(i), TypeKind::kInt64});
+  }
+  return AddStatsOnlyTable(catalog, name, std::move(columns), rows,
+                           std::move(distinct));
+}
+
+// A QuerySpec over catalog tables [0, n) in registration order, COUNT(*).
+inline QuerySpec MakeCountSpec(const Catalog& catalog, int n) {
+  QuerySpec spec;
+  spec.count_star = true;
+  for (int t = 0; t < n; ++t) {
+    auto index = spec.AddTable(catalog, catalog.table_name(t));
+    JOINEST_CHECK(index.ok()) << index.status();
+  }
+  return spec;
+}
+
+}  // namespace joinest
+
+#endif  // JOINEST_TESTS_TEST_UTIL_H_

@@ -1,0 +1,214 @@
+// Tests for workloads/: generators, accuracy metrics, stats perturbation.
+
+#include <cmath>
+
+#include "estimator/presets.h"
+#include "executor/execute.h"
+#include "gtest/gtest.h"
+#include "workloads/generator.h"
+#include "workloads/metrics.h"
+#include "workloads/perturb.h"
+
+namespace joinest {
+namespace {
+
+// ---------------------------------------------------------------- Generator
+
+TEST(GeneratorTest, ChainShapeHasChainPredicates) {
+  WorkloadOptions options;
+  options.shape = WorkloadOptions::Shape::kChain;
+  options.num_tables = 5;
+  auto w = GenerateWorkload(options);
+  ASSERT_TRUE(w.ok()) << w.status();
+  EXPECT_EQ(w->spec.num_tables(), 5);
+  EXPECT_EQ(w->spec.predicates.size(), 4u);
+}
+
+TEST(GeneratorTest, StarShapeCentresOnHub) {
+  WorkloadOptions options;
+  options.shape = WorkloadOptions::Shape::kStar;
+  options.num_tables = 5;
+  auto w = GenerateWorkload(options);
+  ASSERT_TRUE(w.ok());
+  ASSERT_EQ(w->spec.predicates.size(), 4u);
+  for (const Predicate& p : w->spec.predicates) {
+    EXPECT_TRUE(p.left.table == 0 || p.right.table == 0);
+  }
+}
+
+TEST(GeneratorTest, CliqueShapeAllPairs) {
+  WorkloadOptions options;
+  options.shape = WorkloadOptions::Shape::kClique;
+  options.num_tables = 4;
+  auto w = GenerateWorkload(options);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->spec.predicates.size(), 6u);  // C(4,2).
+}
+
+TEST(GeneratorTest, CycleShapeClosesTheLoop) {
+  WorkloadOptions options;
+  options.shape = WorkloadOptions::Shape::kCycle;
+  options.num_tables = 4;
+  auto w = GenerateWorkload(options);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->spec.predicates.size(), 4u);
+}
+
+TEST(GeneratorTest, BalancedSingleClassIsExactForLS) {
+  for (auto shape : {WorkloadOptions::Shape::kChain,
+                     WorkloadOptions::Shape::kStar,
+                     WorkloadOptions::Shape::kClique}) {
+    WorkloadOptions options;
+    options.shape = shape;
+    options.num_tables = 4;
+    options.balanced = true;
+    options.max_rows = 600;
+    options.seed = 21;
+    auto w = GenerateWorkload(options);
+    ASSERT_TRUE(w.ok());
+    auto truth = TrueResultSize(w->catalog, w->spec);
+    ASSERT_TRUE(truth.ok());
+    auto analyzed = AnalyzedQuery::Create(
+        w->catalog, w->spec, PresetOptions(AlgorithmPreset::kELS));
+    ASSERT_TRUE(analyzed.ok());
+    EXPECT_NEAR(analyzed->EstimateFullJoin(),
+                static_cast<double>(*truth),
+                static_cast<double>(*truth) * 1e-9)
+        << "shape " << static_cast<int>(shape);
+  }
+}
+
+TEST(GeneratorTest, FkChainTruthEqualsFirstTableRows) {
+  WorkloadOptions options;
+  options.single_class = false;
+  options.num_tables = 4;
+  options.seed = 33;
+  auto w = GenerateWorkload(options);
+  ASSERT_TRUE(w.ok());
+  auto truth = TrueResultSize(w->catalog, w->spec);
+  ASSERT_TRUE(truth.ok());
+  EXPECT_EQ(static_cast<double>(*truth), w->catalog.stats(0).row_count);
+}
+
+TEST(GeneratorTest, MultiClassNonChainUnimplemented) {
+  WorkloadOptions options;
+  options.single_class = false;
+  options.shape = WorkloadOptions::Shape::kClique;
+  EXPECT_EQ(GenerateWorkload(options).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(GeneratorTest, LocalPredicateAppended) {
+  WorkloadOptions options;
+  options.add_local_predicate = true;
+  auto w = GenerateWorkload(options);
+  ASSERT_TRUE(w.ok());
+  const Predicate& last = w->spec.predicates.back();
+  EXPECT_EQ(last.kind, Predicate::Kind::kLocalConst);
+  EXPECT_EQ(last.left.table, 0);
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  WorkloadOptions options;
+  options.seed = 77;
+  auto a = GenerateWorkload(options);
+  auto b = GenerateWorkload(options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->catalog.stats(0).row_count, b->catalog.stats(0).row_count);
+  EXPECT_EQ(*TrueResultSize(a->catalog, a->spec),
+            *TrueResultSize(b->catalog, b->spec));
+}
+
+TEST(GeneratorTest, TooFewTablesRejected) {
+  WorkloadOptions options;
+  options.num_tables = 1;
+  EXPECT_FALSE(GenerateWorkload(options).ok());
+}
+
+// ---------------------------------------------------------------- Metrics
+
+TEST(MetricsTest, QErrorSymmetric) {
+  EXPECT_DOUBLE_EQ(QError(10, 100), 10);
+  EXPECT_DOUBLE_EQ(QError(100, 10), 10);
+  EXPECT_DOUBLE_EQ(QError(5, 5), 1);
+}
+
+TEST(MetricsTest, QErrorDegenerateCases) {
+  EXPECT_DOUBLE_EQ(QError(0, 0), 1);
+  EXPECT_TRUE(std::isinf(QError(0, 5)));
+  EXPECT_TRUE(std::isinf(QError(5, 0)));
+}
+
+TEST(MetricsTest, SummaryAggregates) {
+  const AccuracySummary s = Summarize({{10, 10}, {20, 10}, {10, 40}});
+  EXPECT_EQ(s.count, 3);
+  EXPECT_DOUBLE_EQ(s.max_q_error, 4);
+  EXPECT_NEAR(s.mean_q_error, (1 + 2 + 4) / 3.0, 1e-12);
+  EXPECT_NEAR(s.within_factor_two, 2.0 / 3, 1e-12);
+  // gmean(1, 2, 0.25) = (0.5)^(1/3).
+  EXPECT_NEAR(s.geometric_mean_ratio, std::cbrt(0.5), 1e-12);
+}
+
+TEST(MetricsTest, SummarySkipsZeroTruth) {
+  const AccuracySummary s = Summarize({{10, 0}, {10, 10}});
+  EXPECT_EQ(s.count, 1);
+  EXPECT_DOUBLE_EQ(s.mean_q_error, 1);
+}
+
+// ---------------------------------------------------------------- Perturb
+
+TableStats SampleStats() {
+  TableStats stats;
+  stats.row_count = 1000;
+  ColumnStats col;
+  col.distinct_count = 100;
+  stats.columns.push_back(col);
+  return stats;
+}
+
+TEST(PerturbTest, EpsilonZeroIsIdentity) {
+  Rng rng(1);
+  PerturbOptions options;
+  options.epsilon = 0;
+  const TableStats out = PerturbStats(SampleStats(), options, rng);
+  EXPECT_DOUBLE_EQ(out.row_count, 1000);
+  EXPECT_DOUBLE_EQ(out.column(0).distinct_count, 100);
+}
+
+TEST(PerturbTest, StaysWithinBounds) {
+  Rng rng(2);
+  PerturbOptions options;
+  options.epsilon = 0.5;
+  for (int i = 0; i < 200; ++i) {
+    const TableStats out = PerturbStats(SampleStats(), options, rng);
+    EXPECT_GE(out.row_count, 1000 / 1.5 - 1);
+    EXPECT_LE(out.row_count, 1000 * 1.5 + 1);
+    EXPECT_GE(out.column(0).distinct_count, 1);
+    EXPECT_LE(out.column(0).distinct_count, out.row_count);
+  }
+}
+
+TEST(PerturbTest, SelectiveFlags) {
+  Rng rng(3);
+  PerturbOptions options;
+  options.epsilon = 0.5;
+  options.perturb_row_count = false;
+  const TableStats out = PerturbStats(SampleStats(), options, rng);
+  EXPECT_DOUBLE_EQ(out.row_count, 1000);
+}
+
+TEST(PerturbTest, ActuallyPerturbs) {
+  Rng rng(4);
+  PerturbOptions options;
+  options.epsilon = 0.5;
+  bool any_changed = false;
+  for (int i = 0; i < 20 && !any_changed; ++i) {
+    const TableStats out = PerturbStats(SampleStats(), options, rng);
+    any_changed = out.row_count != 1000 ||
+                  out.column(0).distinct_count != 100;
+  }
+  EXPECT_TRUE(any_changed);
+}
+
+}  // namespace
+}  // namespace joinest
