@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_accuracy_sweep.dir/bench_accuracy_sweep.cc.o"
+  "CMakeFiles/bench_accuracy_sweep.dir/bench_accuracy_sweep.cc.o.d"
+  "bench_accuracy_sweep"
+  "bench_accuracy_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_accuracy_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_section8_table.dir/bench_section8_table.cc.o"
+  "CMakeFiles/bench_section8_table.dir/bench_section8_table.cc.o.d"
+  "bench_section8_table"
+  "bench_section8_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_section8_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

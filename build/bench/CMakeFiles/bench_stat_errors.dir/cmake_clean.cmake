@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stat_errors.dir/bench_stat_errors.cc.o"
+  "CMakeFiles/bench_stat_errors.dir/bench_stat_errors.cc.o.d"
+  "bench_stat_errors"
+  "bench_stat_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stat_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_urn_model.dir/bench_urn_model.cc.o"
+  "CMakeFiles/bench_urn_model.dir/bench_urn_model.cc.o.d"
+  "bench_urn_model"
+  "bench_urn_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_urn_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joinest_shell.dir/joinest_shell.cpp.o"
+  "CMakeFiles/joinest_shell.dir/joinest_shell.cpp.o.d"
+  "joinest_shell"
+  "joinest_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joinest_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/skew_study.cpp" "examples/CMakeFiles/skew_study.dir/skew_study.cpp.o" "gcc" "examples/CMakeFiles/skew_study.dir/skew_study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/optimizer/CMakeFiles/joinest_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimator/CMakeFiles/joinest_estimator.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/joinest_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/executor/CMakeFiles/joinest_executor.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/joinest_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/joinest_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/joinest_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/joinest_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/joinest_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/joinest_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(shell_smoke "sh" "-c" "printf 'gen example1\\nrun SELECT COUNT(*) FROM R1, R2, R3 WHERE R1.x = R2.y AND R2.y = R3.z\\nquit\\n' | /root/repo/build/examples/joinest_shell | grep -q 'COUNT(\\*) = 1000'")
+set_tests_properties(shell_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(shell_groupby_smoke "sh" "-c" "printf 'gen example1\\nrun SELECT COUNT(*) FROM R1, R2 WHERE R1.x = R2.y GROUP BY R1.x\\nquit\\n' | /root/repo/build/examples/joinest_shell | grep -qF '10 groups, total COUNT(*) = 1000'")
+set_tests_properties(shell_groupby_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joinest_common.dir/random.cc.o"
+  "CMakeFiles/joinest_common.dir/random.cc.o.d"
+  "CMakeFiles/joinest_common.dir/status.cc.o"
+  "CMakeFiles/joinest_common.dir/status.cc.o.d"
+  "CMakeFiles/joinest_common.dir/table_printer.cc.o"
+  "CMakeFiles/joinest_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/joinest_common.dir/union_find.cc.o"
+  "CMakeFiles/joinest_common.dir/union_find.cc.o.d"
+  "libjoinest_common.a"
+  "libjoinest_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joinest_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

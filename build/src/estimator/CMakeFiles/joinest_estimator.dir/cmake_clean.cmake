@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joinest_estimator.dir/analyzed_query.cc.o"
+  "CMakeFiles/joinest_estimator.dir/analyzed_query.cc.o.d"
+  "CMakeFiles/joinest_estimator.dir/presets.cc.o"
+  "CMakeFiles/joinest_estimator.dir/presets.cc.o.d"
+  "CMakeFiles/joinest_estimator.dir/table_profile.cc.o"
+  "CMakeFiles/joinest_estimator.dir/table_profile.cc.o.d"
+  "libjoinest_estimator.a"
+  "libjoinest_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joinest_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

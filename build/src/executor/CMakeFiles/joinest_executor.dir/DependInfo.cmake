@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/executor/compile.cc" "src/executor/CMakeFiles/joinest_executor.dir/compile.cc.o" "gcc" "src/executor/CMakeFiles/joinest_executor.dir/compile.cc.o.d"
+  "/root/repo/src/executor/eval.cc" "src/executor/CMakeFiles/joinest_executor.dir/eval.cc.o" "gcc" "src/executor/CMakeFiles/joinest_executor.dir/eval.cc.o.d"
+  "/root/repo/src/executor/execute.cc" "src/executor/CMakeFiles/joinest_executor.dir/execute.cc.o" "gcc" "src/executor/CMakeFiles/joinest_executor.dir/execute.cc.o.d"
+  "/root/repo/src/executor/join_ops.cc" "src/executor/CMakeFiles/joinest_executor.dir/join_ops.cc.o" "gcc" "src/executor/CMakeFiles/joinest_executor.dir/join_ops.cc.o.d"
+  "/root/repo/src/executor/operator.cc" "src/executor/CMakeFiles/joinest_executor.dir/operator.cc.o" "gcc" "src/executor/CMakeFiles/joinest_executor.dir/operator.cc.o.d"
+  "/root/repo/src/executor/plan.cc" "src/executor/CMakeFiles/joinest_executor.dir/plan.cc.o" "gcc" "src/executor/CMakeFiles/joinest_executor.dir/plan.cc.o.d"
+  "/root/repo/src/executor/scan_ops.cc" "src/executor/CMakeFiles/joinest_executor.dir/scan_ops.cc.o" "gcc" "src/executor/CMakeFiles/joinest_executor.dir/scan_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/joinest_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/joinest_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/joinest_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/joinest_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/joinest_types.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

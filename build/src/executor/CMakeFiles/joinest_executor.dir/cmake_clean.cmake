@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joinest_executor.dir/compile.cc.o"
+  "CMakeFiles/joinest_executor.dir/compile.cc.o.d"
+  "CMakeFiles/joinest_executor.dir/eval.cc.o"
+  "CMakeFiles/joinest_executor.dir/eval.cc.o.d"
+  "CMakeFiles/joinest_executor.dir/execute.cc.o"
+  "CMakeFiles/joinest_executor.dir/execute.cc.o.d"
+  "CMakeFiles/joinest_executor.dir/join_ops.cc.o"
+  "CMakeFiles/joinest_executor.dir/join_ops.cc.o.d"
+  "CMakeFiles/joinest_executor.dir/operator.cc.o"
+  "CMakeFiles/joinest_executor.dir/operator.cc.o.d"
+  "CMakeFiles/joinest_executor.dir/plan.cc.o"
+  "CMakeFiles/joinest_executor.dir/plan.cc.o.d"
+  "CMakeFiles/joinest_executor.dir/scan_ops.cc.o"
+  "CMakeFiles/joinest_executor.dir/scan_ops.cc.o.d"
+  "libjoinest_executor.a"
+  "libjoinest_executor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joinest_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

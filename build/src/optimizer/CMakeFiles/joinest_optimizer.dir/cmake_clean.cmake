@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joinest_optimizer.dir/cost_model.cc.o"
+  "CMakeFiles/joinest_optimizer.dir/cost_model.cc.o.d"
+  "CMakeFiles/joinest_optimizer.dir/optimizer.cc.o"
+  "CMakeFiles/joinest_optimizer.dir/optimizer.cc.o.d"
+  "libjoinest_optimizer.a"
+  "libjoinest_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joinest_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

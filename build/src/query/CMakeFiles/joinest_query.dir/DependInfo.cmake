@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/lexer.cc" "src/query/CMakeFiles/joinest_query.dir/lexer.cc.o" "gcc" "src/query/CMakeFiles/joinest_query.dir/lexer.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/query/CMakeFiles/joinest_query.dir/parser.cc.o" "gcc" "src/query/CMakeFiles/joinest_query.dir/parser.cc.o.d"
+  "/root/repo/src/query/predicate.cc" "src/query/CMakeFiles/joinest_query.dir/predicate.cc.o" "gcc" "src/query/CMakeFiles/joinest_query.dir/predicate.cc.o.d"
+  "/root/repo/src/query/query_spec.cc" "src/query/CMakeFiles/joinest_query.dir/query_spec.cc.o" "gcc" "src/query/CMakeFiles/joinest_query.dir/query_spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/joinest_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/joinest_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/joinest_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/joinest_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

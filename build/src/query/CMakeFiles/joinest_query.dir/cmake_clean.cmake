@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joinest_query.dir/lexer.cc.o"
+  "CMakeFiles/joinest_query.dir/lexer.cc.o.d"
+  "CMakeFiles/joinest_query.dir/parser.cc.o"
+  "CMakeFiles/joinest_query.dir/parser.cc.o.d"
+  "CMakeFiles/joinest_query.dir/predicate.cc.o"
+  "CMakeFiles/joinest_query.dir/predicate.cc.o.d"
+  "CMakeFiles/joinest_query.dir/query_spec.cc.o"
+  "CMakeFiles/joinest_query.dir/query_spec.cc.o.d"
+  "libjoinest_query.a"
+  "libjoinest_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joinest_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joinest_rewrite.dir/equivalence.cc.o"
+  "CMakeFiles/joinest_rewrite.dir/equivalence.cc.o.d"
+  "CMakeFiles/joinest_rewrite.dir/local_merge.cc.o"
+  "CMakeFiles/joinest_rewrite.dir/local_merge.cc.o.d"
+  "CMakeFiles/joinest_rewrite.dir/transitive_closure.cc.o"
+  "CMakeFiles/joinest_rewrite.dir/transitive_closure.cc.o.d"
+  "libjoinest_rewrite.a"
+  "libjoinest_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joinest_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

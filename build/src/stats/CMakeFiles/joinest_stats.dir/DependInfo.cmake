@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/column_stats.cc" "src/stats/CMakeFiles/joinest_stats.dir/column_stats.cc.o" "gcc" "src/stats/CMakeFiles/joinest_stats.dir/column_stats.cc.o.d"
+  "/root/repo/src/stats/distinct.cc" "src/stats/CMakeFiles/joinest_stats.dir/distinct.cc.o" "gcc" "src/stats/CMakeFiles/joinest_stats.dir/distinct.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/joinest_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/joinest_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/stats_io.cc" "src/stats/CMakeFiles/joinest_stats.dir/stats_io.cc.o" "gcc" "src/stats/CMakeFiles/joinest_stats.dir/stats_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/types/CMakeFiles/joinest_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/joinest_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

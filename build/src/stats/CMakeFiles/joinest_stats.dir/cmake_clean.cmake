@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joinest_stats.dir/column_stats.cc.o"
+  "CMakeFiles/joinest_stats.dir/column_stats.cc.o.d"
+  "CMakeFiles/joinest_stats.dir/distinct.cc.o"
+  "CMakeFiles/joinest_stats.dir/distinct.cc.o.d"
+  "CMakeFiles/joinest_stats.dir/histogram.cc.o"
+  "CMakeFiles/joinest_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/joinest_stats.dir/stats_io.cc.o"
+  "CMakeFiles/joinest_stats.dir/stats_io.cc.o.d"
+  "libjoinest_stats.a"
+  "libjoinest_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joinest_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/analyze.cc" "src/storage/CMakeFiles/joinest_storage.dir/analyze.cc.o" "gcc" "src/storage/CMakeFiles/joinest_storage.dir/analyze.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/storage/CMakeFiles/joinest_storage.dir/catalog.cc.o" "gcc" "src/storage/CMakeFiles/joinest_storage.dir/catalog.cc.o.d"
+  "/root/repo/src/storage/csv.cc" "src/storage/CMakeFiles/joinest_storage.dir/csv.cc.o" "gcc" "src/storage/CMakeFiles/joinest_storage.dir/csv.cc.o.d"
+  "/root/repo/src/storage/datagen.cc" "src/storage/CMakeFiles/joinest_storage.dir/datagen.cc.o" "gcc" "src/storage/CMakeFiles/joinest_storage.dir/datagen.cc.o.d"
+  "/root/repo/src/storage/datasets.cc" "src/storage/CMakeFiles/joinest_storage.dir/datasets.cc.o" "gcc" "src/storage/CMakeFiles/joinest_storage.dir/datasets.cc.o.d"
+  "/root/repo/src/storage/index.cc" "src/storage/CMakeFiles/joinest_storage.dir/index.cc.o" "gcc" "src/storage/CMakeFiles/joinest_storage.dir/index.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/storage/CMakeFiles/joinest_storage.dir/table.cc.o" "gcc" "src/storage/CMakeFiles/joinest_storage.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/joinest_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/joinest_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/joinest_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joinest_storage.dir/analyze.cc.o"
+  "CMakeFiles/joinest_storage.dir/analyze.cc.o.d"
+  "CMakeFiles/joinest_storage.dir/catalog.cc.o"
+  "CMakeFiles/joinest_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/joinest_storage.dir/csv.cc.o"
+  "CMakeFiles/joinest_storage.dir/csv.cc.o.d"
+  "CMakeFiles/joinest_storage.dir/datagen.cc.o"
+  "CMakeFiles/joinest_storage.dir/datagen.cc.o.d"
+  "CMakeFiles/joinest_storage.dir/datasets.cc.o"
+  "CMakeFiles/joinest_storage.dir/datasets.cc.o.d"
+  "CMakeFiles/joinest_storage.dir/index.cc.o"
+  "CMakeFiles/joinest_storage.dir/index.cc.o.d"
+  "CMakeFiles/joinest_storage.dir/table.cc.o"
+  "CMakeFiles/joinest_storage.dir/table.cc.o.d"
+  "libjoinest_storage.a"
+  "libjoinest_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joinest_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

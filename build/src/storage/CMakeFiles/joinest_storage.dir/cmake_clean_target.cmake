@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjoinest_storage.a"
+)

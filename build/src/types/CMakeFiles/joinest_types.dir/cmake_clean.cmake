@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joinest_types.dir/schema.cc.o"
+  "CMakeFiles/joinest_types.dir/schema.cc.o.d"
+  "CMakeFiles/joinest_types.dir/value.cc.o"
+  "CMakeFiles/joinest_types.dir/value.cc.o.d"
+  "libjoinest_types.a"
+  "libjoinest_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joinest_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

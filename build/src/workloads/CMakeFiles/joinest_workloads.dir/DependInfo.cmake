@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/generator.cc" "src/workloads/CMakeFiles/joinest_workloads.dir/generator.cc.o" "gcc" "src/workloads/CMakeFiles/joinest_workloads.dir/generator.cc.o.d"
+  "/root/repo/src/workloads/metrics.cc" "src/workloads/CMakeFiles/joinest_workloads.dir/metrics.cc.o" "gcc" "src/workloads/CMakeFiles/joinest_workloads.dir/metrics.cc.o.d"
+  "/root/repo/src/workloads/perturb.cc" "src/workloads/CMakeFiles/joinest_workloads.dir/perturb.cc.o" "gcc" "src/workloads/CMakeFiles/joinest_workloads.dir/perturb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/joinest_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/joinest_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/joinest_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/joinest_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/joinest_types.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

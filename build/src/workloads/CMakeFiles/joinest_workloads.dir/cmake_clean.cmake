@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joinest_workloads.dir/generator.cc.o"
+  "CMakeFiles/joinest_workloads.dir/generator.cc.o.d"
+  "CMakeFiles/joinest_workloads.dir/metrics.cc.o"
+  "CMakeFiles/joinest_workloads.dir/metrics.cc.o.d"
+  "CMakeFiles/joinest_workloads.dir/perturb.cc.o"
+  "CMakeFiles/joinest_workloads.dir/perturb.cc.o.d"
+  "libjoinest_workloads.a"
+  "libjoinest_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joinest_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

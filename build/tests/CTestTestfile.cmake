@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;8;joinest_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(types_test "/root/repo/build/tests/types_test")
+set_tests_properties(types_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;9;joinest_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(stats_test "/root/repo/build/tests/stats_test")
+set_tests_properties(stats_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;10;joinest_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(storage_test "/root/repo/build/tests/storage_test")
+set_tests_properties(storage_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;11;joinest_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(query_test "/root/repo/build/tests/query_test")
+set_tests_properties(query_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;12;joinest_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(rewrite_test "/root/repo/build/tests/rewrite_test")
+set_tests_properties(rewrite_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;13;joinest_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(estimator_test "/root/repo/build/tests/estimator_test")
+set_tests_properties(estimator_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;14;joinest_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(executor_test "/root/repo/build/tests/executor_test")
+set_tests_properties(executor_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;15;joinest_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(optimizer_test "/root/repo/build/tests/optimizer_test")
+set_tests_properties(optimizer_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;16;joinest_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/tests/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;17;joinest_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(property_test "/root/repo/build/tests/property_test")
+set_tests_properties(property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;18;joinest_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(workloads_test "/root/repo/build/tests/workloads_test")
+set_tests_properties(workloads_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;19;joinest_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(csv_test "/root/repo/build/tests/csv_test")
+set_tests_properties(csv_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;20;joinest_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(scenario_test "/root/repo/build/tests/scenario_test")
+set_tests_properties(scenario_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;21;joinest_test;/root/repo/tests/CMakeLists.txt;0;")
