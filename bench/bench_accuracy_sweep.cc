@@ -12,8 +12,14 @@
 //   multi-class — a chain on distinct attributes: one predicate per class,
 //                all rules coincide (control row).
 //
+// Every (workload, rule) cell is evaluated under both exact catalog
+// statistics and sketch statistics (HLL distinct counts, src/sketch/), the
+// error-propagation study the paper motivates via its citation [4]: how
+// much of each rule's accuracy survives approximate ANALYZE.
+//
 // Reported: geometric mean over seeds of estimate/truth for join order
-// 0,1,...,n-1. Ratio 1 is perfect; below 1 underestimates.
+// 0,1,...,n-1. Ratio 1 is perfect; below 1 underestimates. The same grid is
+// written to BENCH_accuracy.json for trend tracking.
 
 #include <cmath>
 #include <cstdio>
@@ -21,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json_writer.h"
 #include "common/random.h"
 #include "common/table_printer.h"
 #include "estimator/presets.h"
@@ -111,14 +118,31 @@ double EstimateRatio(const Workload& w, AlgorithmPreset preset,
 
 int main() {
   const int kSeeds = 5;
+  const std::vector<AlgorithmPreset> presets = PaperPresets();
+  const std::vector<StatsPreset> stats_presets = {StatsPreset::kExactStats,
+                                                  StatsPreset::kSketchStats};
   std::printf("== Ablation A: estimate/truth ratio vs number of joins "
               "(geometric mean over %d seeds) ==\n",
               kSeeds);
-  TablePrinter table({"#tables", "workload", "Rule M", "Rule SS", "Rule LS",
-                      "truth range"});
+  std::vector<std::string> headers = {"#tables", "workload", "stats"};
+  for (AlgorithmPreset preset : presets) headers.push_back(PresetName(preset));
+  headers.push_back("truth range");
+  TablePrinter table(headers);
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("benchmark");
+  json.String("accuracy_sweep");
+  json.Key("seeds");
+  json.Int(kSeeds);
+  json.Key("results");
+  json.BeginArray();
+
   for (int n = 2; n <= 6; ++n) {
     for (const bool one_class : {true, false}) {
-      double log_sum[3] = {0, 0, 0};
+      // log_sum[stats][preset] accumulates log(estimate/truth).
+      std::vector<std::vector<double>> log_sum(
+          stats_presets.size(), std::vector<double>(presets.size(), 0));
       double truth_min = HUGE_VAL, truth_max = 0;
       for (int seed = 0; seed < kSeeds; ++seed) {
         Workload w = one_class ? MakeOneClass(n, 100 * n + seed)
@@ -129,26 +153,53 @@ int main() {
         const double t = static_cast<double>(*truth);
         truth_min = std::min(truth_min, t);
         truth_max = std::max(truth_max, t);
-        const AlgorithmPreset presets[3] = {
-            AlgorithmPreset::kSM, AlgorithmPreset::kSSS,
-            AlgorithmPreset::kELS};
-        for (int p = 0; p < 3; ++p) {
-          log_sum[p] += std::log(EstimateRatio(w, presets[p], t));
+        for (size_t s = 0; s < stats_presets.size(); ++s) {
+          JOINEST_CHECK(
+              w.catalog.ReanalyzeAll(StatsPresetOptions(stats_presets[s]))
+                  .ok());
+          for (size_t p = 0; p < presets.size(); ++p) {
+            log_sum[s][p] += std::log(EstimateRatio(w, presets[p], t));
+          }
         }
       }
-      table.AddRow(
-          {FormatNumber(n), one_class ? "one-class" : "multi-class",
-           FormatNumber(std::exp(log_sum[0] / kSeeds), 3),
-           FormatNumber(std::exp(log_sum[1] / kSeeds), 3),
-           FormatNumber(std::exp(log_sum[2] / kSeeds), 3),
-           FormatNumber(truth_min) + ".." + FormatNumber(truth_max)});
+      for (size_t s = 0; s < stats_presets.size(); ++s) {
+        std::vector<std::string> row = {
+            FormatNumber(n), one_class ? "one-class" : "multi-class",
+            StatsPresetName(stats_presets[s])};
+        for (size_t p = 0; p < presets.size(); ++p) {
+          const double gmean = std::exp(log_sum[s][p] / kSeeds);
+          row.push_back(FormatNumber(gmean, 3));
+          json.BeginObject();
+          json.Key("tables");
+          json.Int(n);
+          json.Key("workload");
+          json.String(one_class ? "one-class" : "multi-class");
+          json.Key("stats");
+          json.String(StatsPresetName(stats_presets[s]));
+          json.Key("rule");
+          json.String(PresetName(presets[p]));
+          json.Key("gmean_ratio");
+          json.Number(gmean);
+          json.EndObject();
+        }
+        row.push_back(FormatNumber(truth_min) + ".." +
+                      FormatNumber(truth_max));
+        table.AddRow(row);
+      }
     }
   }
+  json.EndArray();
+  json.EndObject();
+
   std::printf("%s", table.ToString().c_str());
+  if (WriteTextFile("BENCH_accuracy.json", json.str())) {
+    std::printf("\nwrote BENCH_accuracy.json\n");
+  }
   std::printf(
       "\nExpected shape: in the one-class workload Rule M's ratio collapses\n"
       "towards 0 as tables are added and Rule SS decays more slowly, while\n"
-      "Rule LS stays exactly 1 (data satisfies the assumptions exactly).\n"
-      "In the multi-class control all rules coincide at 1.\n");
+      "Rule LS stays exactly 1 under exact statistics (data satisfies the\n"
+      "assumptions exactly) and within HLL error (~2%% per column) under\n"
+      "sketch statistics. In the multi-class control all rules coincide.\n");
   return 0;
 }

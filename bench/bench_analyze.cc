@@ -1,0 +1,209 @@
+// ANALYZE scalability: exact vs sampled vs partitioned-sketch statistics
+// collection on a generated million-row table.
+//
+// The exact path holds one hash set per column (memory proportional to the
+// distinct count); the sketch path streams through fixed-size HLL + CMS +
+// reservoir state and parallelises across row-range partitions. Reported
+// per mode:
+//
+//   * wall-clock of AnalyzeTable (median of three runs, in-process);
+//   * peak RSS measured in a forked child (wait4 rusage), minus a no-op
+//     child baseline, so each mode's allocations are isolated from both
+//     the parent and the other modes;
+//   * worst-case relative distinct-count error against exact statistics.
+//
+// Results land in BENCH_analyze.json alongside the human table.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#define JOINEST_HAVE_FORK_RSS 1
+#endif
+
+#include "common/json_writer.h"
+#include "common/random.h"
+#include "common/table_printer.h"
+#include "storage/analyze.h"
+#include "storage/datagen.h"
+#include "storage/table.h"
+
+using namespace joinest;  // NOLINT - binary code
+
+namespace {
+
+struct Mode {
+  std::string name;
+  AnalyzeOptions options;
+};
+
+std::vector<Mode> MakeModes() {
+  std::vector<Mode> modes;
+  {
+    Mode exact;
+    exact.name = "exact";
+    exact.options.histogram_kind = AnalyzeOptions::HistogramKind::kEndBiased;
+    modes.push_back(exact);
+  }
+  {
+    Mode sampled;
+    sampled.name = "sampled 10%";
+    sampled.options.stats_mode = AnalyzeOptions::StatsMode::kSampled;
+    sampled.options.sample_fraction = 0.1;
+    sampled.options.histogram_kind =
+        AnalyzeOptions::HistogramKind::kEndBiased;
+    modes.push_back(sampled);
+  }
+  for (int partitions : {1, 4, 8}) {
+    Mode sketch;
+    sketch.name = "sketch x" + std::to_string(partitions);
+    sketch.options.stats_mode = AnalyzeOptions::StatsMode::kSketch;
+    sketch.options.num_partitions = partitions;
+    sketch.options.histogram_kind =
+        AnalyzeOptions::HistogramKind::kEndBiased;
+    modes.push_back(sketch);
+  }
+  return modes;
+}
+
+double MedianMillis(const Table& table, const AnalyzeOptions& options,
+                    int runs) {
+  std::vector<double> times;
+  for (int i = 0; i < runs; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    const TableStats stats = AnalyzeTable(table, options);
+    const auto end = std::chrono::steady_clock::now();
+    // Touch the result so the build cannot be elided.
+    volatile double sink = stats.row_count;
+    (void)sink;
+    times.push_back(
+        std::chrono::duration<double, std::milli>(end - start).count());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+// Peak RSS (KiB) of running `options` in a forked child; < 0 when the
+// platform has no fork/wait4. With `run_analyze` false the child exits
+// immediately, measuring the inherited-footprint baseline.
+int64_t ForkedPeakRssKiB(const Table& table, const AnalyzeOptions& options,
+                         bool run_analyze) {
+#ifdef JOINEST_HAVE_FORK_RSS
+  const pid_t pid = fork();
+  if (pid < 0) return -1;
+  if (pid == 0) {
+    if (run_analyze) {
+      const TableStats stats = AnalyzeTable(table, options);
+      if (stats.row_count < 0) _exit(1);  // Keep `stats` observable.
+    }
+    _exit(0);
+  }
+  int status = 0;
+  struct rusage usage;
+  if (wait4(pid, &status, 0, &usage) != pid) return -1;
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) return -1;
+#ifdef __APPLE__
+  return usage.ru_maxrss / 1024;  // macOS reports bytes.
+#else
+  return usage.ru_maxrss;  // Linux reports KiB.
+#endif
+#else
+  (void)table;
+  (void)options;
+  (void)run_analyze;
+  return -1;
+#endif
+}
+
+double MaxDistinctError(const TableStats& exact, const TableStats& stats) {
+  double worst = 0;
+  for (size_t c = 0; c < exact.columns.size(); ++c) {
+    const double truth = exact.columns[c].distinct_count;
+    if (truth <= 0) continue;
+    worst = std::max(
+        worst, std::abs(stats.columns[c].distinct_count - truth) / truth);
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t rows = 1'000'000;
+  if (argc > 1) rows = std::max<int64_t>(1000, std::atoll(argv[1]));
+
+  std::printf("== ANALYZE scalability: exact vs sampled vs sketch "
+              "(%lld rows) ==\n",
+              static_cast<long long>(rows));
+  Rng rng(7);
+  Table table = Table::FromColumns(
+      Schema({{"uniform", TypeKind::kInt64},
+              {"zipf", TypeKind::kInt64},
+              {"key", TypeKind::kInt64}}),
+      {ToValueColumn(MakeUniformColumn(rows, rows / 5, rng)),
+       ToValueColumn(MakeZipfColumn(rows, 10000, 1.0, rng)),
+       ToValueColumn(MakeKeyColumn(rows, rng))});
+
+  const TableStats exact_stats = AnalyzeTable(table, AnalyzeOptions());
+  const int64_t baseline_rss =
+      ForkedPeakRssKiB(table, AnalyzeOptions(), /*run_analyze=*/false);
+
+  TablePrinter printer({"mode", "wall ms", "peak stats MiB", "max d err"});
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("benchmark");
+  json.String("analyze");
+  json.Key("rows");
+  json.Int(rows);
+  json.Key("results");
+  json.BeginArray();
+
+  for (const Mode& mode : MakeModes()) {
+    const double millis = MedianMillis(table, mode.options, 3);
+    const int64_t rss = ForkedPeakRssKiB(table, mode.options, true);
+    const double stats_mib =
+        (rss >= 0 && baseline_rss >= 0)
+            ? std::max<int64_t>(rss - baseline_rss, 0) / 1024.0
+            : -1;
+    const TableStats stats = AnalyzeTable(table, mode.options);
+    const double d_err = MaxDistinctError(exact_stats, stats);
+
+    printer.AddRow({mode.name, FormatNumber(millis, 3),
+                    stats_mib < 0 ? "n/a" : FormatNumber(stats_mib, 3),
+                    FormatNumber(100 * d_err, 3) + "%"});
+    json.BeginObject();
+    json.Key("mode");
+    json.String(mode.name);
+    json.Key("stats_mode");
+    json.String(StatsSourceName(stats.source));
+    json.Key("partitions");
+    json.Int(mode.options.num_partitions);
+    json.Key("wall_ms");
+    json.Number(millis);
+    json.Key("peak_stats_mib");
+    json.Number(stats_mib);
+    json.Key("max_distinct_rel_error");
+    json.Number(d_err);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+
+  std::printf("%s", printer.ToString().c_str());
+  if (WriteTextFile("BENCH_analyze.json", json.str())) {
+    std::printf("\nwrote BENCH_analyze.json\n");
+  }
+  std::printf(
+      "\nExpected shape: sketch ANALYZE holds peak statistics memory flat\n"
+      "(KiB-scale sketches vs hash sets proportional to distinct counts),\n"
+      "stays within ~2%% on distinct counts (HLL p=12), and speeds up with\n"
+      "partitions; exact is the accuracy/memory ceiling.\n");
+  return 0;
+}

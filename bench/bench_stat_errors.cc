@@ -11,6 +11,7 @@
 // Also compares ANALYZE sampling (GEE distinct estimation) against exact
 // statistics as a realistic error source.
 
+#include <cmath>
 #include <cstdio>
 #include <utility>
 #include <vector>
@@ -126,9 +127,54 @@ int main() {
     }
   }
   std::printf("%s", sample_table.ToString().c_str());
+
+  // Sketch ANALYZE: HLL distinct-count error (1.04/√(2^p) per column) as
+  // the error source, swept over the precision knob. The multiplicative
+  // Equation 3 structure compounds the per-column error across joins.
+  std::printf("\n== Sketch ANALYZE (HLL precision sweep) as an error "
+              "source ==\n");
+  TablePrinter sketch_table({"#tables", "hll p", "rse/col", "gmean est/true",
+                             "mean q-err", "max q-err"});
+  for (int n : {2, 4, 6}) {
+    for (int precision : {6, 8, 12}) {
+      std::vector<std::pair<double, double>> pairs;
+      for (int seed = 0; seed < kSeeds; ++seed) {
+        WorkloadOptions options;
+        options.num_tables = n;
+        options.balanced = true;
+        options.max_rows = 1000;
+        options.seed = 1300 + 53 * n + seed;
+        auto workload = GenerateWorkload(options);
+        JOINEST_CHECK(workload.ok()) << workload.status();
+        auto truth = TrueResultSize(workload->catalog, workload->spec);
+        JOINEST_CHECK(truth.ok()) << truth.status();
+        AnalyzeOptions analyze;
+        analyze.stats_mode = AnalyzeOptions::StatsMode::kSketch;
+        analyze.sketch.hll_precision = precision;
+        analyze.sketch.seed = seed + 1;
+        JOINEST_CHECK(workload->catalog.ReanalyzeAll(analyze).ok());
+        auto analyzed =
+            AnalyzedQuery::Create(workload->catalog, workload->spec,
+                                  PresetOptions(AlgorithmPreset::kELS));
+        JOINEST_CHECK(analyzed.ok()) << analyzed.status();
+        pairs.emplace_back(analyzed->EstimateFullJoin(),
+                           static_cast<double>(*truth));
+      }
+      const AccuracySummary summary = Summarize(pairs);
+      const double rse = 1.04 / std::sqrt(std::pow(2.0, precision));
+      sketch_table.AddRow({FormatNumber(n), FormatNumber(precision),
+                           FormatNumber(100 * rse, 3) + "%",
+                           FormatNumber(summary.geometric_mean_ratio, 3),
+                           FormatNumber(summary.mean_q_error, 3),
+                           FormatNumber(summary.max_q_error, 3)});
+    }
+  }
+  std::printf("%s", sketch_table.ToString().c_str());
   std::printf(
       "\nExpected shape: exact at epsilon=0 / full scans; error compounds\n"
       "with both epsilon and the number of joins (multiplicative Equation 3\n"
-      "structure), mirroring the analysis the paper cites from [4].\n");
+      "structure), mirroring the analysis the paper cites from [4]. The\n"
+      "sketch sweep shows the same compounding driven by HLL precision:\n"
+      "q-error shrinks as p grows, approaching the exact row at p=12.\n");
   return 0;
 }

@@ -1,0 +1,54 @@
+// Minimal streaming JSON writer for benchmark result files.
+//
+// Benchmarks print human tables to stdout; alongside they dump
+// machine-readable JSON (BENCH_*.json) so the perf/accuracy trajectory can
+// be tracked across commits without parsing table text. The writer handles
+// comma placement and escaping; the caller supplies structure:
+//
+//   JsonWriter json;
+//   json.BeginObject();
+//   json.Key("results"); json.BeginArray();
+//   json.BeginObject(); json.Key("n"); json.Number(4); json.EndObject();
+//   json.EndArray();
+//   json.EndObject();
+//   WriteTextFile("BENCH_foo.json", json.str());
+
+#ifndef JOINEST_COMMON_JSON_WRITER_H_
+#define JOINEST_COMMON_JSON_WRITER_H_
+
+#include <string>
+#include <vector>
+
+namespace joinest {
+
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  void Key(const std::string& key);
+  void String(const std::string& value);
+  void Number(double value);
+  void Int(int64_t value);
+  void Bool(bool value);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void BeforeValue();
+  void Escape(const std::string& s);
+
+  std::string out_;
+  // Per open container: true once the first element was written.
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+// Writes `content` to `path`, returning false (with a stderr note) on I/O
+// failure. Benchmarks treat failure as non-fatal.
+bool WriteTextFile(const std::string& path, const std::string& content);
+
+}  // namespace joinest
+
+#endif  // JOINEST_COMMON_JSON_WRITER_H_

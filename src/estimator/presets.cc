@@ -73,4 +73,37 @@ std::vector<AlgorithmPreset> AllPresets() {
           AlgorithmPreset::kRepresentativeLarge};
 }
 
+AnalyzeOptions StatsPresetOptions(StatsPreset preset) {
+  AnalyzeOptions options;
+  switch (preset) {
+    case StatsPreset::kExactStats:
+      break;
+    case StatsPreset::kSampledStats:
+      options.stats_mode = AnalyzeOptions::StatsMode::kSampled;
+      options.sample_fraction = 0.1;
+      break;
+    case StatsPreset::kSketchStats:
+      options.stats_mode = AnalyzeOptions::StatsMode::kSketch;
+      break;
+  }
+  return options;
+}
+
+const char* StatsPresetName(StatsPreset preset) {
+  switch (preset) {
+    case StatsPreset::kExactStats:
+      return "exact";
+    case StatsPreset::kSampledStats:
+      return "sampled";
+    case StatsPreset::kSketchStats:
+      return "sketch";
+  }
+  return "?";
+}
+
+std::vector<StatsPreset> AllStatsPresets() {
+  return {StatsPreset::kExactStats, StatsPreset::kSampledStats,
+          StatsPreset::kSketchStats};
+}
+
 }  // namespace joinest

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "estimator/analyzed_query.h"
+#include "storage/analyze.h"
 
 namespace joinest {
 
@@ -36,6 +37,26 @@ std::vector<AlgorithmPreset> PaperPresets();
 
 // All presets.
 std::vector<AlgorithmPreset> AllPresets();
+
+// The orthogonal statistics dimension: which ANALYZE pipeline feeds the
+// catalog the estimator reads. Lets benchmarks sweep algorithm × statistics
+// source to quantify how sketch/sampling error propagates through Rules
+// M/SS/LS (the error-propagation question of the paper's citation [4]).
+enum class StatsPreset {
+  // Full-scan exact statistics (the paper's setting).
+  kExactStats,
+  // 10% Bernoulli row sample with GEE distinct extrapolation.
+  kSampledStats,
+  // Streaming sketches: HLL distinct counts, CMS heavy hitters, reservoir
+  // histogram tails (src/sketch/).
+  kSketchStats,
+};
+
+AnalyzeOptions StatsPresetOptions(StatsPreset preset);
+const char* StatsPresetName(StatsPreset preset);
+
+// Exact first, then the approximate sources.
+std::vector<StatsPreset> AllStatsPresets();
 
 }  // namespace joinest
 

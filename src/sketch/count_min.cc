@@ -1,0 +1,107 @@
+#include "sketch/count_min.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+#include "sketch/hyperloglog.h"
+
+namespace joinest {
+
+CountMinSketch::CountMinSketch(int depth, int width)
+    : depth_(depth), width_(width) {
+  JOINEST_CHECK_GT(depth, 0);
+  JOINEST_CHECK_GT(width, 0);
+  counters_.assign(static_cast<size_t>(depth) * width, 0);
+}
+
+size_t CountMinSketch::CellIndex(int row, uint64_t hash) const {
+  // Double hashing: row i uses h1 + i·h2 (h2 forced odd so rows differ).
+  const uint64_t h1 = hash;
+  const uint64_t h2 = MixHash64(hash) | 1;
+  const uint64_t cell = (h1 + static_cast<uint64_t>(row) * h2) % width_;
+  return static_cast<size_t>(row) * width_ + cell;
+}
+
+void CountMinSketch::Add(uint64_t hash, uint64_t count) {
+  for (int row = 0; row < depth_; ++row) {
+    counters_[CellIndex(row, hash)] += count;
+  }
+  total_count_ += count;
+}
+
+void CountMinSketch::AddValue(const Value& v, uint64_t count) {
+  Add(SketchHash(v), count);
+}
+
+uint64_t CountMinSketch::EstimateCount(uint64_t hash) const {
+  uint64_t estimate = UINT64_MAX;
+  for (int row = 0; row < depth_; ++row) {
+    estimate = std::min(estimate, counters_[CellIndex(row, hash)]);
+  }
+  return estimate;
+}
+
+uint64_t CountMinSketch::EstimateValueCount(const Value& v) const {
+  return EstimateCount(SketchHash(v));
+}
+
+void CountMinSketch::Merge(const CountMinSketch& other) {
+  JOINEST_CHECK_EQ(depth_, other.depth_);
+  JOINEST_CHECK_EQ(width_, other.width_);
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+  total_count_ += other.total_count_;
+}
+
+std::string CountMinSketch::ToString() const {
+  std::ostringstream oss;
+  oss << "cms(" << depth_ << "x" << width_ << ", n=" << total_count_ << ")";
+  return oss.str();
+}
+
+HeavyHitterTracker::HeavyHitterTracker(int capacity) : capacity_(capacity) {
+  JOINEST_CHECK_GT(capacity, 0);
+}
+
+void HeavyHitterTracker::Offer(const Value& v, uint64_t estimated_count) {
+  auto it = counts_.find(v);
+  if (it != counts_.end()) {
+    it->second = std::max(it->second, estimated_count);
+    return;
+  }
+  counts_.emplace(v, estimated_count);
+  EvictDownTo(static_cast<size_t>(capacity_));
+}
+
+void HeavyHitterTracker::Merge(const HeavyHitterTracker& other,
+                               const CountMinSketch& merged_counts) {
+  for (const auto& [value, count] : other.counts_) {
+    counts_.insert({value, count});  // Re-scored below; presence matters.
+  }
+  for (auto& [value, count] : counts_) {
+    count = merged_counts.EstimateValueCount(value);
+  }
+  EvictDownTo(static_cast<size_t>(capacity_));
+}
+
+void HeavyHitterTracker::EvictDownTo(size_t limit) {
+  while (counts_.size() > limit) {
+    auto min_it = counts_.begin();
+    for (auto it = std::next(counts_.begin()); it != counts_.end(); ++it) {
+      if (it->second < min_it->second) min_it = it;
+    }
+    counts_.erase(min_it);
+  }
+}
+
+std::vector<std::pair<Value, uint64_t>> HeavyHitterTracker::Sorted() const {
+  std::vector<std::pair<Value, uint64_t>> result(counts_.begin(),
+                                                 counts_.end());
+  std::sort(result.begin(), result.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return result;
+}
+
+}  // namespace joinest

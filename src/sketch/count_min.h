@@ -1,0 +1,88 @@
+// Count-Min frequency sketch (Cormode & Muthukrishnan 2005) and the top-k
+// heavy-hitter tracker built on it.
+//
+// The sketch is a depth × width counter matrix; each row hashes a value to
+// one counter via double hashing of the value's 64-bit sketch hash. The
+// frequency estimate is the minimum over rows — always an overestimate,
+// with error at most ||stream|| · e/width at confidence 1 - e^-depth.
+// Sketches over disjoint streams merge by element-wise counter addition,
+// again exactly equivalent to a single-pass build over the union.
+//
+// HeavyHitterTracker keeps the k values with the largest CMS-estimated
+// counts seen so far. It is the streaming stand-in for the exact frequency
+// census the end-biased histogram builder sorts: the tracked (value, count)
+// pairs become the histogram's singleton buckets.
+
+#ifndef JOINEST_SKETCH_COUNT_MIN_H_
+#define JOINEST_SKETCH_COUNT_MIN_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "types/value.h"
+
+namespace joinest {
+
+class CountMinSketch {
+ public:
+  CountMinSketch(int depth = 4, int width = 2048);
+
+  void Add(uint64_t hash, uint64_t count = 1);
+  void AddValue(const Value& v, uint64_t count = 1);
+
+  // Upper-bound frequency estimate (min over rows).
+  uint64_t EstimateCount(uint64_t hash) const;
+  uint64_t EstimateValueCount(const Value& v) const;
+
+  // Element-wise addition. Requires identical dimensions (CHECK-enforced).
+  void Merge(const CountMinSketch& other);
+
+  // Total stream weight (sum of all Add counts).
+  uint64_t total_count() const { return total_count_; }
+  int depth() const { return depth_; }
+  int width() const { return width_; }
+
+  std::string ToString() const;
+
+ private:
+  size_t CellIndex(int row, uint64_t hash) const;
+
+  int depth_;
+  int width_;
+  uint64_t total_count_ = 0;
+  std::vector<uint64_t> counters_;  // depth_ × width_, row-major.
+};
+
+class HeavyHitterTracker {
+ public:
+  explicit HeavyHitterTracker(int capacity = 16);
+
+  // Records that `v` now has CMS-estimated count `estimated_count`. Keeps
+  // the value if it is already tracked, there is room, or it beats the
+  // current minimum (which gets evicted).
+  void Offer(const Value& v, uint64_t estimated_count);
+
+  // Union of candidates re-scored against `merged_counts` (the CMS merged
+  // across partitions), truncated back to capacity. Follows the standard
+  // CMS+heap heavy-hitter merge.
+  void Merge(const HeavyHitterTracker& other,
+             const CountMinSketch& merged_counts);
+
+  // Tracked values with their recorded counts, heaviest first.
+  std::vector<std::pair<Value, uint64_t>> Sorted() const;
+
+  int capacity() const { return capacity_; }
+  size_t size() const { return counts_.size(); }
+
+ private:
+  void EvictDownTo(size_t limit);
+
+  int capacity_;
+  std::unordered_map<Value, uint64_t, ValueHash> counts_;
+};
+
+}  // namespace joinest
+
+#endif  // JOINEST_SKETCH_COUNT_MIN_H_

@@ -1,0 +1,84 @@
+#include "sketch/hyperloglog.h"
+
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace joinest {
+
+namespace {
+
+double AlphaM(size_t m) {
+  switch (m) {
+    case 16:
+      return 0.673;
+    case 32:
+      return 0.697;
+    case 64:
+      return 0.709;
+    default:
+      return 0.7213 / (1.0 + 1.079 / static_cast<double>(m));
+  }
+}
+
+}  // namespace
+
+HyperLogLog::HyperLogLog(int precision) : precision_(precision) {
+  JOINEST_CHECK_GE(precision, 4);
+  JOINEST_CHECK_LE(precision, 18);
+  registers_.assign(size_t{1} << precision, 0);
+}
+
+void HyperLogLog::Add(uint64_t hash) {
+  // Top p bits pick the register; the rank is the position of the first set
+  // bit in the remaining 64-p bits (1-based), capped by the suffix width.
+  const size_t index = hash >> (64 - precision_);
+  const uint64_t suffix = hash << precision_;
+  const int rank =
+      suffix == 0 ? 65 - precision_ : std::countl_zero(suffix) + 1;
+  if (rank > registers_[index]) {
+    registers_[index] = static_cast<uint8_t>(rank);
+  }
+}
+
+double HyperLogLog::Estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  double inverse_sum = 0;
+  size_t zeros = 0;
+  for (uint8_t reg : registers_) {
+    inverse_sum += std::ldexp(1.0, -reg);
+    if (reg == 0) ++zeros;
+  }
+  const double raw = AlphaM(registers_.size()) * m * m / inverse_sum;
+  // Small-range correction: linear counting while empty registers remain
+  // and the raw estimate is in the biased low regime.
+  if (raw <= 2.5 * m && zeros > 0) {
+    return m * std::log(m / static_cast<double>(zeros));
+  }
+  return raw;
+}
+
+void HyperLogLog::Merge(const HyperLogLog& other) {
+  JOINEST_CHECK_EQ(precision_, other.precision_)
+      << "cannot merge HLL sketches of different precision";
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    if (other.registers_[i] > registers_[i]) {
+      registers_[i] = other.registers_[i];
+    }
+  }
+}
+
+double HyperLogLog::RelativeStandardError() const {
+  return 1.04 / std::sqrt(static_cast<double>(registers_.size()));
+}
+
+std::string HyperLogLog::ToString() const {
+  std::ostringstream oss;
+  oss << "hll(p=" << precision_ << ", est=" << Estimate()
+      << ", rse=" << RelativeStandardError() << ")";
+  return oss.str();
+}
+
+}  // namespace joinest

@@ -1,0 +1,70 @@
+// HyperLogLog distinct-count sketch (Flajolet et al. 2007, with the usual
+// bias corrections).
+//
+// A dense array of 2^p 6-bit-worth registers (stored as uint8) tracks, per
+// hash bucket, the longest run of leading zero bits observed. The harmonic
+// mean of the registers estimates the stream's distinct count with relative
+// standard error ~1.04/sqrt(2^p) using O(2^p) memory — independent of the
+// stream length. Sketches built over disjoint row ranges merge losslessly
+// by taking the register-wise maximum, which is what makes a sharded,
+// partition-parallel ANALYZE possible: Merge(build(A), build(B)) produces
+// bit-identical registers to build(A ∪ B).
+
+#ifndef JOINEST_SKETCH_HYPERLOGLOG_H_
+#define JOINEST_SKETCH_HYPERLOGLOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace joinest {
+
+// Finalizing 64-bit mixer (splitmix64). Value::Hash is well mixed for
+// int64 but delegates to std::hash for doubles/strings, whose avalanche
+// behaviour is implementation-defined; every sketch re-mixes through this
+// so register/bucket choices see uniform bits.
+inline uint64_t MixHash64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+inline uint64_t SketchHash(const Value& v) {
+  return MixHash64(static_cast<uint64_t>(v.Hash()));
+}
+
+class HyperLogLog {
+ public:
+  // precision p in [4, 18]; memory is 2^p bytes.
+  explicit HyperLogLog(int precision = 12);
+
+  void Add(uint64_t hash);
+  void AddValue(const Value& v) { Add(SketchHash(v)); }
+
+  // Bias-corrected cardinality estimate (linear counting below 2.5·2^p).
+  double Estimate() const;
+
+  // Register-wise max. Requires identical precision (CHECK-enforced).
+  void Merge(const HyperLogLog& other);
+
+  // Relative standard error of Estimate(): 1.04 / sqrt(2^p).
+  double RelativeStandardError() const;
+
+  int precision() const { return precision_; }
+  const std::vector<uint8_t>& registers() const { return registers_; }
+
+  std::string ToString() const;
+
+ private:
+  int precision_;
+  std::vector<uint8_t> registers_;
+};
+
+}  // namespace joinest
+
+#endif  // JOINEST_SKETCH_HYPERLOGLOG_H_

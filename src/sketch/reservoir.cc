@@ -1,0 +1,74 @@
+#include "sketch/reservoir.h"
+
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace joinest {
+
+ReservoirSample::ReservoirSample(int capacity, uint64_t seed)
+    : capacity_(capacity), rng_(seed) {
+  JOINEST_CHECK_GT(capacity, 0);
+  sample_.reserve(capacity);
+}
+
+void ReservoirSample::Add(const Value& v) {
+  ++seen_;
+  if (sample_.size() < static_cast<size_t>(capacity_)) {
+    sample_.push_back(v);
+    return;
+  }
+  // Algorithm R: element i survives with probability k/i.
+  const uint64_t slot = rng_.NextBounded(static_cast<uint64_t>(seen_));
+  if (slot < static_cast<uint64_t>(capacity_)) {
+    sample_[slot] = v;
+  }
+}
+
+void ReservoirSample::Merge(const ReservoirSample& other) {
+  if (other.seen_ == 0) return;
+  if (seen_ == 0) {
+    sample_ = other.sample_;
+    seen_ = other.seen_;
+    return;
+  }
+  // Draw each merged slot from this side with probability proportional to
+  // the stream size it represents; consume each pool without replacement.
+  std::vector<Value> pool_a = std::move(sample_);
+  std::vector<Value> pool_b = other.sample_;
+  const double weight_a = static_cast<double>(seen_);
+  const double weight_b = static_cast<double>(other.seen_);
+  std::vector<Value> merged;
+  merged.reserve(capacity_);
+  while (merged.size() < static_cast<size_t>(capacity_) &&
+         (!pool_a.empty() || !pool_b.empty())) {
+    const bool from_a =
+        pool_b.empty() ||
+        (!pool_a.empty() &&
+         rng_.NextDouble() < weight_a / (weight_a + weight_b));
+    std::vector<Value>& pool = from_a ? pool_a : pool_b;
+    const uint64_t pick = rng_.NextBounded(pool.size());
+    merged.push_back(std::move(pool[pick]));
+    pool[pick] = std::move(pool.back());
+    pool.pop_back();
+  }
+  sample_ = std::move(merged);
+  seen_ += other.seen_;
+}
+
+std::vector<double> ReservoirSample::NumericSample() const {
+  std::vector<double> values;
+  values.reserve(sample_.size());
+  for (const Value& v : sample_) values.push_back(v.ToNumeric());
+  return values;
+}
+
+std::string ReservoirSample::ToString() const {
+  std::ostringstream oss;
+  oss << "reservoir(k=" << capacity_ << ", kept=" << sample_.size()
+      << ", seen=" << seen_ << ")";
+  return oss.str();
+}
+
+}  // namespace joinest

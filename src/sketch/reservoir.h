@@ -1,0 +1,51 @@
+// Reservoir sampling (Vitter's Algorithm R) with partition merge.
+//
+// Maintains a uniform without-replacement sample of a stream using O(k)
+// memory. The sample feeds everything ANALYZE derives from raw values when
+// it cannot afford a full scan: min/max refinement, histogram tails, and
+// the GEE distinct estimator already used by the row-sampling path.
+//
+// Merge follows the standard weighted-subsample scheme: each output slot
+// draws from partition A with probability n_A/(n_A + n_B), so every stream
+// element ends up in the merged reservoir with (approximately) equal
+// probability. Unlike HLL/CMS the merge is randomized, so the equivalence
+// to a single-pass build is distributional, not bit-exact.
+
+#ifndef JOINEST_SKETCH_RESERVOIR_H_
+#define JOINEST_SKETCH_RESERVOIR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "types/value.h"
+
+namespace joinest {
+
+class ReservoirSample {
+ public:
+  explicit ReservoirSample(int capacity = 1024, uint64_t seed = 1);
+
+  void Add(const Value& v);
+  void Merge(const ReservoirSample& other);
+
+  const std::vector<Value>& sample() const { return sample_; }
+  int64_t items_seen() const { return seen_; }
+  int capacity() const { return capacity_; }
+
+  // Sampled values as doubles (numeric columns only).
+  std::vector<double> NumericSample() const;
+
+  std::string ToString() const;
+
+ private:
+  int capacity_;
+  int64_t seen_ = 0;
+  Rng rng_;
+  std::vector<Value> sample_;
+};
+
+}  // namespace joinest
+
+#endif  // JOINEST_SKETCH_RESERVOIR_H_

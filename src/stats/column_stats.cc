@@ -7,9 +7,24 @@
 
 namespace joinest {
 
+const char* StatsSourceName(StatsSource source) {
+  switch (source) {
+    case StatsSource::kExact:
+      return "exact";
+    case StatsSource::kSampled:
+      return "sampled";
+    case StatsSource::kSketch:
+      return "sketch";
+  }
+  return "?";
+}
+
 std::string ColumnStats::ToString() const {
   std::ostringstream oss;
   oss << "d=" << FormatNumber(distinct_count);
+  if (distinct_relative_error.has_value()) {
+    oss << "(±" << FormatNumber(100 * *distinct_relative_error, 3) << "%)";
+  }
   if (min.has_value()) oss << " min=" << FormatNumber(*min);
   if (max.has_value()) oss << " max=" << FormatNumber(*max);
   if (histogram != nullptr) oss << " hist=" << histogram->ToString();
@@ -25,6 +40,9 @@ const ColumnStats& TableStats::column(int i) const {
 std::string TableStats::ToString() const {
   std::ostringstream oss;
   oss << "rows=" << FormatNumber(row_count);
+  if (source != StatsSource::kExact) {
+    oss << " source=" << StatsSourceName(source);
+  }
   for (size_t i = 0; i < columns.size(); ++i) {
     oss << " col" << i << "{" << columns[i].ToString() << "}";
   }

@@ -15,6 +15,18 @@
 
 namespace joinest {
 
+// How a statistic was collected. Exact statistics come from full scans with
+// exact hash sets; sampled statistics from a Bernoulli row sample (GEE
+// distinct extrapolation); sketch statistics from the streaming sketches in
+// src/sketch/ (HLL distinct counts, CMS heavy hitters, reservoir tails).
+enum class StatsSource {
+  kExact = 0,
+  kSampled,
+  kSketch,
+};
+
+const char* StatsSourceName(StatsSource source);
+
 struct ColumnStats {
   // Column cardinality d_x: number of distinct values.
   double distinct_count = 0;
@@ -24,6 +36,9 @@ struct ColumnStats {
   // Optional distribution statistics (numeric columns only). Shared so
   // TableStats stays copyable.
   std::shared_ptr<const Histogram> histogram;
+  // A-priori relative standard error of distinct_count under the collection
+  // scheme (e.g. HLL's 1.04/√(2^p)). Unset for exact statistics.
+  std::optional<double> distinct_relative_error;
 
   std::string ToString() const;
 };
@@ -33,6 +48,8 @@ struct TableStats {
   double row_count = 0;
   // One entry per schema column.
   std::vector<ColumnStats> columns;
+  // Collection scheme these statistics came from.
+  StatsSource source = StatsSource::kExact;
 
   const ColumnStats& column(int i) const;
   std::string ToString() const;

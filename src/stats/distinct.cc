@@ -27,4 +27,15 @@ double UrnModelDistinctCeil(double d, double k) {
   return std::ceil(UrnModelDistinct(d, k));
 }
 
+double GeeDistinct(double singletons, double repeated, double total_rows,
+                   double sample_rows) {
+  if (sample_rows <= 0) return 0;
+  const double scale = std::sqrt(total_rows / sample_rows);
+  double estimate = scale * singletons + repeated;
+  // Sanity clamps: at least what we saw, at most the table cardinality.
+  estimate = std::max(estimate, singletons + repeated);
+  estimate = std::min(estimate, total_rows);
+  return estimate;
+}
+
 }  // namespace joinest

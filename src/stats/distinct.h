@@ -25,6 +25,16 @@ double UrnModelDistinct(double d, double k);
 // out linearly with the surviving row fraction. Requires n > 0.
 double LinearRatioDistinct(double d, double n, double k);
 
+// GEE (Guaranteed-Error Estimator, Charikar et al. 2000) from a uniform row
+// sample: d̂ = √(n/r)·f₁ + Σ_{j≥2} f_j, where f₁ = `singletons` is the
+// number of values seen exactly once in the sample and `repeated` the
+// number seen more than once; n = `total_rows`, r = `sample_rows`. Clamped
+// to [singletons + repeated, total_rows]. At a full scan (r == n) it
+// degenerates to the exact distinct count. Shared by the row-sampling
+// ANALYZE path and the sketch subsystem's reservoir samples.
+double GeeDistinct(double singletons, double repeated, double total_rows,
+                   double sample_rows);
+
 // Ceiling-rounded urn estimate as used in the paper's formulas, which wrap
 // the expectation in ⌈·⌉. Never exceeds d (for d >= 1, k >= 1 the
 // expectation is <= d and the ceiling of a value in (d-1, d] is d).

@@ -20,11 +20,17 @@ std::string Num(double v) {
 std::string SerializeTableStats(const TableStats& stats) {
   std::ostringstream oss;
   oss << "rows " << Num(stats.row_count) << "\n";
+  if (stats.source != StatsSource::kExact) {
+    oss << "source " << StatsSourceName(stats.source) << "\n";
+  }
   for (size_t c = 0; c < stats.columns.size(); ++c) {
     const ColumnStats& col = stats.columns[c];
     oss << "column " << c << " distinct " << Num(col.distinct_count);
     if (col.min.has_value()) oss << " min " << Num(*col.min);
     if (col.max.has_value()) oss << " max " << Num(*col.max);
+    if (col.distinct_relative_error.has_value()) {
+      oss << " derr " << Num(*col.distinct_relative_error);
+    }
     oss << "\n";
     if (col.histogram != nullptr) {
       for (const HistogramBucket& b : col.histogram->buckets()) {
@@ -60,6 +66,18 @@ StatusOr<TableStats> ParseTableStats(const std::string& text,
         return parse_error("bad row count");
       }
       saw_rows = true;
+    } else if (keyword == "source") {
+      std::string name;
+      if (!(fields >> name)) return parse_error("missing source name");
+      if (name == "exact") {
+        stats.source = StatsSource::kExact;
+      } else if (name == "sampled") {
+        stats.source = StatsSource::kSampled;
+      } else if (name == "sketch") {
+        stats.source = StatsSource::kSketch;
+      } else {
+        return parse_error("unknown stats source '" + name + "'");
+      }
     } else if (keyword == "column") {
       int index = -1;
       std::string distinct_kw;
@@ -76,6 +94,8 @@ StatusOr<TableStats> ParseTableStats(const std::string& text,
           col.min = value;
         } else if (extra == "max") {
           col.max = value;
+        } else if (extra == "derr") {
+          col.distinct_relative_error = value;
         } else {
           return parse_error("unknown attribute '" + extra + "'");
         }

@@ -7,7 +7,8 @@
 // Format (line-based, '#' comments allowed):
 //
 //   rows <count>
-//   column <index> distinct <d> [min <v> max <v>]
+//   source <exact|sampled|sketch>          (optional; default exact)
+//   column <index> distinct <d> [min <v> max <v>] [derr <rse>]
 //   bucket <column-index> <lo> <hi> <rows> <distinct>
 //
 // Buckets, if any, are grouped into an equi-depth-kind histogram per

@@ -1,18 +1,34 @@
 // Statistics collection (ANALYZE).
 //
-// Computes the catalog statistics the estimator consumes: exact table
-// cardinality ||R||, exact per-column distinct counts d_x, numeric min/max,
-// and (optionally) a histogram per numeric column.
+// Computes the catalog statistics the estimator consumes: table cardinality
+// ||R||, per-column distinct counts d_x, numeric min/max, and (optionally) a
+// histogram per numeric column. Three collection modes trade accuracy for
+// memory and scan cost:
+//
+//   kExact   — full scan with exact hash sets; memory proportional to the
+//              number of distinct values per column.
+//   kSampled — Bernoulli row sample; distinct counts extrapolated with the
+//              GEE estimator, min/max/histograms from the sample.
+//   kSketch  — single streaming pass through the src/sketch/ subsystem
+//              (HLL + CMS/heavy-hitters + reservoir); bounded memory
+//              regardless of table size, and mergeable across row-range
+//              partitions, so the scan parallelises (`num_partitions`).
 
 #ifndef JOINEST_STORAGE_ANALYZE_H_
 #define JOINEST_STORAGE_ANALYZE_H_
 
+#include "sketch/sketch_profile.h"
 #include "stats/column_stats.h"
 #include "storage/table.h"
 
 namespace joinest {
 
 struct AnalyzeOptions {
+  enum class StatsMode { kExact, kSampled, kSketch };
+  // kExact with sample_fraction < 1 is promoted to kSampled for backward
+  // compatibility with callers that predate the mode knob.
+  StatsMode stats_mode = StatsMode::kExact;
+
   // Histogram to attach to numeric columns; kNone keeps only d/min/max so
   // local selectivities fall back to the uniformity assumption.
   enum class HistogramKind { kNone, kEquiWidth, kEquiDepth, kEndBiased };
@@ -21,7 +37,7 @@ struct AnalyzeOptions {
   // kEndBiased only: number of heavy-hitter values kept exactly.
   int end_biased_singletons = 16;
 
-  // Row-sampling: 1.0 scans everything (exact statistics); below 1.0 a
+  // kSampled: 1.0 scans everything (exact statistics); below 1.0 a
   // Bernoulli row sample is taken, distinct counts are extrapolated with
   // the GEE estimator (Charikar et al.: d̂ = √(n/r)·f₁ + Σ_{j≥2} f_j, where
   // f_j is the number of values seen exactly j times in the sample), and
@@ -31,10 +47,21 @@ struct AnalyzeOptions {
   // ([4]).
   double sample_fraction = 1.0;
   uint64_t sample_seed = 1;
+
+  // kSketch: sketch sizing, and the number of row-range partitions to
+  // stream in parallel (each on its own thread) before merging profiles.
+  SketchOptions sketch;
+  int num_partitions = 1;
 };
 
 TableStats AnalyzeTable(const Table& table,
                         const AnalyzeOptions& options = AnalyzeOptions());
+
+// The kSketch scan core: builds one mergeable SketchProfile per row-range
+// partition (concurrently when num_partitions > 1) and folds them. Exposed
+// so benchmarks and shard coordinators can reuse partial profiles.
+SketchProfile BuildSketchProfile(const Table& table,
+                                 const AnalyzeOptions& options);
 
 }  // namespace joinest
 

@@ -43,6 +43,14 @@ Status Catalog::Reanalyze(int table_id, const AnalyzeOptions& options) {
   return Status::OK();
 }
 
+Status Catalog::ReanalyzeAll(const AnalyzeOptions& options) {
+  for (int t = 0; t < num_tables(); ++t) {
+    const Status status = Reanalyze(t, options);
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
 Status Catalog::SetStats(int table_id, TableStats stats) {
   JOINEST_CHECK_GE(table_id, 0);
   JOINEST_CHECK_LT(table_id, num_tables());

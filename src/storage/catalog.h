@@ -59,6 +59,10 @@ class Catalog {
   // settings).
   Status Reanalyze(int table_id, const AnalyzeOptions& options);
 
+  // Re-collects statistics for every table — e.g. switching the whole
+  // catalog between exact and sketch statistics for an ablation.
+  Status ReanalyzeAll(const AnalyzeOptions& options);
+
   // Replaces a table's statistics wholesale (what-if analysis, loading
   // serialised stats). The column count must match the schema.
   Status SetStats(int table_id, TableStats stats);

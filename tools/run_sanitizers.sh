@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Builds and runs the test suite under sanitizers, one out-of-tree build per
+# configuration:
+#
+#   * asan_ubsan — AddressSanitizer + UndefinedBehaviorSanitizer over the
+#     full ctest suite;
+#   * tsan — ThreadSanitizer over the tests that exercise concurrency (the
+#     partitioned sketch ANALYZE path spawns one thread per row-range
+#     partition and merges the per-partition profiles).
+#
+# Usage: tools/run_sanitizers.sh [build-root]   (default: build-sanitize)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+root="${1:-build-sanitize}"
+
+run_job() {
+  local name="$1" sanitizers="$2" test_filter="$3"
+  local dir="${root}/${name}"
+  echo "== ${name}: -fsanitize=${sanitizers} =="
+  cmake -B "${dir}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DJOINEST_SANITIZE="${sanitizers}" >/dev/null
+  cmake --build "${dir}" -j "$(nproc)" >/dev/null
+  ctest --test-dir "${dir}" --output-on-failure ${test_filter}
+}
+
+# UBSan: abort on the first report so ctest fails loudly.
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
+export TSAN_OPTIONS="halt_on_error=1"
+
+run_job asan_ubsan "address,undefined" ""
+run_job tsan "thread" "-R 'sketch_test|storage_test'"
+
+echo "All sanitizer jobs passed."
