@@ -23,6 +23,15 @@
 namespace joinest {
 namespace {
 
+
+// Steady-state measurement: every benchmark warms up before timing (cold
+// caches and lazy allocator pools otherwise pollute the first samples) and
+// reports the median/mean/stddev over 5 repetitions instead of a single
+// noisy run.
+void SteadyState(benchmark::internal::Benchmark* b) {
+  b->MinWarmUpTime(0.05)->Repetitions(5)->ReportAggregatesOnly(true);
+}
+
 // Stats-only catalog with n single-column tables chained on one attribute
 // plus a local predicate — the §8 query generalised to n tables.
 struct Fixture {
@@ -65,7 +74,8 @@ void BM_TransitiveClosure(benchmark::State& state) {
     benchmark::DoNotOptimize(ComputeTransitiveClosure(f.spec.predicates));
   }
 }
-BENCHMARK(BM_TransitiveClosure)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(BM_TransitiveClosure)
+    ->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Apply(SteadyState);
 
 void BM_AnalyzedQueryCreate(benchmark::State& state) {
   const Fixture f = MakeFixture(static_cast<int>(state.range(0)));
@@ -75,7 +85,7 @@ void BM_AnalyzedQueryCreate(benchmark::State& state) {
     benchmark::DoNotOptimize(analyzed);
   }
 }
-BENCHMARK(BM_AnalyzedQueryCreate)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_AnalyzedQueryCreate)->Arg(4)->Arg(8)->Arg(16)->Apply(SteadyState);
 
 void BM_EstimateOrder(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -90,7 +100,7 @@ void BM_EstimateOrder(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * (n - 1));
 }
-BENCHMARK(BM_EstimateOrder)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_EstimateOrder)->Arg(4)->Arg(8)->Arg(16)->Apply(SteadyState);
 
 void BM_UrnModelDistinct(benchmark::State& state) {
   double d = 10000, k = 50000;
@@ -99,7 +109,7 @@ void BM_UrnModelDistinct(benchmark::State& state) {
     d += 1;  // Defeat constant folding.
   }
 }
-BENCHMARK(BM_UrnModelDistinct);
+BENCHMARK(BM_UrnModelDistinct)->Apply(SteadyState);
 
 void BM_HistogramSelectivity(benchmark::State& state) {
   Rng rng(1);
@@ -116,7 +126,8 @@ void BM_HistogramSelectivity(benchmark::State& state) {
     v = v < 10000 ? v + 7 : 0;
   }
 }
-BENCHMARK(BM_HistogramSelectivity)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_HistogramSelectivity)
+    ->Arg(16)->Arg(64)->Arg(256)->Apply(SteadyState);
 
 void BM_HistogramBuild(benchmark::State& state) {
   Rng rng(2);
@@ -131,7 +142,7 @@ void BM_HistogramBuild(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_HistogramBuild)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_HistogramBuild)->Arg(10000)->Arg(100000)->Apply(SteadyState);
 
 void BM_HistogramJoinSelectivity(benchmark::State& state) {
   Rng rng(3);
@@ -148,7 +159,8 @@ void BM_HistogramJoinSelectivity(benchmark::State& state) {
     benchmark::DoNotOptimize(HistogramJoinSelectivity(ha, hb));
   }
 }
-BENCHMARK(BM_HistogramJoinSelectivity)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_HistogramJoinSelectivity)
+    ->Arg(16)->Arg(64)->Arg(256)->Apply(SteadyState);
 
 void BM_TraceOrder(benchmark::State& state) {
   const int n = 8;
@@ -162,7 +174,7 @@ void BM_TraceOrder(benchmark::State& state) {
     benchmark::DoNotOptimize(analyzed->TraceOrder(order));
   }
 }
-BENCHMARK(BM_TraceOrder);
+BENCHMARK(BM_TraceOrder)->Apply(SteadyState);
 
 void BM_ParseQuery(benchmark::State& state) {
   const Fixture f = MakeFixture(4);
@@ -173,7 +185,7 @@ void BM_ParseQuery(benchmark::State& state) {
     benchmark::DoNotOptimize(ParseQuery(f.catalog, sql));
   }
 }
-BENCHMARK(BM_ParseQuery);
+BENCHMARK(BM_ParseQuery)->Apply(SteadyState);
 
 }  // namespace
 }  // namespace joinest

@@ -1,5 +1,7 @@
 #include "executor/eval.h"
 
+#include "common/logging.h"
+
 namespace joinest {
 
 bool EvalCompare(const Value& left, CompareOp op, const Value& right) {
@@ -18,6 +20,22 @@ bool EvalCompare(const Value& left, CompareOp op, const Value& right) {
       return left >= right;
   }
   return false;
+}
+
+bool EvalPredicatesRow(const Row& row,
+                       const std::vector<Predicate>& predicates,
+                       const std::vector<int>& left_pos,
+                       const std::vector<int>& right_pos) {
+  JOINEST_CHECK_EQ(predicates.size(), left_pos.size());
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    const Predicate& p = predicates[i];
+    const Value& left = row[left_pos[i]];
+    const Value& right = p.kind == Predicate::Kind::kLocalConst
+                             ? p.constant
+                             : row[right_pos[i]];
+    if (!EvalCompare(left, p.op, right)) return false;
+  }
+  return true;
 }
 
 }  // namespace joinest

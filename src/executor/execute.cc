@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "executor/compile.h"
+#include "executor/parallel.h"
 #include "executor/scan_ops.h"
 
 namespace joinest {
@@ -28,15 +29,18 @@ StatusOr<ExecutionResult> ExecutePlan(const Catalog& catalog,
   ExecutionResult result;
   const auto start = std::chrono::steady_clock::now();
   root->Open();
-  Row row;
+  RowBatch batch;
   int64_t rows = 0;
   int64_t count = 0;
-  while (root->Next(row)) {
-    ++rows;
-    if (grouped) {
-      count += row.back().AsInt64();  // Total over groups = join size.
-    } else if (spec.count_star) {
-      count = row[0].AsInt64();
+  while (root->NextBatch(batch)) {
+    rows += batch.size();
+    for (int i = 0; i < batch.size(); ++i) {
+      const Row& row = batch.row(i);
+      if (grouped) {
+        count += row.back().AsInt64();  // Total over groups = join size.
+      } else if (spec.count_star) {
+        count = row[0].AsInt64();
+      }
     }
   }
   root->Close();
@@ -46,14 +50,51 @@ StatusOr<ExecutionResult> ExecutePlan(const Catalog& catalog,
   result.count = spec.count_star ? count : rows;
   result.seconds = std::chrono::duration<double>(end - start).count();
   for (Operator* op : registry) {
-    result.operators.push_back(OperatorStats{op->name(), op->rows_produced()});
+    result.operators.push_back(
+        OperatorStats{op->name(), op->rows_produced(), op->seconds()});
   }
   return result;
 }
 
-StatusOr<int64_t> TrueResultSize(const Catalog& catalog,
-                                 const QuerySpec& spec) {
-  JOINEST_RETURN_IF_ERROR(spec.Validate(catalog));
+std::vector<int> CanonicalJoinOrder(int num_tables,
+                                    const std::vector<Predicate>& joins) {
+  std::vector<bool> used(num_tables, false);
+  std::vector<int> order;
+  order.push_back(0);
+  used[0] = true;
+  auto connected = [&](int t) {
+    for (const Predicate& p : joins) {
+      if ((p.left.table == t && used[p.right.table]) ||
+          (p.right.table == t && used[p.left.table])) {
+        return true;
+      }
+    }
+    return false;
+  };
+  while (static_cast<int>(order.size()) < num_tables) {
+    int next = -1;
+    for (int t = 0; t < num_tables; ++t) {
+      if (!used[t] && connected(t)) {
+        next = t;
+        break;
+      }
+    }
+    if (next < 0) {
+      // Disconnected join graph: fall back to a cartesian step.
+      for (int t = 0; t < num_tables; ++t) {
+        if (!used[t]) {
+          next = t;
+          break;
+        }
+      }
+    }
+    order.push_back(next);
+    used[next] = true;
+  }
+  return order;
+}
+
+std::unique_ptr<PlanNode> CanonicalSafePlan(const QuerySpec& spec) {
   const int n = spec.num_tables();
 
   // Group local predicates by table for scan pushdown.
@@ -67,40 +108,7 @@ StatusOr<int64_t> TrueResultSize(const Catalog& catalog,
     }
   }
 
-  // Greedy connected order (cartesian only when the join graph is
-  // disconnected).
-  std::vector<bool> used(n, false);
-  std::vector<int> order;
-  order.push_back(0);
-  used[0] = true;
-  auto connected = [&](int t) {
-    for (const Predicate& p : joins) {
-      if ((p.left.table == t && used[p.right.table]) ||
-          (p.right.table == t && used[p.left.table])) {
-        return true;
-      }
-    }
-    return false;
-  };
-  while (static_cast<int>(order.size()) < n) {
-    int next = -1;
-    for (int t = 0; t < n; ++t) {
-      if (!used[t] && connected(t)) {
-        next = t;
-        break;
-      }
-    }
-    if (next < 0) {
-      for (int t = 0; t < n; ++t) {
-        if (!used[t]) {
-          next = t;
-          break;
-        }
-      }
-    }
-    order.push_back(next);
-    used[next] = true;
-  }
+  const std::vector<int> order = CanonicalJoinOrder(n, joins);
 
   // Left-deep hash joins (nested loops for the rare cartesian step).
   auto plan = MakeScanNode(order[0], local[order[0]]);
@@ -120,19 +128,22 @@ StatusOr<int64_t> TrueResultSize(const Catalog& catalog,
       }
     }
     auto scan = MakeScanNode(t, local[t]);
-    plan = MakeJoinNode(
-        eligible.empty() ? JoinMethod::kNestedLoop : JoinMethod::kHash,
-        std::move(plan), std::move(scan), std::move(eligible));
+    // Pick the method before moving `eligible`: argument evaluation order
+    // is unspecified, so folding the emptiness test into the call could
+    // read the vector after it was moved from (and did, historically —
+    // every canonical join silently compiled as a nested loop).
+    const JoinMethod method =
+        eligible.empty() ? JoinMethod::kNestedLoop : JoinMethod::kHash;
+    plan = MakeJoinNode(method, std::move(plan), std::move(scan),
+                        std::move(eligible));
     in_plan[t] = true;
   }
+  return plan;
+}
 
-  QuerySpec count_spec = spec;
-  count_spec.count_star = true;
-  count_spec.select.clear();
-  count_spec.group_by.clear();  // The ungrouped join size is the target.
-  JOINEST_ASSIGN_OR_RETURN(ExecutionResult result,
-                           ExecutePlan(catalog, count_spec, *plan));
-  return result.count;
+StatusOr<int64_t> TrueResultSize(const Catalog& catalog,
+                                 const QuerySpec& spec) {
+  return ParallelTrueCount(catalog, spec);
 }
 
 StatusOr<std::vector<int64_t>> TruePrefixSizes(

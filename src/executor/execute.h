@@ -23,20 +23,33 @@ struct ExecutionResult {
   // queries, equal to output_rows.
   int64_t count = 0;
   double seconds = 0;
-  // Pre-order (operator name, rows produced) over the compiled tree.
+  // Pre-order (operator name, rows produced, inclusive wall-clock) over the
+  // compiled tree.
   std::vector<OperatorStats> operators;
 };
 
 // Compiles and runs `plan`, topping it with the query's projection or
-// COUNT(*). Joins and scans stream; nothing is retained beyond counts.
+// COUNT(*). The root is driven batch-at-a-time; joins and scans stream,
+// and nothing is retained beyond counts.
 StatusOr<ExecutionResult> ExecutePlan(const Catalog& catalog,
                                       const QuerySpec& spec,
                                       const PlanNode& plan);
 
-// Ground truth without an optimizer: executes the query with a canonical
-// safe plan (hash joins in table order, filters pushed down), returning the
-// exact result count. Used by tests and benches to compare estimates with
-// true cardinalities.
+// Greedy connected join order starting from table 0 (a cartesian step is
+// appended only when the join graph is disconnected) — the order the
+// canonical safe plan and the parallel counting pipeline share.
+std::vector<int> CanonicalJoinOrder(int num_tables,
+                                    const std::vector<Predicate>& joins);
+
+// The canonical safe plan: left-deep hash joins in CanonicalJoinOrder with
+// local predicates pushed into the scans (nested loops only for a rare
+// cartesian step). This is the plan whose COUNT(*) defines ground truth.
+std::unique_ptr<PlanNode> CanonicalSafePlan(const QuerySpec& spec);
+
+// Ground truth without an optimizer: the exact result count of the
+// canonical safe plan, computed with the morsel-parallel counting pipeline
+// (see executor/parallel.h). Used by tests and benches to compare estimates
+// with true cardinalities.
 StatusOr<int64_t> TrueResultSize(const Catalog& catalog,
                                  const QuerySpec& spec);
 

@@ -1,0 +1,174 @@
+#include "executor/hash_table.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace joinest {
+
+namespace {
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// Load factor 1/2: capacity is the next power of two at or above 2·keys.
+size_t CapacityFor(size_t rows) {
+  return NextPowerOfTwo(rows < 8 ? 16 : rows * 2);
+}
+
+uint64_t CombineHashes(uint64_t h, uint64_t next) {
+  return h ^ (next + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+}
+
+uint64_t HashKeyVector(const std::vector<Value>& key) {
+  uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (const Value& v : key) h = CombineHashes(h, v.Hash());
+  return h;
+}
+
+}  // namespace
+
+JoinHashTable::JoinHashTable(std::vector<Row> rows,
+                             std::vector<int> key_positions)
+    : rows_(std::move(rows)), key_positions_(std::move(key_positions)) {
+  if (key_positions_.empty()) {
+    // Degenerate cartesian table: every probe matches all rows.
+    payload_.resize(rows_.size());
+    for (uint32_t i = 0; i < payload_.size(); ++i) payload_[i] = i;
+    num_keys_ = rows_.empty() ? 0 : 1;
+    return;
+  }
+  fast_path_ = key_positions_.size() == 1;
+  if (fast_path_) {
+    const int pos = key_positions_[0];
+    for (const Row& row : rows_) {
+      if (row[pos].type() != TypeKind::kInt64) {
+        fast_path_ = false;
+        break;
+      }
+    }
+  }
+  capacity_ = CapacityFor(rows_.size());
+  mask_ = capacity_ - 1;
+  if (fast_path_) {
+    BuildFast();
+  } else {
+    BuildGeneric();
+  }
+}
+
+size_t JoinHashTable::FindFastSlot(int64_t key) const {
+  size_t slot = HashUint64(static_cast<uint64_t>(key)) & mask_;
+  while (fast_slots_[slot].used && fast_slots_[slot].key != key) {
+    slot = (slot + 1) & mask_;
+  }
+  return slot;
+}
+
+void JoinHashTable::BuildFast() {
+  fast_slots_.assign(capacity_, FastSlot{});
+  const int pos = key_positions_[0];
+  // Pass 1: per-key cardinalities.
+  for (const Row& row : rows_) {
+    const int64_t key = row[pos].AsInt64();
+    FastSlot& slot = fast_slots_[FindFastSlot(key)];
+    if (!slot.used) {
+      slot.used = true;
+      slot.key = key;
+      ++num_keys_;
+    }
+    ++slot.count;
+  }
+  // Pass 2: prefix-sum the counts into payload offsets.
+  uint32_t offset = 0;
+  for (FastSlot& slot : fast_slots_) {
+    if (!slot.used) continue;
+    slot.begin = offset;
+    offset += slot.count;
+    slot.count = 0;  // Reused as the scatter cursor.
+  }
+  // Pass 3: scatter row indices; count regrows to its final value.
+  payload_.resize(rows_.size());
+  for (uint32_t i = 0; i < rows_.size(); ++i) {
+    FastSlot& slot = fast_slots_[FindFastSlot(rows_[i][pos].AsInt64())];
+    payload_[slot.begin + slot.count++] = i;
+  }
+}
+
+size_t JoinHashTable::FindGenericSlot(const std::vector<Value>& key,
+                                      uint64_t hash) const {
+  size_t slot = hash & mask_;
+  while (generic_slots_[slot].key_index >= 0) {
+    const GenericSlot& s = generic_slots_[slot];
+    if (s.hash == hash && keys_[s.key_index] == key) return slot;
+    slot = (slot + 1) & mask_;
+  }
+  return slot;
+}
+
+void JoinHashTable::BuildGeneric() {
+  generic_slots_.assign(capacity_, GenericSlot{});
+  std::vector<Value> key(key_positions_.size());
+  auto key_of = [&](const Row& row) {
+    for (size_t k = 0; k < key_positions_.size(); ++k) {
+      key[k] = row[key_positions_[k]].CanonicalKey();
+    }
+  };
+  for (const Row& row : rows_) {
+    key_of(row);
+    const uint64_t hash = HashKeyVector(key);
+    GenericSlot& slot = generic_slots_[FindGenericSlot(key, hash)];
+    if (slot.key_index < 0) {
+      slot.hash = hash;
+      slot.key_index = static_cast<int32_t>(keys_.size());
+      keys_.push_back(key);
+      ++num_keys_;
+    }
+    ++slot.count;
+  }
+  uint32_t offset = 0;
+  for (GenericSlot& slot : generic_slots_) {
+    if (slot.key_index < 0) continue;
+    slot.begin = offset;
+    offset += slot.count;
+    slot.count = 0;
+  }
+  payload_.resize(rows_.size());
+  for (uint32_t i = 0; i < rows_.size(); ++i) {
+    key_of(rows_[i]);
+    GenericSlot& slot =
+        generic_slots_[FindGenericSlot(key, HashKeyVector(key))];
+    payload_[slot.begin + slot.count++] = i;
+  }
+}
+
+JoinHashTable::Span JoinHashTable::Probe(
+    const Row& probe_row, const std::vector<int>& probe_positions,
+    Scratch& scratch) const {
+  if (key_positions_.empty()) {
+    return Span{payload_.data(), payload_.size()};
+  }
+  JOINEST_CHECK_EQ(probe_positions.size(), key_positions_.size());
+  if (rows_.empty()) return Span{};
+  if (fast_path_) {
+    const Value& v = probe_row[probe_positions[0]];
+    const std::optional<int64_t> key = v.AsCanonicalInt64();
+    if (!key) return Span{};  // Fractional/out-of-range: equals no int64.
+    const FastSlot& slot = fast_slots_[FindFastSlot(*key)];
+    if (!slot.used) return Span{};
+    return Span{payload_.data() + slot.begin, slot.count};
+  }
+  scratch.key.resize(probe_positions.size());
+  for (size_t k = 0; k < probe_positions.size(); ++k) {
+    scratch.key[k] = probe_row[probe_positions[k]].CanonicalKey();
+  }
+  const GenericSlot& slot = generic_slots_[FindGenericSlot(
+      scratch.key, HashKeyVector(scratch.key))];
+  if (slot.key_index < 0) return Span{};
+  return Span{payload_.data() + slot.begin, slot.count};
+}
+
+}  // namespace joinest

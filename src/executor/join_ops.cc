@@ -64,13 +64,13 @@ NestedLoopJoinOperator::NestedLoopJoinOperator(
   keys_ = ResolveJoinKeys(left_->layout(), right_->layout(), predicates);
 }
 
-void NestedLoopJoinOperator::Open() {
+void NestedLoopJoinOperator::OpenImpl() {
   left_->Open();
   outer_valid_ = false;
   inner_open_ = false;
 }
 
-bool NestedLoopJoinOperator::Next(Row& row) {
+bool NestedLoopJoinOperator::NextImpl(Row& row) {
   Row inner;
   while (true) {
     if (!outer_valid_) {
@@ -92,7 +92,7 @@ bool NestedLoopJoinOperator::Next(Row& row) {
   }
 }
 
-void NestedLoopJoinOperator::Close() {
+void NestedLoopJoinOperator::CloseImpl() {
   left_->Close();
   if (inner_open_) {
     right_->Close();
@@ -110,7 +110,7 @@ BlockNestedLoopJoinOperator::BlockNestedLoopJoinOperator(
   keys_ = ResolveJoinKeys(left_->layout(), right_->layout(), predicates);
 }
 
-void BlockNestedLoopJoinOperator::Open() {
+void BlockNestedLoopJoinOperator::OpenImpl() {
   left_->Open();
   right_->Open();
   inner_.clear();
@@ -121,7 +121,7 @@ void BlockNestedLoopJoinOperator::Open() {
   inner_cursor_ = 0;
 }
 
-bool BlockNestedLoopJoinOperator::Next(Row& row) {
+bool BlockNestedLoopJoinOperator::NextImpl(Row& row) {
   while (true) {
     if (!outer_valid_) {
       if (!left_->Next(outer_row_)) return false;
@@ -140,72 +140,94 @@ bool BlockNestedLoopJoinOperator::Next(Row& row) {
   }
 }
 
-void BlockNestedLoopJoinOperator::Close() {
+void BlockNestedLoopJoinOperator::CloseImpl() {
   left_->Close();
   inner_.clear();
 }
 
 // ---------------------------------------------------------------- Hash
 
-size_t HashJoinOperator::KeyHash::operator()(
-    const std::vector<Value>& key) const {
-  size_t h = 0x9e3779b97f4a7c15ull;
-  for (const Value& v : key) h ^= v.Hash() + 0x9e3779b97f4a7c15ull + (h << 6);
-  return h;
-}
-
 HashJoinOperator::HashJoinOperator(std::unique_ptr<Operator> left,
                                    std::unique_ptr<Operator> right,
                                    std::vector<Predicate> predicates)
     : left_(std::move(left)), right_(std::move(right)) {
   layout_ = ConcatLayouts(left_->layout(), right_->layout());
-  keys_ = ResolveJoinKeys(left_->layout(), right_->layout(), predicates);
-  JOINEST_CHECK(!keys_.empty()) << "hash join requires at least one key";
+  const std::vector<JoinKey> keys =
+      ResolveJoinKeys(left_->layout(), right_->layout(), predicates);
+  JOINEST_CHECK(!keys.empty()) << "hash join requires at least one key";
+  for (const JoinKey& k : keys) {
+    probe_positions_.push_back(k.left_pos);
+    build_positions_.push_back(k.right_pos);
+  }
 }
 
-std::vector<Value> HashJoinOperator::LeftKey(const Row& row) const {
-  std::vector<Value> key;
-  key.reserve(keys_.size());
-  for (const JoinKey& k : keys_) key.push_back(row[k.left_pos]);
-  return key;
-}
-
-void HashJoinOperator::Open() {
+void HashJoinOperator::OpenImpl() {
   left_->Open();
   right_->Open();
-  build_.clear();
-  Row row;
-  while (right_->Next(row)) {
-    std::vector<Value> key;
-    key.reserve(keys_.size());
-    for (const JoinKey& k : keys_) key.push_back(row[k.right_pos]);
-    build_[std::move(key)].push_back(row);
+  std::vector<Row> build_rows;
+  RowBatch batch;
+  while (right_->NextBatch(batch)) {
+    for (int i = 0; i < batch.size(); ++i) {
+      build_rows.push_back(batch.row(i));
+    }
   }
   right_->Close();
-  matches_ = nullptr;
+  table_ =
+      std::make_unique<JoinHashTable>(std::move(build_rows), build_positions_);
+  matches_ = JoinHashTable::Span{};
   match_cursor_ = 0;
+  input_valid_ = false;
+  input_pos_ = 0;
+  batch_matches_ = JoinHashTable::Span{};
+  batch_match_cursor_ = 0;
 }
 
-bool HashJoinOperator::Next(Row& row) {
+bool HashJoinOperator::NextImpl(Row& row) {
   while (true) {
-    if (matches_ != nullptr && match_cursor_ < matches_->size()) {
-      ConcatRows(row, outer_row_, (*matches_)[match_cursor_++]);
+    if (match_cursor_ < matches_.size) {
+      ConcatRows(row, outer_row_, table_->row(matches_.data[match_cursor_++]));
       ++rows_produced_;
       return true;
     }
-    matches_ = nullptr;
     if (!left_->Next(outer_row_)) return false;
-    const auto it = build_.find(LeftKey(outer_row_));
-    if (it != build_.end()) {
-      matches_ = &it->second;
-      match_cursor_ = 0;
-    }
+    matches_ = table_->Probe(outer_row_, probe_positions_, scratch_);
+    match_cursor_ = 0;
   }
 }
 
-void HashJoinOperator::Close() {
+bool HashJoinOperator::NextBatchImpl(RowBatch& batch) {
+  batch.Clear();
+  while (!batch.full()) {
+    if (batch_match_cursor_ < batch_matches_.size) {
+      const Row& outer = input_.row(input_pos_);
+      // Emit as many of the current row's matches as fit.
+      do {
+        ConcatRows(batch.AppendSlot(), outer,
+                   table_->row(batch_matches_.data[batch_match_cursor_++]));
+        ++rows_produced_;
+      } while (!batch.full() && batch_match_cursor_ < batch_matches_.size);
+      if (batch_match_cursor_ < batch_matches_.size) break;
+      ++input_pos_;
+    } else if (input_valid_ && input_pos_ < input_.size()) {
+      batch_matches_ =
+          table_->Probe(input_.row(input_pos_), probe_positions_, scratch_);
+      batch_match_cursor_ = 0;
+      if (batch_matches_.empty()) ++input_pos_;
+    } else {
+      if (!left_->NextBatch(input_)) {
+        input_valid_ = false;
+        break;
+      }
+      input_valid_ = true;
+      input_pos_ = 0;
+    }
+  }
+  return !batch.empty();
+}
+
+void HashJoinOperator::CloseImpl() {
   left_->Close();
-  build_.clear();
+  table_.reset();
 }
 
 // ---------------------------------------------------------------- SMJ
@@ -235,7 +257,7 @@ int CompareKeys(const Row& left, const Row& right,
 
 }  // namespace
 
-void SortMergeJoinOperator::Open() {
+void SortMergeJoinOperator::OpenImpl() {
   auto drain = [](Operator& op, std::vector<Row>& out) {
     op.Open();
     out.clear();
@@ -265,7 +287,7 @@ void SortMergeJoinOperator::Open() {
   in_group_ = false;
 }
 
-bool SortMergeJoinOperator::Next(Row& row) {
+bool SortMergeJoinOperator::NextImpl(Row& row) {
   while (true) {
     if (in_group_) {
       if (lcur_ < lg_) {
@@ -309,7 +331,7 @@ bool SortMergeJoinOperator::Next(Row& row) {
   }
 }
 
-void SortMergeJoinOperator::Close() {
+void SortMergeJoinOperator::CloseImpl() {
   left_rows_.clear();
   right_rows_.clear();
 }
@@ -354,7 +376,7 @@ IndexNestedLoopJoinOperator::IndexNestedLoopJoinOperator(
   }
 }
 
-void IndexNestedLoopJoinOperator::Open() {
+void IndexNestedLoopJoinOperator::OpenImpl() {
   outer_->Open();
   index_ = std::make_unique<HashIndex>(inner_table_, inner_key_col_);
   probe_ = nullptr;
@@ -387,7 +409,7 @@ void IndexNestedLoopJoinOperator::EmitJoined(Row& out,
   }
 }
 
-bool IndexNestedLoopJoinOperator::Next(Row& row) {
+bool IndexNestedLoopJoinOperator::NextImpl(Row& row) {
   while (true) {
     if (probe_ != nullptr) {
       while (probe_cursor_ < probe_->size()) {
@@ -406,7 +428,7 @@ bool IndexNestedLoopJoinOperator::Next(Row& row) {
   }
 }
 
-void IndexNestedLoopJoinOperator::Close() {
+void IndexNestedLoopJoinOperator::CloseImpl() {
   outer_->Close();
   index_.reset();
 }

@@ -13,9 +13,9 @@
 #define JOINEST_EXECUTOR_JOIN_OPS_H_
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "executor/hash_table.h"
 #include "executor/operator.h"
 #include "query/predicate.h"
 #include "storage/index.h"
@@ -48,10 +48,12 @@ class NestedLoopJoinOperator : public Operator {
                          std::unique_ptr<Operator> right,
                          std::vector<Predicate> predicates);
 
-  void Open() override;
-  bool Next(Row& row) override;
-  void Close() override;
   std::string name() const override { return "NestedLoopJoin"; }
+
+ protected:
+  void OpenImpl() override;
+  bool NextImpl(Row& row) override;
+  void CloseImpl() override;
 
  private:
   std::unique_ptr<Operator> left_;
@@ -72,10 +74,12 @@ class BlockNestedLoopJoinOperator : public Operator {
                               std::unique_ptr<Operator> right,
                               std::vector<Predicate> predicates);
 
-  void Open() override;
-  bool Next(Row& row) override;
-  void Close() override;
   std::string name() const override { return "BlockNestedLoopJoin"; }
+
+ protected:
+  void OpenImpl() override;
+  bool NextImpl(Row& row) override;
+  void CloseImpl() override;
 
  private:
   std::unique_ptr<Operator> left_;
@@ -87,32 +91,45 @@ class BlockNestedLoopJoinOperator : public Operator {
   size_t inner_cursor_ = 0;
 };
 
-// Classic hash join: builds on the right input, probes with the left.
+// Classic hash join: builds on the right input, probes with the left. The
+// build side is a JoinHashTable (flat open addressing, contiguous payload
+// spans, single-int64 fast path) instead of the former
+// unordered_map<vector<Value>, vector<Row>>; probes allocate nothing. The
+// batch path probes a whole left batch per call.
 class HashJoinOperator : public Operator {
  public:
   HashJoinOperator(std::unique_ptr<Operator> left,
                    std::unique_ptr<Operator> right,
                    std::vector<Predicate> predicates);
 
-  void Open() override;
-  bool Next(Row& row) override;
-  void Close() override;
   std::string name() const override { return "HashJoin"; }
 
+ protected:
+  void OpenImpl() override;
+  bool NextImpl(Row& row) override;
+  bool NextBatchImpl(RowBatch& batch) override;
+  void CloseImpl() override;
+
  private:
-  struct KeyHash {
-    size_t operator()(const std::vector<Value>& key) const;
-  };
-
-  std::vector<Value> LeftKey(const Row& row) const;
-
   std::unique_ptr<Operator> left_;
   std::unique_ptr<Operator> right_;
-  std::vector<JoinKey> keys_;
-  std::unordered_map<std::vector<Value>, std::vector<Row>, KeyHash> build_;
+  std::vector<int> build_positions_;  // Key columns in the right layout.
+  std::vector<int> probe_positions_;  // Key columns in the left layout.
+  std::unique_ptr<JoinHashTable> table_;
+  JoinHashTable::Scratch scratch_;
+
+  // Tuple-path probe state.
   Row outer_row_;
-  const std::vector<Row>* matches_ = nullptr;
+  JoinHashTable::Span matches_;
   size_t match_cursor_ = 0;
+
+  // Batch-path probe state: position within the current input batch and
+  // within that row's match span.
+  RowBatch input_;
+  int input_pos_ = 0;
+  JoinHashTable::Span batch_matches_;
+  size_t batch_match_cursor_ = 0;
+  bool input_valid_ = false;
 };
 
 // Sort-merge join: both inputs are materialised, sorted by their key
@@ -123,10 +140,12 @@ class SortMergeJoinOperator : public Operator {
                         std::unique_ptr<Operator> right,
                         std::vector<Predicate> predicates);
 
-  void Open() override;
-  bool Next(Row& row) override;
-  void Close() override;
   std::string name() const override { return "SortMergeJoin"; }
+
+ protected:
+  void OpenImpl() override;
+  bool NextImpl(Row& row) override;
+  void CloseImpl() override;
 
  private:
   std::unique_ptr<Operator> left_;
@@ -155,10 +174,12 @@ class IndexNestedLoopJoinOperator : public Operator {
                               std::vector<Predicate> join_predicates,
                               std::vector<Predicate> inner_predicates);
 
-  void Open() override;
-  bool Next(Row& row) override;
-  void Close() override;
   std::string name() const override { return "IndexNLJoin"; }
+
+ protected:
+  void OpenImpl() override;
+  bool NextImpl(Row& row) override;
+  void CloseImpl() override;
 
  private:
   bool InnerRowPasses(int64_t inner_row) const;

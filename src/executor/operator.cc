@@ -2,11 +2,66 @@
 
 namespace joinest {
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Accumulates the enclosing scope's wall-clock into `seconds`.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double& seconds)
+      : seconds_(seconds), start_(Clock::now()) {}
+  ~ScopedTimer() {
+    seconds_ += std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  double& seconds_;
+  Clock::time_point start_;
+};
+
+}  // namespace
+
 int FindInLayout(const std::vector<ColumnRef>& layout, ColumnRef column) {
   for (size_t i = 0; i < layout.size(); ++i) {
     if (layout[i] == column) return static_cast<int>(i);
   }
   return -1;
+}
+
+// Note: rows_produced_ deliberately survives Open — a re-opened operator
+// (NLJ inner rescans) keeps accumulating, which is what the rescan-cost
+// assertions in the tests and the EXPLAIN ANALYZE output want to see.
+void Operator::Open() {
+  ScopedTimer timer(seconds_);
+  OpenImpl();
+}
+
+bool Operator::Next(Row& row) {
+  ScopedTimer timer(seconds_);
+  return NextImpl(row);
+}
+
+bool Operator::NextBatch(RowBatch& batch) {
+  ScopedTimer timer(seconds_);
+  return NextBatchImpl(batch);
+}
+
+void Operator::Close() {
+  ScopedTimer timer(seconds_);
+  CloseImpl();
+}
+
+bool Operator::NextBatchImpl(RowBatch& batch) {
+  batch.Clear();
+  while (!batch.full()) {
+    Row& slot = batch.AppendSlot();
+    if (!NextImpl(slot)) {
+      batch.PopSlot();
+      break;
+    }
+  }
+  return !batch.empty();
 }
 
 }  // namespace joinest

@@ -1,24 +1,35 @@
-// Volcano-style (Open/Next/Close) operator interface.
+// Operator interface: Volcano-style (Open/Next/Close) plus a batch path.
 //
 // A row flowing between operators is a flat std::vector<Value>; which query
 // column each position holds is described by the operator's layout — a
 // vector of ColumnRef in output order. Operators resolve the columns their
 // predicates touch to positions once, at construction.
+//
+// Callers drive either interface:
+//  * Next(Row&)            — one row at a time (the original tuple loop);
+//  * NextBatch(RowBatch&)  — up to a batch of rows at a time. Operators
+//    without a native batch implementation inherit an adapter that fills
+//    the batch from NextImpl, so the two paths always agree; scans,
+//    filters and hash joins override it with vectorized versions.
+//
+// The public entry points are non-virtual wrappers that accumulate
+// wall-clock into the operator (inclusive of children, EXPLAIN ANALYZE
+// style) and feed rows_produced(); subclasses implement the *Impl hooks.
 
 #ifndef JOINEST_EXECUTOR_OPERATOR_H_
 #define JOINEST_EXECUTOR_OPERATOR_H_
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "executor/batch.h"
 #include "query/column_ref.h"
 #include "types/value.h"
 
 namespace joinest {
-
-using Row = std::vector<Value>;
 
 // Position of `column` within `layout`, or -1.
 int FindInLayout(const std::vector<ColumnRef>& layout, ColumnRef column);
@@ -28,27 +39,42 @@ class Operator {
   virtual ~Operator() = default;
 
   // Prepares for iteration. May be called again after Close (rescan).
-  virtual void Open() = 0;
+  void Open();
   // Produces the next row into `row`; returns false when exhausted.
-  virtual bool Next(Row& row) = 0;
-  virtual void Close() = 0;
+  bool Next(Row& row);
+  // Refills `batch` with up to batch.capacity() rows; returns false when
+  // the batch comes back empty (input exhausted). Callers should stick to
+  // one of Next/NextBatch per Open — both advance the same cursor.
+  bool NextBatch(RowBatch& batch);
+  void Close();
 
   const std::vector<ColumnRef>& layout() const { return layout_; }
 
-  // Operator name plus cumulative rows produced, for EXPLAIN ANALYZE-style
-  // reporting.
+  // Operator name, cumulative rows produced and cumulative wall-clock
+  // (inclusive of children), for EXPLAIN ANALYZE-style reporting.
   virtual std::string name() const = 0;
   int64_t rows_produced() const { return rows_produced_; }
+  double seconds() const { return seconds_; }
 
  protected:
+  virtual void OpenImpl() = 0;
+  virtual bool NextImpl(Row& row) = 0;
+  // Default adapter: drains NextImpl into the batch.
+  virtual bool NextBatchImpl(RowBatch& batch);
+  virtual void CloseImpl() = 0;
+
   std::vector<ColumnRef> layout_;
   int64_t rows_produced_ = 0;
+  double seconds_ = 0;
 };
 
-// Collects name/rows for an operator tree (callers know the tree shape).
+// Collects name/rows/seconds for an operator tree (callers know the tree
+// shape). `seconds` is inclusive wall-clock — a parent's time contains its
+// children's.
 struct OperatorStats {
   std::string name;
   int64_t rows = 0;
+  double seconds = 0;
 };
 
 }  // namespace joinest

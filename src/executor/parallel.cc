@@ -1,0 +1,231 @@
+#include "executor/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "executor/eval.h"
+#include "executor/execute.h"
+#include "executor/hash_table.h"
+#include "storage/table.h"
+
+namespace joinest {
+
+int NumExecutorThreads() {
+  if (const char* env = std::getenv("JOINEST_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+namespace {
+
+// Local predicates of one table resolved to column positions, evaluated
+// against a bare table row.
+struct LocalFilter {
+  std::vector<Predicate> predicates;
+  std::vector<int> left_pos;
+  std::vector<int> right_pos;
+
+  void Add(const Predicate& p) {
+    predicates.push_back(p);
+    left_pos.push_back(p.left.column);
+    right_pos.push_back(
+        p.kind == Predicate::Kind::kLocalColCol ? p.right.column : -1);
+  }
+  bool Passes(const Row& row) const {
+    return EvalPredicatesRow(row, predicates, left_pos, right_pos);
+  }
+};
+
+// One build side of the left-deep pipeline.
+struct Level {
+  std::unique_ptr<JoinHashTable> table;
+  // Key columns within the combined prefix row, parallel to the build keys.
+  std::vector<int> probe_positions;
+  // Where this table's columns start in the combined row.
+  int col_offset = 0;
+  // Columns of this table that deeper levels' keys read — the only values
+  // the DFS copies into the combined row.
+  std::vector<int> copy_cols;
+};
+
+// Filtered rows of a base table (all columns).
+std::vector<Row> FilteredRows(const Table& table, const LocalFilter& filter) {
+  std::vector<Row> rows;
+  Row row;
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    table.CopyRowInto(r, row);
+    if (filter.Passes(row)) rows.push_back(row);
+  }
+  return rows;
+}
+
+// Per-worker probe state: the combined row shared across levels plus one
+// hash-table scratch per level.
+struct Worker {
+  Row combined;
+  std::vector<JoinHashTable::Scratch> scratch;
+
+  // Counts the join results reachable from the current combined prefix,
+  // descending level by level. The deepest level contributes its span size
+  // directly — its rows' values feed no further keys.
+  int64_t CountFrom(const std::vector<Level>& levels, size_t i) {
+    const Level& level = levels[i];
+    const JoinHashTable::Span span =
+        level.table->Probe(combined, level.probe_positions, scratch[i]);
+    if (i + 1 == levels.size()) return static_cast<int64_t>(span.size);
+    int64_t count = 0;
+    for (uint32_t r : span) {
+      const Row& match = level.table->row(r);
+      for (int col : level.copy_cols) {
+        combined[level.col_offset + col] = match[col];
+      }
+      count += CountFrom(levels, i + 1);
+    }
+    return count;
+  }
+};
+
+}  // namespace
+
+StatusOr<int64_t> ParallelTrueCount(const Catalog& catalog,
+                                    const QuerySpec& spec) {
+  JOINEST_RETURN_IF_ERROR(spec.Validate(catalog));
+  const int n = spec.num_tables();
+
+  std::vector<LocalFilter> local(n);
+  std::vector<Predicate> joins;
+  for (const Predicate& p : spec.predicates) {
+    if (p.kind == Predicate::Kind::kJoin) {
+      joins.push_back(p);
+    } else {
+      local[p.left.table].Add(p);
+    }
+  }
+
+  const std::vector<int> order = CanonicalJoinOrder(n, joins);
+
+  // Combined-row offsets per order position, indexed by query-local table.
+  std::vector<int> offset_of(n, -1);
+  int total_width = 0;
+  std::vector<const Table*> tables(n);
+  for (int i = 0; i < n; ++i) {
+    const int t = order[i];
+    tables[t] = &catalog.table(spec.tables[t].catalog_id);
+    offset_of[t] = total_width;
+    total_width += tables[t]->num_columns();
+  }
+
+  // Assign each join predicate to the first level whose table completes it,
+  // and resolve its key positions (build side: column within the level's
+  // table; probe side: position within the combined prefix row).
+  std::vector<Level> levels(order.size() > 1 ? order.size() - 1 : 0);
+  std::vector<std::vector<int>> build_positions(levels.size());
+  std::vector<bool> in_plan(n, false);
+  in_plan[order[0]] = true;
+  std::vector<bool> join_used(joins.size(), false);
+  for (size_t i = 1; i < order.size(); ++i) {
+    const int t = order[i];
+    Level& level = levels[i - 1];
+    level.col_offset = offset_of[t];
+    for (size_t j = 0; j < joins.size(); ++j) {
+      if (join_used[j]) continue;
+      const Predicate& p = joins[j];
+      ColumnRef build_ref = p.left;
+      ColumnRef probe_ref = p.right;
+      if (build_ref.table != t) std::swap(build_ref, probe_ref);
+      if (build_ref.table != t || !in_plan[probe_ref.table]) continue;
+      join_used[j] = true;
+      build_positions[i - 1].push_back(build_ref.column);
+      level.probe_positions.push_back(offset_of[probe_ref.table] +
+                                      probe_ref.column);
+    }
+    in_plan[t] = true;
+  }
+
+  // Build the hash tables (sequential; each is immutable afterwards and
+  // shared read-only by every worker).
+  for (size_t i = 1; i < order.size(); ++i) {
+    const int t = order[i];
+    levels[i - 1].table = std::make_unique<JoinHashTable>(
+        FilteredRows(*tables[t], local[t]), build_positions[i - 1]);
+  }
+
+  // Which columns each level must publish into the combined row: those its
+  // successors' probe keys read.
+  auto needed_cols = [&](int table_t, size_t from_level) {
+    std::vector<int> cols;
+    const int begin = offset_of[table_t];
+    const int end = begin + tables[table_t]->num_columns();
+    for (size_t j = from_level; j < levels.size(); ++j) {
+      for (int pos : levels[j].probe_positions) {
+        if (pos >= begin && pos < end) cols.push_back(pos - begin);
+      }
+    }
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+    return cols;
+  };
+  for (size_t i = 0; i < levels.size(); ++i) {
+    levels[i].copy_cols = needed_cols(order[i + 1], i + 1);
+  }
+
+  // Outer side: morsels over the first table's row ranges.
+  const int outer_t = order[0];
+  const Table& outer = *tables[outer_t];
+  const LocalFilter& outer_filter = local[outer_t];
+  const std::vector<int> outer_cols = needed_cols(outer_t, 0);
+  const std::vector<RowRange> morsels = outer.Morsels(kMorselRows);
+
+  auto run_worker = [&](int64_t& count_out, std::atomic<size_t>& next) {
+    Worker worker;
+    worker.combined.resize(total_width);
+    worker.scratch.resize(levels.size());
+    Row outer_row;
+    int64_t count = 0;
+    for (size_t m = next.fetch_add(1); m < morsels.size();
+         m = next.fetch_add(1)) {
+      const RowRange range = morsels[m];
+      for (int64_t r = range.begin; r < range.end; ++r) {
+        outer.CopyRowInto(r, outer_row);
+        if (!outer_filter.Passes(outer_row)) continue;
+        if (levels.empty()) {
+          ++count;
+          continue;
+        }
+        for (int col : outer_cols) {
+          worker.combined[offset_of[outer_t] + col] = outer_row[col];
+        }
+        count += worker.CountFrom(levels, 0);
+      }
+    }
+    count_out = count;
+  };
+
+  std::atomic<size_t> next_morsel{0};
+  const int threads = std::max<int>(
+      1, std::min<size_t>(NumExecutorThreads(), morsels.size()));
+  std::vector<int64_t> counts(threads, 0);
+  if (threads == 1) {
+    run_worker(counts[0], next_morsel);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (int w = 0; w < threads; ++w) {
+      pool.emplace_back([&, w] { run_worker(counts[w], next_morsel); });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  return total;
+}
+
+}  // namespace joinest

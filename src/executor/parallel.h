@@ -1,0 +1,48 @@
+// Morsel-driven parallel execution of counting queries.
+//
+// The ground-truth entry points (TrueResultSize / TruePrefixSizes) execute
+// a canonical safe plan: left-deep hash joins in greedy-connected table
+// order with filters pushed into the scans. For COUNT(*) that plan needs no
+// materialised output at all, so this module runs it as a counting pipeline:
+//
+//   1. build one JoinHashTable per join level from the (filtered) build
+//      tables — sequentially, once, immutable afterwards;
+//   2. partition the outer scan into row-range morsels (Table::Morsels);
+//   3. workers pull morsels off a shared atomic cursor, run each outer row
+//      through the probe pipeline (a DFS over the per-level match spans,
+//      with the last level short-circuited to `count += span.size`), and
+//      accumulate a thread-local count;
+//   4. the per-thread counts are summed — addition commutes, so the result
+//      is bit-identical to the tuple path no matter the schedule.
+//
+// Thread count: JOINEST_THREADS if set (deterministic CI), else
+// hardware_concurrency. One thread runs inline on the caller.
+
+#ifndef JOINEST_EXECUTOR_PARALLEL_H_
+#define JOINEST_EXECUTOR_PARALLEL_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "query/query_spec.h"
+#include "storage/catalog.h"
+
+namespace joinest {
+
+// Worker count for morsel-parallel execution: the JOINEST_THREADS
+// environment variable when set to a positive integer, otherwise
+// std::thread::hardware_concurrency(); always at least 1.
+int NumExecutorThreads();
+
+// Rows per morsel handed to a worker.
+inline constexpr int64_t kMorselRows = 4096;
+
+// Exact COUNT(*) of `spec` (all predicates applied), computed with the
+// morsel-parallel counting pipeline over the canonical safe join order.
+// Counts match ExecutePlan on the canonical safe plan bit for bit.
+StatusOr<int64_t> ParallelTrueCount(const Catalog& catalog,
+                                    const QuerySpec& spec);
+
+}  // namespace joinest
+
+#endif  // JOINEST_EXECUTOR_PARALLEL_H_

@@ -1,5 +1,6 @@
 #include "executor/scan_ops.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "common/logging.h"
@@ -8,27 +9,41 @@
 namespace joinest {
 
 SeqScanOperator::SeqScanOperator(const Table& table, int table_index)
-    : table_(table) {
+    : SeqScanOperator(table, table_index, RowRange{0, table.num_rows()}) {}
+
+SeqScanOperator::SeqScanOperator(const Table& table, int table_index,
+                                 RowRange range)
+    : table_(table), range_(range) {
+  JOINEST_CHECK_GE(range_.begin, 0);
+  JOINEST_CHECK_LE(range_.end, table.num_rows());
   for (int c = 0; c < table.num_columns(); ++c) {
     layout_.push_back(ColumnRef{table_index, c});
   }
 }
 
-void SeqScanOperator::Open() { cursor_ = 0; }
+void SeqScanOperator::OpenImpl() { cursor_ = range_.begin; }
 
-bool SeqScanOperator::Next(Row& row) {
-  if (cursor_ >= table_.num_rows()) return false;
-  row.clear();
-  row.reserve(table_.num_columns());
-  for (int c = 0; c < table_.num_columns(); ++c) {
-    row.push_back(table_.at(cursor_, c));
-  }
+bool SeqScanOperator::NextImpl(Row& row) {
+  if (cursor_ >= range_.end) return false;
+  table_.CopyRowInto(cursor_, row);
   ++cursor_;
   ++rows_produced_;
   return true;
 }
 
-void SeqScanOperator::Close() {}
+bool SeqScanOperator::NextBatchImpl(RowBatch& batch) {
+  batch.Clear();
+  const int64_t take =
+      std::min<int64_t>(batch.capacity(), range_.end - cursor_);
+  for (int64_t i = 0; i < take; ++i) {
+    table_.CopyRowInto(cursor_ + i, batch.AppendSlot());
+  }
+  cursor_ += take;
+  rows_produced_ += take;
+  return !batch.empty();
+}
+
+void SeqScanOperator::CloseImpl() {}
 
 FilterOperator::FilterOperator(std::unique_ptr<Operator> child,
                                std::vector<Predicate> predicates)
@@ -50,23 +65,15 @@ FilterOperator::FilterOperator(std::unique_ptr<Operator> child,
   }
 }
 
-void FilterOperator::Open() { child_->Open(); }
+void FilterOperator::OpenImpl() { child_->Open(); }
 
-bool FilterOperator::Next(Row& row) {
+bool FilterOperator::RowPasses(const Row& row) const {
+  return EvalPredicatesRow(row, predicates_, left_pos_, right_pos_);
+}
+
+bool FilterOperator::NextImpl(Row& row) {
   while (child_->Next(row)) {
-    bool pass = true;
-    for (size_t i = 0; i < predicates_.size(); ++i) {
-      const Predicate& p = predicates_[i];
-      const Value& left = row[left_pos_[i]];
-      const Value& right = p.kind == Predicate::Kind::kLocalConst
-                               ? p.constant
-                               : row[right_pos_[i]];
-      if (!EvalCompare(left, p.op, right)) {
-        pass = false;
-        break;
-      }
-    }
-    if (pass) {
+    if (RowPasses(row)) {
       ++rows_produced_;
       return true;
     }
@@ -74,7 +81,26 @@ bool FilterOperator::Next(Row& row) {
   return false;
 }
 
-void FilterOperator::Close() { child_->Close(); }
+bool FilterOperator::NextBatchImpl(RowBatch& batch) {
+  // The filter's layout equals the child's, so the child fills the caller's
+  // batch directly and passing rows are compacted in place — no copies.
+  while (child_->NextBatch(batch)) {
+    keep_.resize(batch.size());
+    int passed = 0;
+    for (int i = 0; i < batch.size(); ++i) {
+      keep_[i] = RowPasses(batch.row(i)) ? 1 : 0;
+      passed += keep_[i];
+    }
+    if (passed == 0) continue;  // Fully filtered batch; pull the next one.
+    if (passed < batch.size()) batch.Keep(keep_);
+    rows_produced_ += batch.size();
+    return true;
+  }
+  batch.Clear();
+  return false;
+}
+
+void FilterOperator::CloseImpl() { child_->Close(); }
 
 ProjectOperator::ProjectOperator(std::unique_ptr<Operator> child,
                                  std::vector<ColumnRef> columns)
@@ -87,9 +113,9 @@ ProjectOperator::ProjectOperator(std::unique_ptr<Operator> child,
   }
 }
 
-void ProjectOperator::Open() { child_->Open(); }
+void ProjectOperator::OpenImpl() { child_->Open(); }
 
-bool ProjectOperator::Next(Row& row) {
+bool ProjectOperator::NextImpl(Row& row) {
   Row input;
   if (!child_->Next(input)) return false;
   row.clear();
@@ -99,23 +125,22 @@ bool ProjectOperator::Next(Row& row) {
   return true;
 }
 
-void ProjectOperator::Close() { child_->Close(); }
+void ProjectOperator::CloseImpl() { child_->Close(); }
 
 CountAggOperator::CountAggOperator(std::unique_ptr<Operator> child)
     : child_(std::move(child)) {
   layout_ = {};  // COUNT(*) has no column identity.
 }
 
-void CountAggOperator::Open() {
+void CountAggOperator::OpenImpl() {
   child_->Open();
   done_ = false;
 }
 
-bool CountAggOperator::Next(Row& row) {
+bool CountAggOperator::NextImpl(Row& row) {
   if (done_) return false;
   int64_t count = 0;
-  Row input;
-  while (child_->Next(input)) ++count;
+  while (child_->NextBatch(scratch_)) count += scratch_.size();
   row.clear();
   row.push_back(Value(count));
   done_ = true;
@@ -123,7 +148,7 @@ bool CountAggOperator::Next(Row& row) {
   return true;
 }
 
-void CountAggOperator::Close() { child_->Close(); }
+void CountAggOperator::CloseImpl() { child_->Close(); }
 
 GroupCountOperator::GroupCountOperator(std::unique_ptr<Operator> child,
                                        std::vector<ColumnRef> group_columns)
@@ -139,14 +164,14 @@ GroupCountOperator::GroupCountOperator(std::unique_ptr<Operator> child,
   layout_.push_back(ColumnRef{-1, -1});
 }
 
-void GroupCountOperator::Open() {
+void GroupCountOperator::OpenImpl() {
   child_->Open();
   aggregated_ = false;
   results_.clear();
   cursor_ = 0;
 }
 
-bool GroupCountOperator::Next(Row& row) {
+bool GroupCountOperator::NextImpl(Row& row) {
   if (!aggregated_) {
     struct KeyHash {
       size_t operator()(const Row& key) const {
@@ -158,16 +183,19 @@ bool GroupCountOperator::Next(Row& row) {
       }
     };
     std::unordered_map<Row, int64_t, KeyHash> groups;
-    Row input;
-    while (child_->Next(input)) {
-      Row key;
-      key.reserve(positions_.size());
-      for (int pos : positions_) key.push_back(input[pos]);
-      ++groups[std::move(key)];
+    Row key;
+    while (child_->NextBatch(scratch_)) {
+      for (int i = 0; i < scratch_.size(); ++i) {
+        const Row& input = scratch_.row(i);
+        key.clear();
+        key.reserve(positions_.size());
+        for (int pos : positions_) key.push_back(input[pos]);
+        ++groups[key];
+      }
     }
     results_.reserve(groups.size());
-    for (auto& [key, count] : groups) {
-      Row out = key;
+    for (auto& [group_key, count] : groups) {
+      Row out = group_key;
       out.push_back(Value(count));
       results_.push_back(std::move(out));
     }
@@ -179,7 +207,7 @@ bool GroupCountOperator::Next(Row& row) {
   return true;
 }
 
-void GroupCountOperator::Close() {
+void GroupCountOperator::CloseImpl() {
   child_->Close();
   results_.clear();
 }

@@ -1,4 +1,9 @@
 // Leaf and unary operators: sequential scan, filter, projection, COUNT(*).
+//
+// SeqScan and Filter implement the batch interface natively (column-to-slot
+// copies and in-place compaction); CountAgg and GroupCount drain their
+// child batch-at-a-time, so a plan topped with COUNT(*) runs the vectorized
+// path end to end.
 
 #ifndef JOINEST_EXECUTOR_SCAN_OPS_H_
 #define JOINEST_EXECUTOR_SCAN_OPS_H_
@@ -13,19 +18,25 @@
 namespace joinest {
 
 // Scans all rows of a base table. Output layout: ColumnRef{table_index, c}
-// for every column c.
+// for every column c. Optionally restricted to a [begin, end) row range —
+// the morsel the parallel counting path hands each worker.
 class SeqScanOperator : public Operator {
  public:
   // `table` must outlive the operator.
   SeqScanOperator(const Table& table, int table_index);
+  SeqScanOperator(const Table& table, int table_index, RowRange range);
 
-  void Open() override;
-  bool Next(Row& row) override;
-  void Close() override;
   std::string name() const override { return "SeqScan"; }
+
+ protected:
+  void OpenImpl() override;
+  bool NextImpl(Row& row) override;
+  bool NextBatchImpl(RowBatch& batch) override;
+  void CloseImpl() override;
 
  private:
   const Table& table_;
+  RowRange range_;
   int64_t cursor_ = 0;
 };
 
@@ -36,20 +47,26 @@ class FilterOperator : public Operator {
   FilterOperator(std::unique_ptr<Operator> child,
                  std::vector<Predicate> predicates);
 
-  void Open() override;
-  bool Next(Row& row) override;
-  void Close() override;
   std::string name() const override { return "Filter"; }
 
   const Operator& child() const { return *child_; }
 
+ protected:
+  void OpenImpl() override;
+  bool NextImpl(Row& row) override;
+  bool NextBatchImpl(RowBatch& batch) override;
+  void CloseImpl() override;
+
  private:
+  bool RowPasses(const Row& row) const;
+
   std::unique_ptr<Operator> child_;
   std::vector<Predicate> predicates_;
   // Resolved operand positions, parallel to predicates_: left position and
   // (for col-col) right position.
   std::vector<int> left_pos_;
   std::vector<int> right_pos_;
+  std::vector<char> keep_;  // Batch-path selection vector, reused.
 };
 
 // Projects child rows onto a subset of columns.
@@ -58,10 +75,12 @@ class ProjectOperator : public Operator {
   ProjectOperator(std::unique_ptr<Operator> child,
                   std::vector<ColumnRef> columns);
 
-  void Open() override;
-  bool Next(Row& row) override;
-  void Close() override;
   std::string name() const override { return "Project"; }
+
+ protected:
+  void OpenImpl() override;
+  bool NextImpl(Row& row) override;
+  void CloseImpl() override;
 
  private:
   std::unique_ptr<Operator> child_;
@@ -73,13 +92,16 @@ class CountAggOperator : public Operator {
  public:
   explicit CountAggOperator(std::unique_ptr<Operator> child);
 
-  void Open() override;
-  bool Next(Row& row) override;
-  void Close() override;
   std::string name() const override { return "CountAgg"; }
+
+ protected:
+  void OpenImpl() override;
+  bool NextImpl(Row& row) override;
+  void CloseImpl() override;
 
  private:
   std::unique_ptr<Operator> child_;
+  RowBatch scratch_;
   bool done_ = false;
 };
 
@@ -91,14 +113,17 @@ class GroupCountOperator : public Operator {
   GroupCountOperator(std::unique_ptr<Operator> child,
                      std::vector<ColumnRef> group_columns);
 
-  void Open() override;
-  bool Next(Row& row) override;
-  void Close() override;
   std::string name() const override { return "GroupCount"; }
+
+ protected:
+  void OpenImpl() override;
+  bool NextImpl(Row& row) override;
+  void CloseImpl() override;
 
  private:
   std::unique_ptr<Operator> child_;
   std::vector<int> positions_;
+  RowBatch scratch_;
   bool aggregated_ = false;
   std::vector<Row> results_;
   size_t cursor_ = 0;

@@ -46,6 +46,34 @@ double Value::ToNumeric() const {
   return 0;
 }
 
+std::optional<int64_t> Value::AsCanonicalInt64() const {
+  switch (type()) {
+    case TypeKind::kInt64:
+      return std::get<int64_t>(data_);
+    case TypeKind::kDouble: {
+      const double d = std::get<double>(data_);
+      // The range check must precede the cast: casting a double outside
+      // int64 range is undefined behaviour. 2^63 is exactly representable
+      // as a double, so `d < 2^63` admits every in-range value.
+      if (d >= -9223372036854775808.0 && d < 9223372036854775808.0 &&
+          d == static_cast<double>(static_cast<int64_t>(d))) {
+        return static_cast<int64_t>(d);
+      }
+      return std::nullopt;
+    }
+    case TypeKind::kString:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+Value Value::CanonicalKey() const {
+  if (type() == TypeKind::kDouble) {
+    if (const std::optional<int64_t> i = AsCanonicalInt64()) return Value(*i);
+  }
+  return *this;
+}
+
 std::string Value::ToString() const {
   switch (type()) {
     case TypeKind::kInt64:
@@ -96,13 +124,15 @@ size_t Value::Hash() const {
       return static_cast<size_t>(x ^ (x >> 31));
     }
     case TypeKind::kDouble: {
-      const double d = std::get<double>(data_);
-      // Hash doubles that hold integral values identically to the int64, so
-      // mixed-type equality is consistent with hashing.
-      if (d == static_cast<double>(static_cast<int64_t>(d))) {
-        return Value(static_cast<int64_t>(d)).Hash();
+      // Hash doubles that hold in-range integral values identically to the
+      // int64, so mixed-type equality is consistent with hashing.
+      // AsCanonicalInt64 range-checks before casting; doubles beyond int64
+      // range (where the unguarded cast would be UB) fall through to the
+      // plain double hash, and can never equal an int64 anyway.
+      if (const std::optional<int64_t> i = AsCanonicalInt64()) {
+        return Value(*i).Hash();
       }
-      return std::hash<double>()(d);
+      return std::hash<double>()(std::get<double>(data_));
     }
     case TypeKind::kString:
       return std::hash<std::string>()(std::get<std::string>(data_));

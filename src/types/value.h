@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <variant>
 
@@ -40,6 +41,18 @@ class Value {
 
   // Numeric view: int64 widened to double; CHECK-fails for strings.
   double ToNumeric() const;
+
+  // Canonical integer view for hash keys: the int64 itself, or a double
+  // that holds an exactly representable in-range integer (so 3.0 and 3
+  // produce the same key, matching operator=='s numeric comparison).
+  // nullopt for strings, fractional doubles, and doubles outside int64
+  // range.
+  std::optional<int64_t> AsCanonicalInt64() const;
+
+  // The value with integral in-range doubles collapsed to int64, so that
+  // numerically equal keys of mixed numeric type canonicalise to one
+  // representation. Other values pass through unchanged.
+  Value CanonicalKey() const;
 
   std::string ToString() const;
 

@@ -6,6 +6,7 @@
 #include "executor/compile.h"
 #include "executor/eval.h"
 #include "executor/execute.h"
+#include "executor/hash_table.h"
 #include "executor/join_ops.h"
 #include "executor/scan_ops.h"
 #include "gtest/gtest.h"
@@ -537,6 +538,193 @@ TEST_F(ExecuteTest, AllJoinMethodsAgree) {
       EXPECT_EQ(result->count, reference) << JoinMethodName(method);
     }
   }
+}
+
+// ---------------------------------------------------------------- RowBatch
+
+TEST(RowBatchTest, AppendPopAndClear) {
+  RowBatch batch(4);
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.capacity(), 4);
+  batch.AppendSlot() = {V(1)};
+  batch.AppendSlot() = {V(2)};
+  EXPECT_EQ(batch.size(), 2);
+  batch.PopSlot();
+  EXPECT_EQ(batch.size(), 1);
+  EXPECT_EQ(batch.row(0)[0].AsInt64(), 1);
+  batch.AppendSlot() = {V(3)};
+  batch.AppendSlot() = {V(4)};
+  batch.AppendSlot() = {V(5)};
+  EXPECT_TRUE(batch.full());
+  batch.Clear();
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.capacity(), 4);
+}
+
+TEST(RowBatchTest, KeepCompactsSelectedRows) {
+  RowBatch batch(8);
+  for (int64_t i = 0; i < 6; ++i) batch.AppendSlot() = {V(i)};
+  batch.Keep({0, 1, 0, 1, 1, 0});
+  ASSERT_EQ(batch.size(), 3);
+  EXPECT_EQ(batch.row(0)[0].AsInt64(), 1);
+  EXPECT_EQ(batch.row(1)[0].AsInt64(), 3);
+  EXPECT_EQ(batch.row(2)[0].AsInt64(), 4);
+}
+
+// ----------------------------------------------------------- JoinHashTable
+
+std::vector<Row> SingleColumnRows(const std::vector<int64_t>& keys) {
+  std::vector<Row> rows;
+  for (int64_t k : keys) rows.push_back({V(k)});
+  return rows;
+}
+
+TEST(JoinHashTableTest, FastPathGroupsDuplicates) {
+  JoinHashTable table(SingleColumnRows({5, 2, 5, 9, 5, 2}), {0});
+  EXPECT_TRUE(table.fast_path());
+  EXPECT_EQ(table.num_keys(), 3u);
+  JoinHashTable::Scratch scratch;
+  Row probe = {V(int64_t{5})};
+  EXPECT_EQ(table.Probe(probe, {0}, scratch).size, 3u);
+  probe[0] = V(int64_t{9});
+  EXPECT_EQ(table.Probe(probe, {0}, scratch).size, 1u);
+  probe[0] = V(int64_t{4});
+  EXPECT_TRUE(table.Probe(probe, {0}, scratch).empty());
+}
+
+TEST(JoinHashTableTest, SpanCoversExactlyTheMatchingRows) {
+  JoinHashTable table(SingleColumnRows({1, 2, 1, 3, 1}), {0});
+  JoinHashTable::Scratch scratch;
+  const Row probe = {V(int64_t{1})};
+  const JoinHashTable::Span span = table.Probe(probe, {0}, scratch);
+  ASSERT_EQ(span.size, 3u);
+  for (uint32_t r : span) {
+    EXPECT_EQ(table.row(r)[0].AsInt64(), 1);
+  }
+}
+
+TEST(JoinHashTableTest, FastPathCanonicalisesDoubleProbes) {
+  JoinHashTable table(SingleColumnRows({3, 4}), {0});
+  ASSERT_TRUE(table.fast_path());
+  JoinHashTable::Scratch scratch;
+  EXPECT_EQ(table.Probe({Value(3.0)}, {0}, scratch).size, 1u);
+  EXPECT_TRUE(table.Probe({Value(3.5)}, {0}, scratch).empty());
+  EXPECT_TRUE(table.Probe({Value(1e19)}, {0}, scratch).empty());
+}
+
+TEST(JoinHashTableTest, GenericPathMultiColumnKeys) {
+  std::vector<Row> rows = {{V(1), V(10)}, {V(1), V(20)}, {V(2), V(10)},
+                           {V(1), V(10)}};
+  JoinHashTable table(std::move(rows), {0, 1});
+  EXPECT_FALSE(table.fast_path());
+  EXPECT_EQ(table.num_keys(), 3u);
+  JoinHashTable::Scratch scratch;
+  EXPECT_EQ(table.Probe({V(1), V(10)}, {0, 1}, scratch).size, 2u);
+  EXPECT_EQ(table.Probe({V(2), V(10)}, {0, 1}, scratch).size, 1u);
+  EXPECT_TRUE(table.Probe({V(2), V(20)}, {0, 1}, scratch).empty());
+}
+
+TEST(JoinHashTableTest, GenericPathStringKeys) {
+  std::vector<Row> rows = {{Value(std::string("x"))},
+                           {Value(std::string("y"))},
+                           {Value(std::string("x"))}};
+  JoinHashTable table(std::move(rows), {0});
+  EXPECT_FALSE(table.fast_path());
+  JoinHashTable::Scratch scratch;
+  EXPECT_EQ(table.Probe({Value(std::string("x"))}, {0}, scratch).size, 2u);
+  EXPECT_TRUE(table.Probe({Value(std::string("z"))}, {0}, scratch).empty());
+}
+
+TEST(JoinHashTableTest, EmptyKeyListMatchesEverything) {
+  JoinHashTable table(SingleColumnRows({7, 8, 9}), {});
+  JoinHashTable::Scratch scratch;
+  const Row probe = {V(int64_t{42})};
+  EXPECT_EQ(table.Probe(probe, {}, scratch).size, 3u);
+}
+
+TEST(JoinHashTableTest, EmptyBuildSide) {
+  JoinHashTable table(std::vector<Row>{}, {0});
+  JoinHashTable::Scratch scratch;
+  const Row probe = {V(int64_t{1})};
+  EXPECT_TRUE(table.Probe(probe, {0}, scratch).empty());
+}
+
+// -------------------------------------------------------------- Batch path
+
+TEST(BatchScanTest, NextBatchEmitsAllRows) {
+  Rng rng(5);
+  Table table = MakeTable("k", MakeUniformColumn(2500, 100, rng));
+  SeqScanOperator scan(table, 0);
+  scan.Open();
+  RowBatch batch;
+  int64_t rows = 0;
+  int batches = 0;
+  while (scan.NextBatch(batch)) {
+    rows += batch.size();
+    ++batches;
+  }
+  scan.Close();
+  EXPECT_EQ(rows, 2500);
+  EXPECT_GE(batches, 3);  // 2500 rows at 1024/batch.
+  EXPECT_EQ(scan.rows_produced(), 2500);
+}
+
+TEST(BatchScanTest, RowRangeScanCoversOnlyTheRange) {
+  Table table = MakeTable("k", {0, 1, 2, 3, 4, 5, 6, 7});
+  SeqScanOperator scan(table, 0, RowRange{2, 6});
+  const std::vector<Row> rows = Drain(scan);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows.front()[0].AsInt64(), 2);
+  EXPECT_EQ(rows.back()[0].AsInt64(), 5);
+}
+
+TEST(BatchFilterTest, SkipsFullyFilteredBatches) {
+  // 3000 rows, only the last 10 pass: the batch loop must not report an
+  // empty batch as end-of-stream.
+  std::vector<int64_t> values(3000, 0);
+  for (int i = 0; i < 10; ++i) values[2990 + i] = 1;
+  Table table = MakeTable("k", values);
+  FilterOperator filter(
+      std::make_unique<SeqScanOperator>(table, 0),
+      {Predicate::LocalConst(ColumnRef{0, 0}, CompareOp::kEq, V(1))});
+  filter.Open();
+  RowBatch batch;
+  int64_t rows = 0;
+  while (filter.NextBatch(batch)) rows += batch.size();
+  filter.Close();
+  EXPECT_EQ(rows, 10);
+}
+
+TEST(OperatorTimingTest, ExecutePlanReportsPerOperatorSeconds) {
+  Rng rng(9);
+  Table table = MakeTable("k", MakeUniformColumn(5000, 50, rng));
+  Catalog catalog;
+  JOINEST_CHECK(catalog.AddTable("T", std::move(table)).ok());
+  QuerySpec spec = MakeCountSpec(catalog, 1);
+  auto plan = MakeScanNode(0, {});
+  auto result = ExecutePlan(catalog, spec, *plan);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_FALSE(result->operators.empty());
+  for (const OperatorStats& stats : result->operators) {
+    EXPECT_GE(stats.seconds, 0.0) << stats.name;
+    // Inclusive wall-clock: no operator exceeds the whole query.
+    EXPECT_LE(stats.seconds, result->seconds + 1e-9) << stats.name;
+  }
+}
+
+TEST(TableMorselTest, MorselsPartitionTheTable) {
+  Table table = MakeTable("k", MakeSequentialColumn(10000));
+  const std::vector<RowRange> morsels = table.Morsels(4096);
+  ASSERT_EQ(morsels.size(), 3u);
+  int64_t covered = 0;
+  int64_t expected_begin = 0;
+  for (const RowRange& range : morsels) {
+    EXPECT_EQ(range.begin, expected_begin);
+    covered += range.size();
+    expected_begin = range.end;
+  }
+  EXPECT_EQ(covered, 10000);
+  EXPECT_TRUE(table.Morsels(4096).front().size() == 4096);
 }
 
 }  // namespace

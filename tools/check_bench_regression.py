@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Gates executor benchmark results against a checked-in baseline.
+
+Compares rows_per_sec per mode in a BENCH_executor.json produced by
+`bench_executor` with bench/BENCH_executor_baseline.json and exits non-zero
+when any mode regresses by more than --threshold (fraction, default 0.20).
+Modes present in only one file are reported but never fail the gate, so the
+baseline does not have to be regenerated when a mode is added.
+
+The ctest wiring (bench/CMakeLists.txt) runs this against a --smoke run
+with a loose threshold: the gate exists to catch order-of-magnitude
+regressions (an accidental O(n^2), a lost fast path), not scheduler noise.
+
+Usage: check_bench_regression.py CURRENT.json BASELINE.json [--threshold F]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rates(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {m["mode"]: float(m["rows_per_sec"]) for m in data["modes"]}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="freshly produced BENCH_executor.json")
+    parser.add_argument("baseline", help="checked-in baseline json")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="max allowed fractional slowdown per mode")
+    args = parser.parse_args()
+
+    current = load_rates(args.current)
+    baseline = load_rates(args.baseline)
+
+    failures = []
+    for mode, base_rate in sorted(baseline.items()):
+        if mode not in current:
+            print(f"note: mode '{mode}' missing from current run")
+            continue
+        if base_rate <= 0:
+            print(f"note: mode '{mode}' has no baseline rate")
+            continue
+        rate = current[mode]
+        ratio = rate / base_rate
+        verdict = "ok"
+        if ratio < 1.0 - args.threshold:
+            verdict = "REGRESSION"
+            failures.append(mode)
+        print(f"{mode:12s} baseline {base_rate:14.0f} rows/s   "
+              f"current {rate:14.0f} rows/s   ratio {ratio:5.2f}   {verdict}")
+    for mode in sorted(set(current) - set(baseline)):
+        print(f"note: mode '{mode}' not in baseline (skipped)")
+
+    if failures:
+        print(f"FAIL: {', '.join(failures)} regressed more than "
+              f"{args.threshold:.0%} vs {args.baseline}", file=sys.stderr)
+        return 1
+    print("all modes within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,9 +4,11 @@
 #
 #   * asan_ubsan — AddressSanitizer + UndefinedBehaviorSanitizer over the
 #     full ctest suite;
-#   * tsan — ThreadSanitizer over the tests that exercise concurrency (the
-#     partitioned sketch ANALYZE path spawns one thread per row-range
-#     partition and merges the per-partition profiles).
+#   * tsan — ThreadSanitizer over the tests that exercise concurrency: the
+#     partitioned sketch ANALYZE path (one thread per row-range partition)
+#     and the morsel-parallel executor (parity_test drives TrueResultSize
+#     under JOINEST_THREADS=8; executor_test covers the shared read-only
+#     hash tables it probes).
 #
 # Usage: tools/run_sanitizers.sh [build-root]   (default: build-sanitize)
 
@@ -32,6 +34,6 @@ export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
 export TSAN_OPTIONS="halt_on_error=1"
 
 run_job asan_ubsan "address,undefined" ""
-run_job tsan "thread" "-R 'sketch_test|storage_test'"
+run_job tsan "thread" "-R 'sketch_test|storage_test|parity_test|executor_test'"
 
 echo "All sanitizer jobs passed."
