@@ -1,0 +1,99 @@
+// Runtime contracts for the paper's machine-checkable invariants.
+//
+// common/logging.h provides the always-on JOINEST_CHECK family for fatal
+// programmer errors. This header adds the *contract* layer: debug-only
+// assertions for the algebraic invariants the estimation math guarantees —
+// selectivities in [0, 1], non-negative cardinalities, the urn-model bound
+// d' <= min(d, k), monotone non-increasing effective cardinalities. They are
+// dense on hot paths, so they compile out in Release builds.
+//
+// Controlled by the JOINEST_CONTRACTS preprocessor knob (set from the CMake
+// cache variable of the same name):
+//
+//   JOINEST_CONTRACTS=1  — contracts are live JOINEST_CHECKs (default for
+//                          Debug / RelWithDebInfo builds);
+//   JOINEST_CONTRACTS=0  — contracts compile to nothing; condition operands
+//                          are still type-checked but never evaluated
+//                          (default for Release builds).
+//
+// Macros:
+//
+//   JOINEST_DCHECK(cond) << "context";     and _EQ/_NE/_LT/_LE/_GT/_GE
+//   JOINEST_CHECK_SELECTIVITY(s)           s is finite and in [0, 1]
+//   JOINEST_CHECK_CARDINALITY(c)           c is >= 0 and not NaN
+//   JOINEST_CHECK_FINITE(x)                x is a finite number
+//
+// All four support streaming extra context, e.g.
+//   JOINEST_CHECK_SELECTIVITY(sel) << "predicate " << p.ToString();
+
+#ifndef JOINEST_COMMON_CHECK_H_
+#define JOINEST_COMMON_CHECK_H_
+
+#include <cmath>
+
+#include "common/logging.h"
+
+// CMake normally defines this on the command line; standalone includers get
+// assert()-style defaults keyed off NDEBUG.
+#ifndef JOINEST_CONTRACTS
+#ifdef NDEBUG
+#define JOINEST_CONTRACTS 0
+#else
+#define JOINEST_CONTRACTS 1
+#endif
+#endif
+
+namespace joinest {
+namespace internal_contracts {
+
+// Out-of-line predicate bodies keep the macro expansions small and give the
+// checks a single definition to test.
+inline bool IsValidSelectivity(double s) {
+  return std::isfinite(s) && s >= 0.0 && s <= 1.0;
+}
+
+// NaN rejected; +infinity tolerated because a long chain of cartesian
+// products can legitimately overflow a double, and the estimator treats
+// "absurdly large" as meaningful ("do not run this plan").
+inline bool IsValidCardinality(double c) { return !std::isnan(c) && c >= 0.0; }
+
+}  // namespace internal_contracts
+}  // namespace joinest
+
+#if JOINEST_CONTRACTS
+
+#define JOINEST_DCHECK(condition) JOINEST_CHECK(condition)
+
+#define JOINEST_CHECK_SELECTIVITY(s)                                        \
+  JOINEST_CHECK(::joinest::internal_contracts::IsValidSelectivity((s)))     \
+      << "SELECTIVITY contract: expected a finite value in [0, 1], got "    \
+      << (s) << " "
+
+#define JOINEST_CHECK_CARDINALITY(c)                                        \
+  JOINEST_CHECK(::joinest::internal_contracts::IsValidCardinality((c)))     \
+      << "CARDINALITY contract: expected a non-negative non-NaN value, "    \
+      << "got " << (c) << " "
+
+#define JOINEST_CHECK_FINITE(x)                                      \
+  JOINEST_CHECK(std::isfinite((x)))                                  \
+      << "FINITE contract: got " << (x) << " "
+
+#else  // !JOINEST_CONTRACTS
+
+// `true || (...)` keeps every operand compiled (so contract expressions
+// cannot rot in Release) while guaranteeing none of them is evaluated.
+#define JOINEST_DCHECK(condition) JOINEST_CHECK(true || (condition))
+#define JOINEST_CHECK_SELECTIVITY(s) JOINEST_CHECK(true || ((s) > 0))
+#define JOINEST_CHECK_CARDINALITY(c) JOINEST_CHECK(true || ((c) > 0))
+#define JOINEST_CHECK_FINITE(x) JOINEST_CHECK(true || ((x) > 0))
+
+#endif  // JOINEST_CONTRACTS
+
+#define JOINEST_DCHECK_EQ(a, b) JOINEST_DCHECK((a) == (b))
+#define JOINEST_DCHECK_NE(a, b) JOINEST_DCHECK((a) != (b))
+#define JOINEST_DCHECK_LT(a, b) JOINEST_DCHECK((a) < (b))
+#define JOINEST_DCHECK_LE(a, b) JOINEST_DCHECK((a) <= (b))
+#define JOINEST_DCHECK_GT(a, b) JOINEST_DCHECK((a) > (b))
+#define JOINEST_DCHECK_GE(a, b) JOINEST_DCHECK((a) >= (b))
+
+#endif  // JOINEST_COMMON_CHECK_H_

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "common/check.h"
 #include "common/logging.h"
 #include "common/table_printer.h"
 #include "stats/distinct.h"
@@ -118,7 +119,9 @@ double AnalyzedQuery::JoinSelectivity(const Predicate& predicate) const {
     const std::shared_ptr<const Histogram> lh = sliced(predicate.left);
     const std::shared_ptr<const Histogram> rh = sliced(predicate.right);
     if (lh != nullptr && rh != nullptr) {
-      return HistogramJoinSelectivity(*lh, *rh);
+      const double sel = HistogramJoinSelectivity(*lh, *rh);
+      JOINEST_CHECK_SELECTIVITY(sel) << "histogram join selectivity";
+      return sel;
     }
   }
   const TableProfile& left = profile(predicate.left.table);
@@ -126,11 +129,19 @@ double AnalyzedQuery::JoinSelectivity(const Predicate& predicate) const {
   const double dl = std::max(left.join_distinct[predicate.left.column], 1.0);
   const double dr =
       std::max(right.join_distinct[predicate.right.column], 1.0);
-  return 1.0 / std::max(dl, dr);
+  // Equation 2: S_J = 1/max(d1', d2') — positive and at most 1 because both
+  // effective cardinalities are at least 1.
+  const double sel = 1.0 / std::max(dl, dr);
+  JOINEST_CHECK_SELECTIVITY(sel) << "S_J = 1/max(" << dl << ", " << dr << ")";
+  JOINEST_DCHECK_GT(sel, 0.0);
+  return sel;
 }
 
 double AnalyzedQuery::BaseCardinality(int table_index) const {
-  return profile(table_index).effective_rows;
+  const double rows = profile(table_index).effective_rows;
+  JOINEST_CHECK_CARDINALITY(rows) << "base cardinality of table "
+                                  << table_index;
+  return rows;
 }
 
 std::vector<Predicate> AnalyzedQuery::EligiblePredicatesBetween(
@@ -182,15 +193,23 @@ double AnalyzedQuery::JoinCardinality(uint64_t mask, double card,
 double AnalyzedQuery::JoinComposites(uint64_t left_mask, double left_card,
                                      uint64_t right_mask,
                                      double right_card) const {
+  JOINEST_CHECK_CARDINALITY(left_card) << "left composite";
+  JOINEST_CHECK_CARDINALITY(right_card) << "right composite";
   std::vector<Predicate> eligible =
       EligiblePredicatesBetween(left_mask, right_mask);
   double result = left_card * right_card;
   if (eligible.empty()) return result;  // Cartesian product.
 
+  // A join estimate can never exceed the cartesian product: every applied
+  // selectivity is in [0, 1], so `result` only shrinks below.
+  const double cartesian = result;
   switch (options_.rule) {
     case SelectivityRule::kMultiplicative: {
       // Rule M: every eligible predicate contributes.
       for (const Predicate& p : eligible) result *= JoinSelectivity(p);
+      JOINEST_CHECK_CARDINALITY(result);
+      JOINEST_DCHECK_LE(result, cartesian * (1.0 + 1e-9))
+          << "rule M output exceeds the cartesian product";
       return result;
     }
     case SelectivityRule::kSmallest:
@@ -215,7 +234,13 @@ double AnalyzedQuery::JoinComposites(uint64_t left_mask, double left_card,
           it->second = std::max(it->second, sel);
         }
       }
-      for (const auto& [cls, sel] : per_class) result *= sel;
+      for (const auto& [cls, sel] : per_class) {
+        JOINEST_CHECK_SELECTIVITY(sel) << "class " << cls;
+        result *= sel;
+      }
+      JOINEST_CHECK_CARDINALITY(result);
+      JOINEST_DCHECK_LE(result, cartesian * (1.0 + 1e-9))
+          << "per-class rule output exceeds the cartesian product";
       return result;
     }
   }
@@ -336,7 +361,12 @@ double AnalyzedQuery::EstimateGroupCount() const {
     domain *= std::max(profile(ref.table).join_distinct[ref.column], 1.0);
   }
   if (result_rows <= 0) return 0;
-  return UrnModelDistinctCeil(domain, result_rows);
+  const double groups = UrnModelDistinctCeil(domain, result_rows);
+  // There cannot be more groups than result rows (urn model, k draws).
+  JOINEST_CHECK_CARDINALITY(groups);
+  JOINEST_DCHECK_LE(groups, std::ceil(result_rows) + 1.0)
+      << "group count exceeds the result size";
+  return groups;
 }
 
 std::string AnalyzedQuery::DebugString() const {

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "common/check.h"
 #include "common/logging.h"
 #include "common/table_printer.h"
 #include "stats/distinct.h"
@@ -61,10 +62,17 @@ TableProfile BuildTableProfile(const Catalog& catalog, const QuerySpec& spec,
     profile.restrictions[c] = MergeColumnPredicates(const_predicates[c]);
     const LocalSelectivityEstimate estimate = EstimateLocalSelectivity(
         profile.restrictions[c], stats.columns[c], options.local);
+    JOINEST_CHECK_SELECTIVITY(estimate.selectivity)
+        << "local predicates on column " << c;
+    JOINEST_DCHECK_LE(estimate.distinct_after,
+                      std::max(profile.raw_distinct[c], 1.0) * (1.0 + 1e-9))
+        << "restriction grew column " << c << "'s distinct count";
     const_selectivity *= estimate.selectivity;
     distinct_after_const[c] = estimate.distinct_after;
     if (profile.restrictions[c].contradictory) profile.is_empty = true;
   }
+  JOINEST_CHECK_SELECTIVITY(const_selectivity)
+      << "product of per-column local selectivities";
 
   // Non-equality column-column predicates within the table (x < v): no
   // distribution machinery applies; use the System R default selectivity.
@@ -101,6 +109,10 @@ TableProfile BuildTableProfile(const Catalog& catalog, const QuerySpec& spec,
       }
     }
     profile.effective_rows = profile.is_empty ? 0.0 : rows;
+    JOINEST_CHECK_CARDINALITY(profile.effective_rows);
+    JOINEST_DCHECK_LE(profile.effective_rows,
+                      profile.raw_rows * (1.0 + 1e-9) + 1e-9)
+        << "local predicates grew the table";
     return profile;
   }
 
@@ -120,6 +132,12 @@ TableProfile BuildTableProfile(const Catalog& catalog, const QuerySpec& spec,
   // the predicates are satisfiable so downstream products stay meaningful.
   if (!profile.is_empty && !jequiv_groups.empty()) rows = std::ceil(rows);
   profile.effective_rows = rows;
+  // ||R||' <= ||R||: restrictions only ever shrink the table (the ceil
+  // cannot overshoot because raw row counts are integral).
+  JOINEST_CHECK_CARDINALITY(profile.effective_rows);
+  JOINEST_DCHECK_LE(profile.effective_rows,
+                    profile.raw_rows * (1.0 + 1e-9) + 1e-9)
+      << "effective cardinality exceeds the raw table size";
 
   // ---- Step 5 (ELS): effective column cardinalities for join selectivity.
   std::vector<int> group_of(num_columns, -1);
@@ -162,6 +180,12 @@ TableProfile BuildTableProfile(const Catalog& catalog, const QuerySpec& spec,
     // A column cannot hold more distinct values than the table has rows.
     profile.join_distinct[c] =
         std::min(d, std::max(profile.effective_rows, 0.0));
+    // §5 bound d' <= min(d, ||R||'); +1 slack because the urn model ceils a
+    // possibly fractional (sketch-estimated) d.
+    JOINEST_CHECK_CARDINALITY(profile.join_distinct[c]);
+    JOINEST_DCHECK_LE(profile.join_distinct[c],
+                      std::max(profile.raw_distinct[c], 1.0) + 1.0)
+        << "effective distinct count exceeds the raw one for column " << c;
   }
   return profile;
 }

@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "common/check.h"
 #include "types/value.h"
 
 namespace joinest {
@@ -32,16 +33,30 @@ class RowBatch {
   bool empty() const { return size_ == 0; }
   bool full() const { return size_ >= capacity_; }
 
-  Row& row(int i) { return rows_[i]; }
-  const Row& row(int i) const { return rows_[i]; }
+  Row& row(int i) {
+    JOINEST_DCHECK(i >= 0 && i < size_) << "row index " << i << " of "
+                                        << size_;
+    return rows_[i];
+  }
+  const Row& row(int i) const {
+    JOINEST_DCHECK(i >= 0 && i < size_) << "row index " << i << " of "
+                                        << size_;
+    return rows_[i];
+  }
 
   // Exposes the next slot and grows the batch by one. The slot keeps its
   // previous capacity, so callers overwrite in place.
-  Row& AppendSlot() { return rows_[size_++]; }
+  Row& AppendSlot() {
+    JOINEST_DCHECK_LT(size_, capacity_) << "batch overflow";
+    return rows_[size_++];
+  }
 
   // Undoes the last AppendSlot (used when a producer learns, after claiming
   // the slot, that its input is exhausted).
-  void PopSlot() { --size_; }
+  void PopSlot() {
+    JOINEST_DCHECK_GT(size_, 0) << "PopSlot on an empty batch";
+    --size_;
+  }
 
   // Logical reset; row storage is retained for reuse.
   void Clear() { size_ = 0; }

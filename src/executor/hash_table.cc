@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/check.h"
 #include "common/logging.h"
 
 namespace joinest {
@@ -53,11 +54,22 @@ JoinHashTable::JoinHashTable(std::vector<Row> rows,
   }
   capacity_ = CapacityFor(rows_.size());
   mask_ = capacity_ - 1;
+  // Linear probing needs free slots to terminate; CapacityFor keeps the
+  // load factor at or below 1/2.
+  JOINEST_DCHECK_EQ(capacity_ & (capacity_ - 1), 0u)
+      << "capacity must be a power of two";
+  JOINEST_DCHECK_GE(capacity_, rows_.size() * 2)
+      << "hash table overloaded: " << rows_.size() << " rows in "
+      << capacity_ << " slots";
   if (fast_path_) {
     BuildFast();
   } else {
     BuildGeneric();
   }
+  JOINEST_DCHECK_LE(num_keys_, rows_.size())
+      << "more distinct keys than build rows";
+  JOINEST_DCHECK_EQ(payload_.size(), rows_.size())
+      << "payload must cover every build row exactly once";
 }
 
 size_t JoinHashTable::FindFastSlot(int64_t key) const {

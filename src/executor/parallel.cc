@@ -210,8 +210,9 @@ StatusOr<int64_t> ParallelTrueCount(const Catalog& catalog,
   };
 
   std::atomic<size_t> next_morsel{0};
-  const int threads = std::max<int>(
-      1, std::min<size_t>(NumExecutorThreads(), morsels.size()));
+  const int threads = std::max(
+      1, static_cast<int>(std::min<size_t>(NumExecutorThreads(),
+                                           morsels.size())));
   std::vector<int64_t> counts(threads, 0);
   if (threads == 1) {
     run_worker(counts[0], next_morsel);

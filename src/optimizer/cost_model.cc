@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/check.h"
 #include "common/logging.h"
 
 namespace joinest {
@@ -16,14 +17,22 @@ double SortCost(const CostParams& params, double rows) {
 }  // namespace
 
 double ScanCost(const CostParams& params, double raw_rows, int num_filters) {
-  return raw_rows * (params.scan_tuple_cost +
-                     params.filter_cost * static_cast<double>(num_filters));
+  JOINEST_CHECK_CARDINALITY(raw_rows);
+  const double cost =
+      raw_rows * (params.scan_tuple_cost +
+                  params.filter_cost * static_cast<double>(num_filters));
+  JOINEST_DCHECK_GE(cost, 0.0) << "negative scan cost";
+  return cost;
 }
 
 double JoinStepCost(const CostParams& params, JoinMethod method,
                     double outer_rows, double inner_rows,
                     double inner_scan_cost, double inner_raw_rows,
                     double output_rows) {
+  JOINEST_CHECK_CARDINALITY(outer_rows);
+  JOINEST_CHECK_CARDINALITY(inner_rows);
+  JOINEST_CHECK_CARDINALITY(output_rows);
+  JOINEST_DCHECK_GE(inner_scan_cost, 0.0);
   const double output = output_rows * params.output_tuple_cost;
   switch (method) {
     case JoinMethod::kNestedLoop:

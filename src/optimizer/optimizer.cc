@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "common/check.h"
 #include "common/logging.h"
 #include "common/random.h"
 
@@ -94,6 +95,9 @@ Candidate Extend(const SearchState& state, uint64_t mask,
   const auto [step_cost, method] =
       BestJoinMethod(state, t, entry.rows, out_rows, !eligible.empty());
   if (!std::isfinite(step_cost)) return result;
+  JOINEST_CHECK_CARDINALITY(out_rows)
+      << "estimated join output for table " << t;
+  JOINEST_DCHECK_GE(step_cost, 0.0) << "negative join step cost";
   result.valid = true;
   result.rows = out_rows;
   result.cost = entry.cost + step_cost;
@@ -107,6 +111,8 @@ Candidate Extend(const SearchState& state, uint64_t mask,
 StatusOr<OptimizedPlan> FinishPlan(const SearchState& state,
                                    Candidate entry) {
   OptimizedPlan plan;
+  JOINEST_DCHECK_GE(entry.cost, 0.0) << "negative plan cost";
+  JOINEST_CHECK_CARDINALITY(entry.rows) << "final plan cardinality";
   plan.estimated_cost = entry.cost;
   plan.estimated_rows = entry.rows;
   plan.join_order = PlanLeafOrder(*entry.plan);

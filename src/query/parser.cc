@@ -225,6 +225,32 @@ class Parser {
     return op;
   }
 
+  TypeKind ColumnType(const QuerySpec& spec, ColumnRef ref) const {
+    return catalog_.table(spec.tables[ref.table].catalog_id)
+        .schema()
+        .column(ref.column)
+        .type;
+  }
+
+  // Comparability is by type class: the two numeric types compare with each
+  // other, strings only with strings. Enforced at parse time so a type
+  // mismatch is a clean error here rather than a CHECK failure deep in
+  // selectivity estimation or execution.
+  static bool Comparable(TypeKind a, TypeKind b) {
+    return (a == TypeKind::kString) == (b == TypeKind::kString);
+  }
+
+  Status CheckConstComparable(const QuerySpec& spec, ColumnRef column,
+                              const Value& literal) {
+    const TypeKind column_type = ColumnType(spec, column);
+    if (!Comparable(column_type, literal.type())) {
+      return InvalidArgument(
+          std::string("cannot compare ") + TypeKindName(column_type) +
+          " column with " + TypeKindName(literal.type()) + " literal");
+    }
+    return Status::OK();
+  }
+
   Status ParseConjunct(QuerySpec& spec) {
     // Parenthesised conjunct.
     if (Peek().IsSymbol("(")) {
@@ -245,6 +271,10 @@ class Parser {
       if (!lo.literal.has_value() || !hi.literal.has_value()) {
         return InvalidArgument("BETWEEN bounds must be literals");
       }
+      JOINEST_RETURN_IF_ERROR(
+          CheckConstComparable(spec, *left.column, *lo.literal));
+      JOINEST_RETURN_IF_ERROR(
+          CheckConstComparable(spec, *left.column, *hi.literal));
       spec.predicates.push_back(
           Predicate::LocalConst(*left.column, CompareOp::kGe, *lo.literal));
       spec.predicates.push_back(
@@ -263,6 +293,8 @@ class Parser {
       op = FlipCompareOp(op);
     }
     if (right.literal.has_value()) {
+      JOINEST_RETURN_IF_ERROR(
+          CheckConstComparable(spec, *left.column, *right.literal));
       spec.predicates.push_back(
           Predicate::LocalConst(*left.column, op, *right.literal));
       return Status::OK();
@@ -270,6 +302,11 @@ class Parser {
     // Column-column.
     const ColumnRef a = *left.column;
     const ColumnRef b = *right.column;
+    if (!Comparable(ColumnType(spec, a), ColumnType(spec, b))) {
+      return InvalidArgument(
+          std::string("cannot compare ") + TypeKindName(ColumnType(spec, a)) +
+          " column with " + TypeKindName(ColumnType(spec, b)) + " column");
+    }
     if (a.table == b.table) {
       if (a == b) {
         return InvalidArgument("column compared with itself");

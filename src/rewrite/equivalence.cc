@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "common/check.h"
 #include "common/logging.h"
 #include "common/union_find.h"
 
@@ -49,11 +50,20 @@ EquivalenceClasses EquivalenceClasses::Build(
             [](const std::vector<ColumnRef>& a,
                const std::vector<ColumnRef>& b) { return a[0] < b[0]; });
   result.class_of_.clear();
+  size_t total_members = 0;
   for (size_t c = 0; c < result.classes_.size(); ++c) {
+    JOINEST_DCHECK(!result.classes_[c].empty()) << "empty equivalence class";
+    total_members += result.classes_[c].size();
     for (const ColumnRef& ref : result.classes_[c]) {
       result.class_of_[ref] = static_cast<int>(c);
     }
   }
+  // Classes partition the mentioned columns: disjoint (no column maps to two
+  // classes) and complete (every column maps somewhere).
+  JOINEST_DCHECK_EQ(total_members, result.class_of_.size())
+      << "equivalence classes overlap";
+  JOINEST_DCHECK_EQ(total_members, columns.size())
+      << "equivalence classes lost a column";
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/check.h"
 #include "common/logging.h"
 
 namespace joinest {
@@ -212,6 +213,8 @@ LocalSelectivityEstimate EstimateLocalSelectivity(
     }
     result.selectivity = sel;
     result.distinct_after = sel > 0 ? 1.0 : 0.0;
+    JOINEST_CHECK_SELECTIVITY(result.selectivity)
+        << "equality restriction " << restriction.ToString();
     return result;
   }
 
@@ -249,6 +252,12 @@ LocalSelectivityEstimate EstimateLocalSelectivity(
   // d_y' = d_y × S_L distinct values in y.
   result.distinct_after =
       std::max(result.selectivity > 0 ? 1.0 : 0.0, d * result.selectivity);
+  JOINEST_CHECK_SELECTIVITY(result.selectivity)
+      << "EstimateLocalSelectivity on " << restriction.ToString();
+  JOINEST_CHECK_CARDINALITY(result.distinct_after);
+  JOINEST_DCHECK_LE(result.distinct_after, d * (1.0 + 1e-9))
+      << "local restriction grew the distinct count: d=" << d << " d'="
+      << result.distinct_after;
   return result;
 }
 

@@ -2,6 +2,8 @@
 
 #include <unordered_set>
 
+#include "common/check.h"
+
 namespace joinest {
 
 ClosureResult ComputeTransitiveClosure(const std::vector<Predicate>& input,
@@ -58,6 +60,16 @@ ClosureResult ComputeTransitiveClosure(const std::vector<Predicate>& input,
   for (Predicate& p : propagated) emit(std::move(p));
 
   result.classes = EquivalenceClasses::Build(result.predicates);
+  // Closure only adds predicates, never drops the user's own, and the
+  // derived count must reconcile with the growth.
+  JOINEST_DCHECK_GE(result.predicates.size(),
+                    DeduplicatePredicates(input).size())
+      << "transitive closure lost predicates";
+  JOINEST_DCHECK_EQ(
+      result.predicates.size(),
+      DeduplicatePredicates(input).size() + static_cast<size_t>(
+                                                result.num_derived))
+      << "derived-predicate accounting is inconsistent";
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/check.h"
 #include "common/logging.h"
 #include "sketch/hyperloglog.h"
 
@@ -39,6 +40,10 @@ uint64_t CountMinSketch::EstimateCount(uint64_t hash) const {
   for (int row = 0; row < depth_; ++row) {
     estimate = std::min(estimate, counters_[CellIndex(row, hash)]);
   }
+  // CMS only over-counts: any one cell (hence the row minimum) is an upper
+  // bound on the key's true count, itself bounded by the stream length.
+  JOINEST_DCHECK_LE(estimate, total_count_)
+      << "CMS cell exceeds the total stream count";
   return estimate;
 }
 

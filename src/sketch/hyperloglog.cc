@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/check.h"
 #include "common/logging.h"
 
 namespace joinest {
@@ -54,10 +55,15 @@ double HyperLogLog::Estimate() const {
   const double raw = AlphaM(registers_.size()) * m * m / inverse_sum;
   // Small-range correction: linear counting while empty registers remain
   // and the raw estimate is in the biased low regime.
+  double estimate = raw;
   if (raw <= 2.5 * m && zeros > 0) {
-    return m * std::log(m / static_cast<double>(zeros));
+    estimate = m * std::log(m / static_cast<double>(zeros));
   }
-  return raw;
+  // inverse_sum >= m·2^-64 > 0, so the estimate is a finite non-negative
+  // count in both regimes.
+  JOINEST_CHECK_CARDINALITY(estimate) << "HLL estimate";
+  JOINEST_CHECK_FINITE(estimate);
+  return estimate;
 }
 
 void HyperLogLog::Merge(const HyperLogLog& other) {

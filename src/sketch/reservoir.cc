@@ -3,6 +3,7 @@
 #include <sstream>
 #include <utility>
 
+#include "common/check.h"
 #include "common/logging.h"
 
 namespace joinest {
@@ -55,6 +56,10 @@ void ReservoirSample::Merge(const ReservoirSample& other) {
   }
   sample_ = std::move(merged);
   seen_ += other.seen_;
+  JOINEST_DCHECK_LE(sample_.size(), static_cast<size_t>(capacity_))
+      << "merge overfilled the reservoir";
+  JOINEST_DCHECK_LE(sample_.size(), static_cast<size_t>(seen_))
+      << "reservoir holds more rows than were ever seen";
 }
 
 std::vector<double> ReservoirSample::NumericSample() const {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/check.h"
 #include "common/logging.h"
 #include "stats/distinct.h"
 
@@ -92,6 +93,11 @@ ColumnStats ColumnSketch::ToColumnStats(
   stats.distinct_count =
       std::clamp(std::round(hll_.Estimate()), 1.0, total_rows);
   stats.distinct_relative_error = hll_.RelativeStandardError();
+  // d <= ||R||: the clamp keeps the HLL estimate inside the urn-model
+  // domain every downstream formula assumes.
+  JOINEST_CHECK_CARDINALITY(stats.distinct_count);
+  JOINEST_DCHECK_LE(stats.distinct_count, total_rows)
+      << "sketch distinct count exceeds the row count";
   if (!numeric_) return stats;
   stats.min = min_;
   stats.max = max_;
@@ -162,8 +168,8 @@ ColumnStats ColumnSketch::ToColumnStats(
     }
     if (begin < tail.size()) segments.emplace_back(begin, tail.size());
     for (const auto& [seg_begin, seg_end] : segments) {
-      const double fraction =
-          static_cast<double>(seg_end - seg_begin) / tail.size();
+      const double fraction = static_cast<double>(seg_end - seg_begin) /
+                              static_cast<double>(tail.size());
       const int budget =
           std::max(1, static_cast<int>(std::lround(fraction * spec.buckets)));
       const std::vector<double> segment(tail.begin() + seg_begin,

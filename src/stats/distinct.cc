@@ -1,7 +1,9 @@
 #include "stats/distinct.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
 #include "common/logging.h"
 
 namespace joinest {
@@ -13,7 +15,23 @@ double UrnModelDistinct(double d, double k) {
   if (d == 1.0) return 1.0;
   // 1 - (1 - 1/d)^k  ==  -expm1(k * log1p(-1/d)), stable for large d where
   // (1 - 1/d) is close to 1 and the naive power would lose all precision.
-  return d * -std::expm1(k * std::log1p(-1.0 / d));
+  //
+  // Clamped to min(d, k): the formula's continuous extension to fractional
+  // draw counts exceeds k when k < 1 (as k -> 0 it behaves like
+  // k * d * ln(d/(d-1)) > k), and effective row counts below one row arise
+  // routinely under selective predicate chains. Picking k balls can never
+  // show more than min(d, k) colours, so the bound wins over the formula.
+  // (Found by tests/fuzz/fuzz_parser_estimator.cc via the contract below.)
+  const double result =
+      std::min(d * -std::expm1(k * std::log1p(-1.0 / d)), std::min(d, k));
+  // Urn-model bound (§5): picking k balls from d colours yields at most
+  // min(d, k) colours. Tolerance covers expm1/log1p rounding.
+  JOINEST_CHECK_CARDINALITY(result) << "UrnModelDistinct(" << d << ", " << k
+                                    << ")";
+  JOINEST_DCHECK_LE(result, std::min(d, k) * (1.0 + 1e-9))
+      << "urn model exceeded min(d, k): d=" << d << " k=" << k
+      << " result=" << result;
+  return result;
 }
 
 double LinearRatioDistinct(double d, double n, double k) {
@@ -24,7 +42,12 @@ double LinearRatioDistinct(double d, double n, double k) {
 }
 
 double UrnModelDistinctCeil(double d, double k) {
-  return std::ceil(UrnModelDistinct(d, k));
+  const double result = std::ceil(UrnModelDistinct(d, k));
+  // The ceil can round one past a fractional d (sketch-estimated distinct
+  // counts are not integral), hence the +1 slack on the urn bound.
+  JOINEST_DCHECK_LE(result, std::ceil(std::min(d, k)) + 1.0)
+      << "d=" << d << " k=" << k;
+  return result;
 }
 
 double GeeDistinct(double singletons, double repeated, double total_rows,
@@ -35,6 +58,9 @@ double GeeDistinct(double singletons, double repeated, double total_rows,
   // Sanity clamps: at least what we saw, at most the table cardinality.
   estimate = std::max(estimate, singletons + repeated);
   estimate = std::min(estimate, total_rows);
+  JOINEST_CHECK_CARDINALITY(estimate)
+      << "GeeDistinct(" << singletons << ", " << repeated << ", " << total_rows
+      << ", " << sample_rows << ")";
   return estimate;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/check.h"
 #include "common/logging.h"
 #include "common/table_printer.h"
 
@@ -66,7 +67,15 @@ HistogramBucket MakeBucket(const std::vector<double>& sorted, size_t begin,
 
 Histogram::Histogram(Kind kind, std::vector<HistogramBucket> buckets)
     : kind_(kind), buckets_(std::move(buckets)) {
-  for (const HistogramBucket& b : buckets_) total_rows_ += b.rows;
+  for (const HistogramBucket& b : buckets_) {
+    // Note: distinct <= rows is NOT asserted — Slice() keeps a floor of one
+    // distinct value in fractional buckets whose scaled row count drops
+    // below one.
+    JOINEST_DCHECK_LE(b.lo, b.hi) << "inverted bucket";
+    JOINEST_CHECK_CARDINALITY(b.rows) << "bucket rows";
+    JOINEST_CHECK_CARDINALITY(b.distinct) << "bucket distinct";
+    total_rows_ += b.rows;
+  }
 }
 
 Histogram Histogram::BuildEquiWidth(const std::vector<double>& data,
@@ -209,8 +218,8 @@ Histogram Histogram::BuildEndBiased(const std::vector<double>& data,
     }
     if (begin < tail.size()) segments.emplace_back(begin, tail.size());
     for (const auto& [seg_begin, seg_end] : segments) {
-      const double fraction =
-          static_cast<double>(seg_end - seg_begin) / tail.size();
+      const double fraction = static_cast<double>(seg_end - seg_begin) /
+                              static_cast<double>(tail.size());
       const int budget = std::max(
           1, static_cast<int>(std::lround(fraction * num_buckets)));
       const std::vector<double> segment(tail.begin() + seg_begin,
@@ -264,21 +273,37 @@ double Histogram::Selectivity(CompareOp op, double value) const {
   // "strictly below"; cap so that below + eq never exceeds 1 and the six
   // operators stay mutually consistent.
   const double below = std::min(FractionBelow(value), 1.0 - eq);
+  JOINEST_CHECK_SELECTIVITY(eq) << "FractionEq(" << value << ")";
+  JOINEST_CHECK_SELECTIVITY(below) << "FractionBelow(" << value << ")";
+  double result = 0;
   switch (op) {
     case CompareOp::kEq:
-      return eq;
+      result = eq;
+      break;
     case CompareOp::kNe:
-      return 1.0 - eq;
+      result = 1.0 - eq;
+      break;
     case CompareOp::kLt:
-      return below;
+      result = below;
+      break;
     case CompareOp::kLe:
-      return below + eq;
+      result = below + eq;
+      break;
     case CompareOp::kGt:
-      return 1.0 - below - eq;
+      result = 1.0 - below - eq;
+      break;
     case CompareOp::kGe:
-      return 1.0 - below;
+      result = 1.0 - below;
+      break;
   }
-  return 0;
+  // Absorb FP dust from the 1-x subtractions; anything beyond dust is a
+  // genuine contract violation.
+  if (result < 0.0 && result > -1e-12) result = 0.0;
+  if (result > 1.0 && result < 1.0 + 1e-12) result = 1.0;
+  JOINEST_CHECK_SELECTIVITY(result)
+      << "Histogram::Selectivity(" << CompareOpSymbol(op) << ", " << value
+      << ")";
+  return result;
 }
 
 double Histogram::RangeSelectivity(double lo, bool lo_inclusive, double hi,
@@ -289,7 +314,10 @@ double Histogram::RangeSelectivity(double lo, bool lo_inclusive, double hi,
       Selectivity(hi_inclusive ? CompareOp::kLe : CompareOp::kLt, hi);
   const double below_lo =
       Selectivity(lo_inclusive ? CompareOp::kLt : CompareOp::kLe, lo);
-  return std::max(0.0, below_hi - below_lo);
+  const double result = std::max(0.0, below_hi - below_lo);
+  JOINEST_CHECK_SELECTIVITY(result)
+      << "Histogram::RangeSelectivity(" << lo << ", " << hi << ")";
+  return result;
 }
 
 Histogram Histogram::Slice(double lo, double hi) const {
@@ -358,9 +386,14 @@ double HistogramJoinSelectivity(const Histogram& left,
       ++j;
     }
   }
+  // The per-segment containment assumption can overshoot the true match
+  // count but never below zero; the clamp is the documented contract.
+  JOINEST_CHECK_CARDINALITY(matches) << "HistogramJoinSelectivity matches";
   const double selectivity =
       matches / (left.total_rows_ * right.total_rows_);
-  return std::clamp(selectivity, 0.0, 1.0);
+  const double result = std::clamp(selectivity, 0.0, 1.0);
+  JOINEST_CHECK_SELECTIVITY(result) << "HistogramJoinSelectivity";
+  return result;
 }
 
 std::string Histogram::ToString() const {

@@ -1,5 +1,6 @@
 #include "stats/stats_io.h"
 
+#include <cmath>
 #include <cstdio>
 #include <map>
 #include <sstream>
@@ -8,6 +9,11 @@
 namespace joinest {
 
 namespace {
+
+// Upper bound on declared column indices. Guards the columns.resize() below
+// against hostile input like "column 999999999 distinct 1", which would
+// otherwise allocate gigabytes before any validation runs.
+constexpr int kMaxStatsColumns = 4096;
 
 std::string Num(double v) {
   char buffer[32];
@@ -62,7 +68,8 @@ StatusOr<TableStats> ParseTableStats(const std::string& text,
                              ": " + what);
     };
     if (keyword == "rows") {
-      if (!(fields >> stats.row_count) || stats.row_count < 0) {
+      if (!(fields >> stats.row_count) || !std::isfinite(stats.row_count) ||
+          stats.row_count < 0) {
         return parse_error("bad row count");
       }
       saw_rows = true;
@@ -83,13 +90,21 @@ StatusOr<TableStats> ParseTableStats(const std::string& text,
       std::string distinct_kw;
       ColumnStats col;
       if (!(fields >> index >> distinct_kw >> col.distinct_count) ||
-          distinct_kw != "distinct" || index < 0 || col.distinct_count < 0) {
+          distinct_kw != "distinct" || index < 0 ||
+          !std::isfinite(col.distinct_count) || col.distinct_count < 0) {
         return parse_error("expected: column <i> distinct <d> ...");
+      }
+      if (index >= kMaxStatsColumns) {
+        return parse_error("column index " + std::to_string(index) +
+                           " exceeds the " +
+                           std::to_string(kMaxStatsColumns) + " limit");
       }
       std::string extra;
       while (fields >> extra) {
         double value = 0;
-        if (!(fields >> value)) return parse_error("missing value");
+        if (!(fields >> value) || !std::isfinite(value)) {
+          return parse_error("missing value");
+        }
         if (extra == "min") {
           col.min = value;
         } else if (extra == "max") {
@@ -108,7 +123,8 @@ StatusOr<TableStats> ParseTableStats(const std::string& text,
       int index = -1;
       double lo = 0, hi = 0, rows = 0, distinct = 0;
       if (!(fields >> index >> lo >> hi >> rows >> distinct) || index < 0 ||
-          hi < lo || rows < 0 || distinct < 0) {
+          !std::isfinite(lo) || !std::isfinite(hi) || !std::isfinite(rows) ||
+          !std::isfinite(distinct) || hi < lo || rows < 0 || distinct < 0) {
         return parse_error("expected: bucket <col> <lo> <hi> <rows> <d>");
       }
       auto& flat = bucket_data[index];

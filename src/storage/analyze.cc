@@ -75,7 +75,9 @@ TableStats AnalyzeSampled(const Table& table, const AnalyzeOptions& options) {
   std::vector<int64_t> sample_rows;
   Rng rng(options.sample_seed);
   sample_rows.reserve(
-      static_cast<size_t>(table.num_rows() * options.sample_fraction) + 1);
+      static_cast<size_t>(static_cast<double>(table.num_rows()) *
+                          options.sample_fraction) +
+      1);
   for (int64_t r = 0; r < table.num_rows(); ++r) {
     if (rng.NextBool(options.sample_fraction)) sample_rows.push_back(r);
   }

@@ -1,6 +1,7 @@
 #include "storage/datagen.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <unordered_set>
 
 #include "common/logging.h"
@@ -62,8 +63,14 @@ std::vector<std::string> MakeStringColumn(int64_t n, int64_t d, Rng& rng) {
   JOINEST_CHECK_GE(n, 0);
   JOINEST_CHECK_GE(d, 1);
   std::vector<std::string> data(n);
+  char buf[32];
   for (int64_t i = 0; i < n; ++i) {
-    data[i] = "v" + std::to_string(rng.NextBounded(d));
+    // Formatted via snprintf rather than string concatenation: inlined
+    // basic_string copies here trip a GCC 12 -Wrestrict false positive
+    // (PR105651) at -O3.
+    const int len = std::snprintf(buf, sizeof(buf), "v%lld",
+                                  static_cast<long long>(rng.NextBounded(d)));
+    data[i].assign(buf, static_cast<size_t>(len));
   }
   return data;
 }

@@ -1,0 +1,104 @@
+// Contract-layer tests (common/check.h): the predicate definitions, the
+// death behaviour when a paper invariant is deliberately violated, and the
+// compiled-out guarantee that Release-mode contracts evaluate nothing.
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace joinest {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+TEST(ContractPredicateTest, SelectivityDomain) {
+  using internal_contracts::IsValidSelectivity;
+  EXPECT_TRUE(IsValidSelectivity(0.0));
+  EXPECT_TRUE(IsValidSelectivity(0.5));
+  EXPECT_TRUE(IsValidSelectivity(1.0));
+  EXPECT_FALSE(IsValidSelectivity(-0.001));
+  EXPECT_FALSE(IsValidSelectivity(1.001));
+  EXPECT_FALSE(IsValidSelectivity(kInf));
+  EXPECT_FALSE(IsValidSelectivity(kNaN));
+}
+
+TEST(ContractPredicateTest, CardinalityDomain) {
+  using internal_contracts::IsValidCardinality;
+  EXPECT_TRUE(IsValidCardinality(0.0));
+  EXPECT_TRUE(IsValidCardinality(1e18));
+  // +inf is a legal cardinality: long cartesian chains can overflow a
+  // double, and "absurdly large" is itself a meaningful estimate.
+  EXPECT_TRUE(IsValidCardinality(kInf));
+  EXPECT_FALSE(IsValidCardinality(-1.0));
+  EXPECT_FALSE(IsValidCardinality(kNaN));
+}
+
+#if JOINEST_CONTRACTS
+
+using ContractsDeathTest = ::testing::Test;
+
+TEST(ContractsDeathTest, SelectivityAboveOneAborts) {
+  // The acceptance case for the whole contract layer: an impossible
+  // selectivity must be caught at the check, with the streamed context in
+  // the failure message.
+  EXPECT_DEATH(
+      { JOINEST_CHECK_SELECTIVITY(1.5) << "from ContractsDeathTest"; },
+      "SELECTIVITY contract.*1.5.*from ContractsDeathTest");
+}
+
+TEST(ContractsDeathTest, NegativeSelectivityAborts) {
+  EXPECT_DEATH({ JOINEST_CHECK_SELECTIVITY(-0.25); }, "SELECTIVITY contract");
+}
+
+TEST(ContractsDeathTest, NegativeCardinalityAborts) {
+  EXPECT_DEATH({ JOINEST_CHECK_CARDINALITY(-3.0); }, "CARDINALITY contract");
+}
+
+TEST(ContractsDeathTest, NanCardinalityAborts) {
+  EXPECT_DEATH({ JOINEST_CHECK_CARDINALITY(kNaN); }, "CARDINALITY contract");
+}
+
+TEST(ContractsDeathTest, NonFiniteAborts) {
+  EXPECT_DEATH({ JOINEST_CHECK_FINITE(kInf); }, "FINITE contract");
+}
+
+TEST(ContractsDeathTest, DcheckComparatorsAbort) {
+  EXPECT_DEATH({ JOINEST_DCHECK_LE(2.0, 1.0) << "bound"; }, "bound");
+  EXPECT_DEATH({ JOINEST_DCHECK(false) << "plain"; }, "plain");
+}
+
+TEST(ContractsTest, ValidValuesPass) {
+  JOINEST_CHECK_SELECTIVITY(0.0) << "lower edge";
+  JOINEST_CHECK_SELECTIVITY(1.0) << "upper edge";
+  JOINEST_CHECK_CARDINALITY(0.0);
+  JOINEST_CHECK_CARDINALITY(kInf);  // Documented tolerance.
+  JOINEST_CHECK_FINITE(42.0);
+  JOINEST_DCHECK_EQ(1 + 1, 2);
+}
+
+#else  // !JOINEST_CONTRACTS
+
+TEST(ContractsTest, CompiledOutContractsEvaluateNothing) {
+  // In Release the operands must not run: a throwing/aborting expression
+  // inside a contract is legal dead weight.
+  int evaluations = 0;
+  auto poison = [&]() -> double {
+    ++evaluations;
+    return -1.0;
+  };
+  JOINEST_CHECK_SELECTIVITY(poison());
+  JOINEST_CHECK_CARDINALITY(poison());
+  JOINEST_CHECK_FINITE(poison());
+  JOINEST_DCHECK(poison() >= 0.0);
+  JOINEST_DCHECK_LE(poison(), -2.0);
+  EXPECT_EQ(evaluations, 0);
+}
+
+#endif  // JOINEST_CONTRACTS
+
+}  // namespace
+}  // namespace joinest

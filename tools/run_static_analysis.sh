@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# Static-analysis and correctness gate for joinest.
+#
+# Stages (full mode):
+#   1. warning gate  — out-of-tree build with -DJOINEST_WERROR=ON, which adds
+#                      -Wshadow -Wconversion -Wdouble-promotion -Werror to
+#                      everything under src/;
+#   2. clang-tidy    — the curated .clang-tidy profile over every src/ TU in
+#                      the compile database. Skipped (loudly) when clang-tidy
+#                      is not installed — the GCC gate above still runs;
+#   3. sanitizers    — tools/run_sanitizers.sh (ASan+UBSan full suite, TSan
+#                      concurrency subset);
+#   4. fuzz          — corpus replay plus a timed deterministic fuzz run of
+#                      tests/fuzz/fuzz_parser_estimator.cc with contracts on.
+#
+# Smoke mode (--smoke) is the cheap inner-loop variant: warning-gate build,
+# clang-tidy restricted to files changed relative to HEAD (nothing changed →
+# nothing run), corpus replay, and a 10-second fuzz burst. No sanitizers.
+#
+# Usage: tools/run_static_analysis.sh [--smoke] [--no-sanitizers]
+#                                     [--fuzz-seconds N] [build-root]
+#   build-root defaults to build-analysis. Exit code 0 iff every stage ran
+#   clean (skips do not fail the gate).
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+smoke=0
+sanitizers=1
+fuzz_seconds=60
+root=build-analysis
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke) smoke=1; sanitizers=0; fuzz_seconds=10 ;;
+    --no-sanitizers) sanitizers=0 ;;
+    --fuzz-seconds) shift; fuzz_seconds="$1" ;;
+    -h|--help) grep '^#' "$0" | tail -n +2 | sed 's/^# \{0,1\}//'; exit 0 ;;
+    *) root="$1" ;;
+  esac
+  shift
+done
+
+failures=0
+stage() { echo; echo "== $* =="; }
+
+# -- Stage 1: hardened-warning build (GCC, warnings as errors). -------------
+stage "warning gate (-DJOINEST_WERROR=ON)"
+cmake -B "${root}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+  -DJOINEST_WERROR=ON \
+  -DJOINEST_CONTRACTS=ON >/dev/null
+if cmake --build "${root}" -j "$(nproc)" >"${root}/build.log" 2>&1; then
+  echo "warning gate: clean"
+else
+  echo "warning gate: FAILED (tail of ${root}/build.log)"
+  tail -n 40 "${root}/build.log"
+  failures=$((failures + 1))
+fi
+
+# -- Stage 2: clang-tidy over the compile database. -------------------------
+stage "clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [[ ${smoke} -eq 1 ]]; then
+    # Inner loop: only the src/ files touched relative to HEAD.
+    mapfile -t tidy_files < <(git diff --name-only HEAD -- 'src/*.cc' \
+                              | while read -r f; do [[ -f $f ]] && echo "$f"; done)
+  else
+    mapfile -t tidy_files < <(find src -name '*.cc' | sort)
+  fi
+  if [[ ${#tidy_files[@]} -eq 0 ]]; then
+    echo "clang-tidy: no files to check"
+  elif clang-tidy -p "${root}" --quiet "${tidy_files[@]}"; then
+    echo "clang-tidy: clean (${#tidy_files[@]} files)"
+  else
+    echo "clang-tidy: FAILED"
+    failures=$((failures + 1))
+  fi
+else
+  echo "clang-tidy: SKIPPED (not installed; GCC warning gate covers src/)"
+fi
+
+# -- Stage 3: sanitizers. ---------------------------------------------------
+if [[ ${sanitizers} -eq 1 ]]; then
+  stage "sanitizers"
+  if tools/run_sanitizers.sh "${root}/sanitize"; then
+    echo "sanitizers: clean"
+  else
+    echo "sanitizers: FAILED"
+    failures=$((failures + 1))
+  fi
+fi
+
+# -- Stage 4: fuzz (corpus replay + timed run, contracts on). ---------------
+stage "fuzz (${fuzz_seconds}s + corpus replay)"
+fuzzer="${root}/tests/fuzz_parser_estimator"
+if [[ ! -x "${fuzzer}" ]]; then
+  echo "fuzz: FAILED (fuzzer did not build)"
+  failures=$((failures + 1))
+else
+  if "${fuzzer}" tests/fuzz/corpus &&
+     "${fuzzer}" --fuzz-seconds "${fuzz_seconds}" tests/fuzz/corpus; then
+    echo "fuzz: clean"
+  else
+    echo "fuzz: FAILED"
+    failures=$((failures + 1))
+  fi
+fi
+
+echo
+if [[ ${failures} -gt 0 ]]; then
+  echo "static analysis gate: ${failures} stage(s) FAILED"
+  exit 1
+fi
+echo "static analysis gate: all stages passed."
