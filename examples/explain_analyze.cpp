@@ -1,0 +1,97 @@
+// EXPLAIN ANALYZE on the paper's §8 experiment query:
+//
+//   SELECT COUNT(*) FROM S, M, B, G
+//   WHERE S.s = M.m AND M.m = B.b AND B.b = G.g AND S.s < 100
+//
+// whose true result size is exactly 100·scale by construction. The report
+// shows the executed operator tree with estimated vs. actual cardinalities
+// and self/inclusive timings, the per-rule (LS/M/SS) estimate and q-error at
+// every join level, and the span-timing summary of the traced run.
+//
+// Flags:
+//   --json          print the report as JSON instead of text
+//   --trace PATH    write the Chrome trace-event JSON to PATH
+//                   (load in chrome://tracing, validate with
+//                   tools/check_trace.py)
+//   --metrics       also print the metrics registry's Prometheus text
+//                   (the estimator_qerror{rule=...} histograms)
+//   --scale N       paper dataset scale factor (default 1)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/json_writer.h"
+#include "estimator/presets.h"
+#include "obs/explain_analyze.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "query/parser.h"
+#include "storage/datasets.h"
+
+using namespace joinest;  // NOLINT - example code
+
+int main(int argc, char** argv) {
+  bool as_json = false;
+  bool with_metrics = false;
+  std::string trace_path;
+  int64_t scale = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      as_json = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      with_metrics = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+      scale = std::atoll(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--json] [--metrics] [--trace PATH] "
+                   "[--scale N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  // A failed contract anywhere below dumps the active trace before
+  // aborting — the post-mortem story the trace buffer exists for.
+  InstallCheckFailureTraceDump();
+
+  Catalog catalog;
+  PaperDatasetOptions dataset;
+  dataset.scale = scale;
+  Status status = BuildPaperDataset(catalog, dataset);
+  JOINEST_CHECK(status.ok()) << status;
+
+  char sql[256];
+  std::snprintf(sql, sizeof(sql),
+                "SELECT COUNT(*) FROM S, M, B, G WHERE S.s = M.m AND "
+                "M.m = B.b AND B.b = G.g AND S.s < %lld",
+                static_cast<long long>(100 * scale));
+  auto query = ParseQuery(catalog, sql);
+  JOINEST_CHECK(query.ok()) << query.status();
+
+  ExplainAnalyzeOptions options;
+  options.estimation = PresetOptions(AlgorithmPreset::kELS);
+  auto report = ExplainAnalyzeQuery(catalog, *query, options);
+  JOINEST_CHECK(report.ok()) << report.status();
+
+  if (as_json) {
+    std::printf("%s\n", report->ToJson().c_str());
+  } else {
+    std::printf("%s", report->FormatText().c_str());
+  }
+  if (!trace_path.empty()) {
+    JOINEST_CHECK(!report->trace_json.empty())
+        << "no trace captured (was a session already active?)";
+    JOINEST_CHECK(WriteTextFile(trace_path, report->trace_json))
+        << "cannot write " << trace_path;
+    std::fprintf(stderr, "trace written to %s\n", trace_path.c_str());
+  }
+  if (with_metrics) {
+    std::printf("%s", MetricsRegistry::Global().PrometheusText().c_str());
+  }
+  return 0;
+}

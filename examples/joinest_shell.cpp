@@ -210,8 +210,9 @@ struct Shell {
     return Status::OK();
   }
 
-  // EXPLAIN ANALYZE: run and report per-operator produced-row counts and
-  // inclusive wall-clock (an operator's time contains its children's).
+  // EXPLAIN ANALYZE: run and report per-operator produced-row counts,
+  // inclusive wall-clock (an operator's time contains its children's) and
+  // self time (inclusive minus children — where the time is actually spent).
   Status RunAnalyze(const std::string& sql) {
     JOINEST_ASSIGN_OR_RETURN(QuerySpec spec, ParseQuery(catalog, sql));
     OptimizerOptions options;
@@ -221,10 +222,11 @@ struct Shell {
     std::cout << PlanToString(*plan.root, catalog, spec);
     JOINEST_ASSIGN_OR_RETURN(ExecutionResult result,
                              ExecutePlan(catalog, spec, *plan.root));
-    TablePrinter table({"operator", "rows produced", "incl ms"});
+    TablePrinter table({"operator", "rows produced", "incl ms", "self ms"});
     for (const OperatorStats& op : result.operators) {
       table.AddRow({op.name, FormatNumber(static_cast<double>(op.rows)),
-                    FormatNumber(op.seconds * 1e3, 3)});
+                    FormatNumber(op.seconds * 1e3, 3),
+                    FormatNumber(op.self_seconds * 1e3, 3)});
     }
     table.Print(std::cout);
     std::cout << "total " << FormatNumber(result.seconds * 1e3, 3)

@@ -1,0 +1,27 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+
+namespace joinest {
+namespace internal_logging {
+
+namespace {
+std::atomic<CheckFailureHook> g_hook{nullptr};
+}  // namespace
+
+CheckFailureHook SetCheckFailureHook(CheckFailureHook hook) {
+  return g_hook.exchange(hook);
+}
+
+void FailCheck(const std::string& message) {
+  // Hook first: it typically dumps diagnostic state (e.g. the active trace
+  // buffer) that should land even if stderr is redirected away.
+  if (CheckFailureHook hook = g_hook.load()) hook(message.c_str());
+  std::cerr << message << std::endl;
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace joinest

@@ -5,29 +5,44 @@
 // go through Status (common/status.h).
 //
 //   JOINEST_CHECK(x > 0) << "x was " << x;
+//
+// Every failure — the always-on JOINEST_CHECK family here and the
+// contract-layer JOINEST_DCHECK/JOINEST_CHECK_SELECTIVITY family in
+// common/check.h, which expands to JOINEST_CHECK — funnels through the one
+// CheckFailure sink (FailCheck in logging.cc). Subsystems can register a
+// pre-abort hook there: src/obs/trace.cc uses it to dump the active trace
+// buffer, so a failed contract leaves a post-mortem trace behind.
 
 #ifndef JOINEST_COMMON_LOGGING_H_
 #define JOINEST_COMMON_LOGGING_H_
 
-#include <cstdlib>
-#include <iostream>
 #include <sstream>
+#include <string>
 
 namespace joinest {
 namespace internal_logging {
 
-// Accumulates a failure message and aborts in the destructor. Used only via
-// the JOINEST_CHECK macros below.
+// Called with the fully formatted failure message just before the process
+// aborts. Must be async-signal-tolerant in spirit: keep it short, don't
+// assume unwound stacks. Returns the previously installed hook (nullptr if
+// none) so callers can chain.
+using CheckFailureHook = void (*)(const char* message);
+CheckFailureHook SetCheckFailureHook(CheckFailureHook hook);
+
+// The shared sink: runs the registered hook (if any), prints `message` to
+// stderr, and aborts. Out of line so every CHECK site shares one failure
+// path and one place to attach post-mortem behaviour.
+[[noreturn]] void FailCheck(const std::string& message);
+
+// Accumulates a failure message and hands it to FailCheck in the
+// destructor. Used only via the JOINEST_CHECK macros below.
 class CheckFailure {
  public:
   CheckFailure(const char* file, int line, const char* condition) {
     stream_ << "CHECK failed at " << file << ":" << line << ": " << condition
             << " ";
   }
-  [[noreturn]] ~CheckFailure() {
-    std::cerr << stream_.str() << std::endl;
-    std::abort();
-  }
+  [[noreturn]] ~CheckFailure() { FailCheck(stream_.str()); }
   template <typename T>
   CheckFailure& operator<<(const T& value) {
     stream_ << value;

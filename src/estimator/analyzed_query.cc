@@ -8,6 +8,8 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/table_printer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/distinct.h"
 
 namespace joinest {
@@ -37,27 +39,44 @@ StatusOr<AnalyzedQuery> AnalyzedQuery::Create(
   query.catalog_ = &catalog;
   query.spec_ = spec;
   query.options_ = options;
+  Span analyze_span("estimator::analyze", "tables",
+                    static_cast<int64_t>(spec.num_tables()));
+  MetricsRegistry::Global()
+      .GetCounter("estimator_queries_total", "Queries analysed for estimation",
+                  {{"rule", SelectivityRuleName(options.rule)}})
+      .Increment();
 
   // Steps 1-2: deduplicate + transitive closure (or just deduplicate when
   // PTC is disabled).
-  ClosureOptions closure_options;
-  closure_options.enabled = options.transitive_closure;
-  ClosureResult closure =
-      ComputeTransitiveClosure(spec.predicates, closure_options);
-  query.predicates_ = std::move(closure.predicates);
-  query.classes_ = std::move(closure.classes);
+  {
+    Span span("estimator::transitive_closure");
+    ClosureOptions closure_options;
+    closure_options.enabled = options.transitive_closure;
+    ClosureResult closure =
+        ComputeTransitiveClosure(spec.predicates, closure_options);
+    query.predicates_ = std::move(closure.predicates);
+    query.classes_ = std::move(closure.classes);
+    span.SetArg("closed_predicates",
+                static_cast<int64_t>(query.predicates_.size()));
+  }
 
-  // Steps 3-4: per-table effective statistics.
-  query.profiles_.reserve(spec.num_tables());
-  for (int t = 0; t < spec.num_tables(); ++t) {
-    query.profiles_.push_back(BuildTableProfile(catalog, spec, t,
-                                                query.predicates_,
-                                                query.classes_,
-                                                options.profile));
+  // Steps 3-4: per-table effective statistics (local-predicate merge +
+  // urn-model effective cardinalities inside BuildTableProfile).
+  {
+    Span span("estimator::table_profiles", "tables",
+              static_cast<int64_t>(spec.num_tables()));
+    query.profiles_.reserve(spec.num_tables());
+    for (int t = 0; t < spec.num_tables(); ++t) {
+      query.profiles_.push_back(BuildTableProfile(catalog, spec, t,
+                                                  query.predicates_,
+                                                  query.classes_,
+                                                  options.profile));
+    }
   }
 
   // Step 5 (+ the §3.3 strawman's per-class constant): join selectivities
   // exist per predicate; precompute the per-class representative.
+  Span span("estimator::join_selectivities");
   query.representative_selectivity_.assign(query.classes_.num_classes(), 1.0);
   std::vector<bool> has_any(query.classes_.num_classes(), false);
   for (const Predicate& p : query.predicates_) {
@@ -250,6 +269,10 @@ double AnalyzedQuery::JoinComposites(uint64_t left_mask, double left_card,
 std::vector<AnalyzedQuery::StepTrace> AnalyzedQuery::TraceOrder(
     const std::vector<int>& order) const {
   JOINEST_CHECK_EQ(static_cast<int>(order.size()), spec_.num_tables());
+  // Per-class Rule LS/M/SS choices happen inside each step below; one span
+  // covers the whole walk (per-step spans would be noise at DP scale).
+  Span span("estimator::rule_estimation", "joins",
+            static_cast<int64_t>(order.empty() ? 0 : order.size() - 1));
   std::vector<StepTrace> trace;
   if (order.empty()) return trace;
   uint64_t mask = uint64_t{1} << order[0];

@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/table_printer.h"
+#include "obs/trace.h"
 #include "stats/distinct.h"
 
 namespace joinest {
@@ -32,6 +33,10 @@ TableProfile BuildTableProfile(const Catalog& catalog, const QuerySpec& spec,
                                const TableProfileOptions& options) {
   JOINEST_CHECK_GE(table_index, 0);
   JOINEST_CHECK_LT(table_index, spec.num_tables());
+  // Covers the local-predicate merge (step 3) and the urn-model effective
+  // cardinalities (steps 4-5) for one table.
+  Span span("estimator::table_profile", "table",
+            static_cast<int64_t>(table_index));
   const TableStats& stats =
       catalog.stats(spec.tables[table_index].catalog_id);
   const int num_columns = static_cast<int>(stats.columns.size());

@@ -9,10 +9,20 @@ namespace {
 
 StatusOr<std::unique_ptr<Operator>> CompileNode(
     const Catalog& catalog, const QuerySpec& spec, const PlanNode& node,
-    std::vector<Operator*>* registry) {
+    std::vector<Operator*>* registry,
+    std::vector<PlanNodeOperator>* node_roots) {
   auto track = [registry](std::unique_ptr<Operator> op)
       -> std::unique_ptr<Operator> {
     if (registry != nullptr) registry->push_back(op.get());
+    return op;
+  };
+  // The last operator created for this node is its root (e.g. the Filter on
+  // top of a filtered scan).
+  auto root = [node_roots, &node](std::unique_ptr<Operator> op)
+      -> std::unique_ptr<Operator> {
+    if (node_roots != nullptr) {
+      node_roots->push_back(PlanNodeOperator{&node, op.get()});
+    }
     return op;
   };
 
@@ -23,7 +33,7 @@ StatusOr<std::unique_ptr<Operator>> CompileNode(
     if (!node.filter.empty()) {
       op = track(std::make_unique<FilterOperator>(std::move(op), node.filter));
     }
-    return op;
+    return root(std::move(op));
   }
 
   // Join node.
@@ -32,7 +42,7 @@ StatusOr<std::unique_ptr<Operator>> CompileNode(
   }
   JOINEST_ASSIGN_OR_RETURN(
       std::unique_ptr<Operator> left,
-      CompileNode(catalog, spec, *node.left, registry));
+      CompileNode(catalog, spec, *node.left, registry, node_roots));
 
   if (node.method == JoinMethod::kIndexNestedLoop) {
     if (node.right->kind != PlanNode::Kind::kScan) {
@@ -42,27 +52,27 @@ StatusOr<std::unique_ptr<Operator>> CompileNode(
     }
     const Table& inner =
         catalog.table(spec.tables[node.right->table_index].catalog_id);
-    return track(std::make_unique<IndexNestedLoopJoinOperator>(
+    return root(track(std::make_unique<IndexNestedLoopJoinOperator>(
         std::move(left), inner, node.right->table_index,
-        node.join_predicates, node.right->filter));
+        node.join_predicates, node.right->filter)));
   }
 
   JOINEST_ASSIGN_OR_RETURN(
       std::unique_ptr<Operator> right,
-      CompileNode(catalog, spec, *node.right, registry));
+      CompileNode(catalog, spec, *node.right, registry, node_roots));
   switch (node.method) {
     case JoinMethod::kNestedLoop:
-      return track(std::make_unique<NestedLoopJoinOperator>(
-          std::move(left), std::move(right), node.join_predicates));
+      return root(track(std::make_unique<NestedLoopJoinOperator>(
+          std::move(left), std::move(right), node.join_predicates)));
     case JoinMethod::kBlockNestedLoop:
-      return track(std::make_unique<BlockNestedLoopJoinOperator>(
-          std::move(left), std::move(right), node.join_predicates));
+      return root(track(std::make_unique<BlockNestedLoopJoinOperator>(
+          std::move(left), std::move(right), node.join_predicates)));
     case JoinMethod::kHash:
-      return track(std::make_unique<HashJoinOperator>(
-          std::move(left), std::move(right), node.join_predicates));
+      return root(track(std::make_unique<HashJoinOperator>(
+          std::move(left), std::move(right), node.join_predicates)));
     case JoinMethod::kSortMerge:
-      return track(std::make_unique<SortMergeJoinOperator>(
-          std::move(left), std::move(right), node.join_predicates));
+      return root(track(std::make_unique<SortMergeJoinOperator>(
+          std::move(left), std::move(right), node.join_predicates)));
     case JoinMethod::kIndexNestedLoop:
       break;  // Handled above.
   }
@@ -73,8 +83,9 @@ StatusOr<std::unique_ptr<Operator>> CompileNode(
 
 StatusOr<std::unique_ptr<Operator>> CompilePlan(
     const Catalog& catalog, const QuerySpec& spec, const PlanNode& plan,
-    std::vector<Operator*>* registry) {
-  return CompileNode(catalog, spec, plan, registry);
+    std::vector<Operator*>* registry,
+    std::vector<PlanNodeOperator>* node_roots) {
+  return CompileNode(catalog, spec, plan, registry, node_roots);
 }
 
 }  // namespace joinest

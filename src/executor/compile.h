@@ -14,16 +14,30 @@
 
 namespace joinest {
 
+// The operator that produces a plan node's output. For a scan node with
+// pushed-down filters this is the FilterOperator on top of the SeqScan,
+// so `op->rows_produced()` is directly comparable with the node's
+// `estimated_rows` — what EXPLAIN ANALYZE's estimated-vs-actual columns
+// need.
+struct PlanNodeOperator {
+  const PlanNode* node = nullptr;
+  Operator* op = nullptr;
+};
+
 // Compiles `plan` into an operator tree over the catalog's tables. If
 // `registry` is non-null, every created operator is appended (pre-order) so
-// the caller can report per-operator row counts after execution. The catalog
-// must outlive the returned operator.
+// the caller can report per-operator row counts after execution. If
+// `node_roots` is non-null, the root operator of every plan node is
+// appended (look nodes up by pointer; an index-nested-loop join's inner
+// scan node is absorbed into the join operator and gets no entry). The
+// catalog must outlive the returned operator.
 //
 // Constraints checked: an index-nested-loop join's right child must be a
 // scan node (the index is built over that base table).
 StatusOr<std::unique_ptr<Operator>> CompilePlan(
     const Catalog& catalog, const QuerySpec& spec, const PlanNode& plan,
-    std::vector<Operator*>* registry = nullptr);
+    std::vector<Operator*>* registry = nullptr,
+    std::vector<PlanNodeOperator>* node_roots = nullptr);
 
 }  // namespace joinest
 

@@ -12,8 +12,10 @@ StatusOr<ExecutionResult> ExecutePlan(const Catalog& catalog,
                                       const QuerySpec& spec,
                                       const PlanNode& plan) {
   std::vector<Operator*> registry;
-  JOINEST_ASSIGN_OR_RETURN(std::unique_ptr<Operator> root,
-                           CompilePlan(catalog, spec, plan, &registry));
+  std::vector<PlanNodeOperator> node_roots;
+  JOINEST_ASSIGN_OR_RETURN(
+      std::unique_ptr<Operator> root,
+      CompilePlan(catalog, spec, plan, &registry, &node_roots));
   // Top with the query's output shape.
   const bool grouped = spec.count_star && !spec.group_by.empty();
   if (grouped) {
@@ -50,8 +52,11 @@ StatusOr<ExecutionResult> ExecutePlan(const Catalog& catalog,
   result.count = spec.count_star ? count : rows;
   result.seconds = std::chrono::duration<double>(end - start).count();
   for (Operator* op : registry) {
-    result.operators.push_back(
-        OperatorStats{op->name(), op->rows_produced(), op->seconds()});
+    result.operators.push_back(SnapshotOperatorStats(*op));
+  }
+  result.node_stats.reserve(node_roots.size());
+  for (const PlanNodeOperator& entry : node_roots) {
+    result.node_stats.push_back({entry.node, SnapshotOperatorStats(*entry.op)});
   }
   return result;
 }

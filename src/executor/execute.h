@@ -26,6 +26,14 @@ struct ExecutionResult {
   // Pre-order (operator name, rows produced, inclusive wall-clock) over the
   // compiled tree.
   std::vector<OperatorStats> operators;
+  // Stats of each plan node's root operator (the one whose row count is
+  // comparable with the node's estimated_rows). Points into the caller's
+  // plan tree; EXPLAIN ANALYZE joins this against the estimates.
+  struct PlanNodeStats {
+    const PlanNode* node = nullptr;
+    OperatorStats stats;
+  };
+  std::vector<PlanNodeStats> node_stats;
 };
 
 // Compiles and runs `plan`, topping it with the query's projection or

@@ -4,6 +4,8 @@
 
 #include "common/logging.h"
 #include "executor/eval.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace joinest {
 
@@ -172,8 +174,28 @@ void HashJoinOperator::OpenImpl() {
     }
   }
   right_->Close();
-  table_ =
-      std::make_unique<JoinHashTable>(std::move(build_rows), build_positions_);
+  {
+    Span span("HashJoin::build");
+    table_ = std::make_unique<JoinHashTable>(std::move(build_rows),
+                                             build_positions_);
+    span.SetArg("build_rows", static_cast<int64_t>(table_->num_rows()));
+  }
+  // Build-side telemetry: rows and distinct keys per build, plus the load
+  // factor story a capacity planner wants (num_keys/num_rows is the
+  // duplication the probe fan-out comes from).
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry
+      .GetCounter("executor_hashjoin_builds_total",
+                  "Hash-join build-side constructions")
+      .Increment();
+  registry
+      .GetCounter("executor_hashjoin_build_rows_total",
+                  "Rows materialised into hash-join build sides")
+      .Add(static_cast<int64_t>(table_->num_rows()));
+  registry
+      .GetCounter("executor_hashjoin_build_keys_total",
+                  "Distinct keys across hash-join build sides")
+      .Add(static_cast<int64_t>(table_->num_keys()));
   matches_ = JoinHashTable::Span{};
   match_cursor_ = 0;
   input_valid_ = false;

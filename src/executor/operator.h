@@ -12,9 +12,12 @@
 //    the batch from NextImpl, so the two paths always agree; scans,
 //    filters and hash joins override it with vectorized versions.
 //
-// The public entry points are non-virtual wrappers that accumulate
-// wall-clock into the operator (inclusive of children, EXPLAIN ANALYZE
-// style) and feed rows_produced(); subclasses implement the *Impl hooks.
+// The public entry points are non-virtual wrappers that feed
+// rows_produced() and accumulate wall-clock into the operator — both
+// inclusive (children's wrapper time counted, EXPLAIN ANALYZE style) and
+// exclusive (self time, children subtracted via a per-thread parent chain).
+// The batch wrapper additionally tracks batch counts and rows so fill
+// rates are observable. Subclasses implement the *Impl hooks.
 
 #ifndef JOINEST_EXECUTOR_OPERATOR_H_
 #define JOINEST_EXECUTOR_OPERATOR_H_
@@ -50,11 +53,23 @@ class Operator {
 
   const std::vector<ColumnRef>& layout() const { return layout_; }
 
-  // Operator name, cumulative rows produced and cumulative wall-clock
-  // (inclusive of children), for EXPLAIN ANALYZE-style reporting.
+  // Operator name, cumulative rows produced and cumulative wall-clock, for
+  // EXPLAIN ANALYZE-style reporting.
   virtual std::string name() const = 0;
   int64_t rows_produced() const { return rows_produced_; }
+  // Inclusive wall-clock: this operator's wrapper time, children included
+  // (a parent's Next drives its children inside NextImpl).
   double seconds() const { return seconds_; }
+  // Exclusive (self) wall-clock: inclusive time minus the wrapper time of
+  // the children driven while this operator was on top. The self times of
+  // an operator tree sum to the root's inclusive time.
+  double self_seconds() const { return seconds_ - child_seconds_; }
+
+  // Batch-path statistics: NextBatch calls that returned rows, and the
+  // rows they returned. fill = batch_rows / (batches * capacity) is the
+  // vectorization fill rate.
+  int64_t batches() const { return batches_; }
+  int64_t batch_rows() const { return batch_rows_; }
 
  protected:
   virtual void OpenImpl() = 0;
@@ -66,16 +81,31 @@ class Operator {
   std::vector<ColumnRef> layout_;
   int64_t rows_produced_ = 0;
   double seconds_ = 0;
+  double child_seconds_ = 0;
+  int64_t batches_ = 0;
+  int64_t batch_rows_ = 0;
+
+ private:
+  // RAII guard used by the wrappers: accumulates elapsed wall-clock into
+  // seconds_, credits it to the parent operator's child_seconds_, and
+  // maintains the per-thread parent chain.
+  class TimerScope;
 };
 
-// Collects name/rows/seconds for an operator tree (callers know the tree
-// shape). `seconds` is inclusive wall-clock — a parent's time contains its
-// children's.
+// Collects per-operator measurements for an operator tree (callers know the
+// tree shape). `seconds` is inclusive wall-clock — a parent's time contains
+// its children's; `self_seconds` is the operator's own share.
 struct OperatorStats {
   std::string name;
   int64_t rows = 0;
   double seconds = 0;
+  double self_seconds = 0;
+  int64_t batches = 0;
+  int64_t batch_rows = 0;
 };
+
+// Snapshot helper used by ExecutePlan and EXPLAIN ANALYZE.
+OperatorStats SnapshotOperatorStats(const Operator& op);
 
 }  // namespace joinest
 

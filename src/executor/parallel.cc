@@ -9,6 +9,8 @@
 
 #include "common/logging.h"
 #include "executor/eval.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "executor/execute.h"
 #include "executor/hash_table.h"
 #include "storage/table.h"
@@ -185,14 +187,19 @@ StatusOr<int64_t> ParallelTrueCount(const Catalog& catalog,
   const std::vector<RowRange> morsels = outer.Morsels(kMorselRows);
 
   auto run_worker = [&](int64_t& count_out, std::atomic<size_t>& next) {
+    Span worker_span("ParallelTrueCount::worker");
     Worker worker;
     worker.combined.resize(total_width);
     worker.scratch.resize(levels.size());
     Row outer_row;
     int64_t count = 0;
+    int64_t morsels_run = 0;
+    int64_t morsel_rows = 0;
     for (size_t m = next.fetch_add(1); m < morsels.size();
          m = next.fetch_add(1)) {
       const RowRange range = morsels[m];
+      ++morsels_run;
+      morsel_rows += range.end - range.begin;
       for (int64_t r = range.begin; r < range.end; ++r) {
         outer.CopyRowInto(r, outer_row);
         if (!outer_filter.Passes(outer_row)) continue;
@@ -207,6 +214,18 @@ StatusOr<int64_t> ParallelTrueCount(const Catalog& catalog,
       }
     }
     count_out = count;
+    worker_span.SetArg("morsels", morsels_run);
+    // One registry touch per worker, not per morsel: the counters stay off
+    // the scan loop entirely.
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    registry
+        .GetCounter("executor_morsels_total",
+                    "Morsels executed by parallel counting workers")
+        .Add(morsels_run);
+    registry
+        .GetCounter("executor_morsel_rows_total",
+                    "Outer rows scanned by parallel counting workers")
+        .Add(morsel_rows);
   };
 
   std::atomic<size_t> next_morsel{0};

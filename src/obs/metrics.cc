@@ -1,0 +1,334 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace joinest {
+
+namespace internal_metrics {
+
+int ThreadShard() {
+  // Sequential thread numbering folded onto the shard count: the first
+  // kShards threads get private shards, later ones share.
+  static std::atomic<int> next_thread{0};
+  thread_local const int shard =
+      next_thread.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+void AtomicAddDouble(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace internal_metrics
+
+HistogramBuckets HistogramBuckets::Exponential(double start, double factor,
+                                               int count) {
+  JOINEST_CHECK_GT(start, 0.0);
+  JOINEST_CHECK_GT(factor, 1.0);
+  JOINEST_CHECK_GT(count, 0);
+  HistogramBuckets buckets;
+  buckets.bounds.reserve(static_cast<size_t>(count));
+  double bound = start;
+  for (int i = 0; i < count; ++i) {
+    buckets.bounds.push_back(bound);
+    bound *= factor;
+  }
+  return buckets;
+}
+
+HistogramBuckets HistogramBuckets::QError() {
+  // Q-errors start at exactly 1 (perfect estimate); factor 1.25 keeps
+  // near-1 resolution, 42 buckets reach ~1e4.
+  return Exponential(1.0, 1.25, 42);
+}
+
+HistogramBuckets HistogramBuckets::Seconds() {
+  return Exponential(1e-6, 4.0, 14);  // 1us .. ~67s.
+}
+
+HistogramMetric::HistogramMetric(HistogramBuckets buckets)
+    : bounds_(std::move(buckets.bounds)) {
+  JOINEST_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must ascend";
+  shards_.reserve(internal_metrics::kShards);
+  for (int i = 0; i < internal_metrics::kShards; ++i) {
+    // +1: the implicit +inf overflow bucket.
+    shards_.push_back(std::make_unique<Shard>(bounds_.size() + 1));
+  }
+}
+
+void HistogramMetric::Observe(double value) {
+  Shard& shard = *shards_[static_cast<size_t>(internal_metrics::ThreadShard())];
+  // Prometheus `le` semantics: a bucket holds values <= its bound, so an
+  // observation equal to a bound (q-error exactly 1) counts in that bucket.
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  internal_metrics::AtomicAddDouble(shard.sum, value);
+}
+
+HistogramMetric::Snapshot HistogramMetric::Snap() const {
+  Snapshot snap;
+  snap.bucket_counts.assign(bounds_.size() + 1, 0);
+  for (const auto& shard : shards_) {
+    for (size_t b = 0; b < snap.bucket_counts.size(); ++b) {
+      snap.bucket_counts[b] +=
+          shard->buckets[b].load(std::memory_order_relaxed);
+    }
+    snap.sum += shard->sum.load(std::memory_order_relaxed);
+  }
+  for (int64_t c : snap.bucket_counts) snap.count += c;
+  return snap;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+namespace {
+
+MetricLabels NormalizeLabels(MetricLabels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+// Doubles render like JsonWriter::Number: integral values without a
+// fraction, everything else with enough digits to round-trip.
+std::string RenderDouble(double value) {
+  std::ostringstream oss;
+  if (std::isfinite(value) && value == static_cast<int64_t>(value) &&
+      std::fabs(value) < 1e15) {
+    oss << static_cast<int64_t>(value);
+  } else {
+    oss.precision(17);
+    oss << value;
+  }
+  return oss.str();
+}
+
+}  // namespace
+
+std::string RenderSeriesName(const std::string& name,
+                             const MetricLabels& labels) {
+  if (labels.empty()) return name;
+  std::string out = name + "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first + "=\"" + labels[i].second + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+MetricsRegistry::Series& MetricsRegistry::GetSeries(
+    Kind kind, const std::string& name, const std::string& help,
+    MetricLabels labels, const HistogramBuckets* buckets) {
+  labels = NormalizeLabels(std::move(labels));
+  const std::string key = RenderSeriesName(name, labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = series_.find(key);
+  if (it != series_.end()) {
+    JOINEST_CHECK(it->second.kind == kind)
+        << "metric '" << key << "' re-registered as a different type";
+    return it->second;
+  }
+  Series series;
+  series.kind = kind;
+  series.name = name;
+  series.help = help;
+  series.labels = std::move(labels);
+  series.order = next_order_++;
+  switch (kind) {
+    case Kind::kCounter:
+      series.counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      series.gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      series.histogram = std::make_unique<HistogramMetric>(*buckets);
+      break;
+  }
+  return series_.emplace(key, std::move(series)).first->second;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help,
+                                     MetricLabels labels) {
+  return *GetSeries(Kind::kCounter, name, help, std::move(labels), nullptr)
+              .counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help,
+                                 MetricLabels labels) {
+  return *GetSeries(Kind::kGauge, name, help, std::move(labels), nullptr)
+              .gauge;
+}
+
+HistogramMetric& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         const HistogramBuckets& buckets,
+                                         MetricLabels labels) {
+  return *GetSeries(Kind::kHistogram, name, help, std::move(labels), &buckets)
+              .histogram;
+}
+
+std::vector<const MetricsRegistry::Series*> MetricsRegistry::SortedSeries()
+    const {
+  std::vector<const Series*> sorted;
+  sorted.reserve(series_.size());
+  for (const auto& [key, series] : series_) sorted.push_back(&series);
+  // Families by name, series within a family by registration order.
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Series* a, const Series* b) {
+              if (a->name != b->name) return a->name < b->name;
+              return a->order < b->order;
+            });
+  return sorted;
+}
+
+void MetricsRegistry::WriteJson(JsonWriter& json) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  json.BeginObject();
+  json.Key("metrics");
+  json.BeginArray();
+  for (const Series* series : SortedSeries()) {
+    json.BeginObject();
+    json.Key("series");
+    json.String(RenderSeriesName(series->name, series->labels));
+    json.Key("name");
+    json.String(series->name);
+    if (!series->labels.empty()) {
+      json.Key("labels");
+      json.BeginObject();
+      for (const auto& [k, v] : series->labels) {
+        json.Key(k);
+        json.String(v);
+      }
+      json.EndObject();
+    }
+    switch (series->kind) {
+      case Kind::kCounter:
+        json.Key("type");
+        json.String("counter");
+        json.Key("value");
+        json.Int(series->counter->Value());
+        break;
+      case Kind::kGauge:
+        json.Key("type");
+        json.String("gauge");
+        json.Key("value");
+        json.Number(series->gauge->Value());
+        break;
+      case Kind::kHistogram: {
+        json.Key("type");
+        json.String("histogram");
+        const HistogramMetric::Snapshot snap = series->histogram->Snap();
+        json.Key("count");
+        json.Int(snap.count);
+        json.Key("sum");
+        json.Number(snap.sum);
+        json.Key("buckets");
+        json.BeginArray();
+        const std::vector<double>& bounds = series->histogram->bounds();
+        for (size_t b = 0; b < snap.bucket_counts.size(); ++b) {
+          if (snap.bucket_counts[b] == 0) continue;  // Sparse exposition.
+          json.BeginObject();
+          json.Key("le");
+          if (b < bounds.size()) {
+            json.Number(bounds[b]);
+          } else {
+            json.String("+Inf");
+          }
+          json.Key("count");
+          json.Int(snap.bucket_counts[b]);
+          json.EndObject();
+        }
+        json.EndArray();
+        break;
+      }
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+}
+
+std::string MetricsRegistry::JsonText() const {
+  JsonWriter json;
+  WriteJson(json);
+  return json.str();
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  std::string last_family;
+  for (const Series* series : SortedSeries()) {
+    if (series->name != last_family) {
+      last_family = series->name;
+      if (!series->help.empty()) {
+        out << "# HELP " << series->name << " " << series->help << "\n";
+      }
+      out << "# TYPE " << series->name << " ";
+      switch (series->kind) {
+        case Kind::kCounter:
+          out << "counter\n";
+          break;
+        case Kind::kGauge:
+          out << "gauge\n";
+          break;
+        case Kind::kHistogram:
+          out << "histogram\n";
+          break;
+      }
+    }
+    switch (series->kind) {
+      case Kind::kCounter:
+        out << RenderSeriesName(series->name, series->labels) << " "
+            << series->counter->Value() << "\n";
+        break;
+      case Kind::kGauge:
+        out << RenderSeriesName(series->name, series->labels) << " "
+            << RenderDouble(series->gauge->Value()) << "\n";
+        break;
+      case Kind::kHistogram: {
+        const HistogramMetric::Snapshot snap = series->histogram->Snap();
+        const std::vector<double>& bounds = series->histogram->bounds();
+        int64_t cumulative = 0;
+        for (size_t b = 0; b < snap.bucket_counts.size(); ++b) {
+          cumulative += snap.bucket_counts[b];
+          MetricLabels bucket_labels = series->labels;
+          bucket_labels.emplace_back(
+              "le", b < bounds.size() ? RenderDouble(bounds[b]) : "+Inf");
+          out << RenderSeriesName(series->name + "_bucket", bucket_labels)
+              << " " << cumulative << "\n";
+        }
+        out << RenderSeriesName(series->name + "_sum", series->labels) << " "
+            << RenderDouble(snap.sum) << "\n";
+        out << RenderSeriesName(series->name + "_count", series->labels)
+            << " " << snap.count << "\n";
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  series_.clear();
+  next_order_ = 0;
+}
+
+}  // namespace joinest

@@ -3,6 +3,7 @@
 #include <optional>
 #include <utility>
 
+#include "obs/trace.h"
 #include "query/lexer.h"
 
 namespace joinest {
@@ -330,6 +331,7 @@ class Parser {
 
 StatusOr<QuerySpec> ParseQuery(const Catalog& catalog,
                                const std::string& sql) {
+  Span span("query::parse", "bytes", static_cast<int64_t>(sql.size()));
   JOINEST_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
   Parser parser(catalog, std::move(tokens));
   return parser.Parse();

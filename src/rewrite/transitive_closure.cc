@@ -3,11 +3,14 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace joinest {
 
 ClosureResult ComputeTransitiveClosure(const std::vector<Predicate>& input,
                                        const ClosureOptions& options) {
+  Span span("rewrite::transitive_closure", "input_predicates",
+            static_cast<int64_t>(input.size()));
   ClosureResult result;
   // Step 1 of Algorithm ELS: remove duplicate predicates.
   result.predicates = DeduplicatePredicates(input);
@@ -70,6 +73,7 @@ ClosureResult ComputeTransitiveClosure(const std::vector<Predicate>& input,
       DeduplicatePredicates(input).size() + static_cast<size_t>(
                                                 result.num_derived))
       << "derived-predicate accounting is inconsistent";
+  span.SetArg("derived_predicates", result.num_derived);
   return result;
 }
 

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Validate an exported trace against the Chrome trace-event schema.
+
+Checks the JSON-object export format that chrome://tracing and Perfetto
+accept, plus the invariants joinest's TraceSession promises:
+
+  * top level is an object with a "traceEvents" array,
+  * every event is a complete event ("ph": "X") with string name/cat,
+    non-negative numeric ts/dur, and integer pid/tid,
+  * span ids (args.span_id) are unique; parent_id is -1 or names another
+    exported span (unless the ring dropped events, when parents may be gone),
+  * a child span's [ts, ts + dur] interval lies within its parent's, up to a
+    small tolerance (both are measured on the same monotonic clock),
+  * a child's depth is its parent's depth + 1 (roots have depth 0).
+
+Usage: check_trace.py TRACE.json [TRACE2.json ...]
+Exits non-zero on the first invalid file.
+"""
+
+import json
+import sys
+
+# Timestamps are exported in integer-truncated microseconds, so parent/child
+# endpoints can disagree by a tick.
+SLACK_US = 2.0
+
+REQUIRED_EVENT_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+
+def fail(path, message):
+    print(f"{path}: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def check_file(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"cannot parse: {e}")
+
+    if not isinstance(trace, dict):
+        return fail(path, "top level must be a JSON object")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return fail(path, 'missing "traceEvents" array')
+
+    dropped = 0
+    other = trace.get("otherData")
+    if isinstance(other, dict):
+        dropped = int(other.get("dropped_events", 0))
+
+    spans = {}
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            return fail(path, f"{where}: event must be an object")
+        for key in REQUIRED_EVENT_KEYS:
+            if key not in event:
+                return fail(path, f"{where}: missing required key {key!r}")
+        if not isinstance(event["name"], str) or not event["name"]:
+            return fail(path, f"{where}: name must be a non-empty string")
+        if not isinstance(event["ph"], str):
+            return fail(path, f"{where}: ph must be a string")
+        if not isinstance(event["ts"], (int, float)) or event["ts"] < 0:
+            return fail(path, f"{where}: ts must be a non-negative number")
+        for key in ("pid", "tid"):
+            if not isinstance(event[key], int):
+                return fail(path, f"{where}: {key} must be an integer")
+        if event["ph"] == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                return fail(
+                    path, f"{where}: complete event needs non-negative dur")
+        args = event.get("args", {})
+        if not isinstance(args, dict):
+            return fail(path, f"{where}: args must be an object")
+        span_id = args.get("span_id")
+        if span_id is not None:
+            if span_id in spans:
+                return fail(path, f"{where}: duplicate span_id {span_id}")
+            spans[span_id] = event
+
+    for span_id, event in spans.items():
+        args = event["args"]
+        parent_id = args.get("parent_id", -1)
+        if parent_id == -1:
+            if args.get("depth", 0) != 0:
+                return fail(
+                    path,
+                    f"span {span_id}: root span with depth {args.get('depth')}")
+            continue
+        parent = spans.get(parent_id)
+        if parent is None:
+            if dropped > 0:
+                continue  # The ring overwrote the parent; nothing to check.
+            return fail(
+                path,
+                f"span {span_id}: parent {parent_id} missing from export")
+        if args.get("depth") != parent["args"].get("depth", 0) + 1:
+            return fail(
+                path,
+                f"span {span_id}: depth {args.get('depth')} is not parent "
+                f"depth + 1")
+        if event["tid"] == parent["tid"]:
+            start = event["ts"]
+            end = start + event.get("dur", 0)
+            pstart = parent["ts"]
+            pend = pstart + parent.get("dur", 0)
+            if start + SLACK_US < pstart or end > pend + SLACK_US:
+                return fail(
+                    path,
+                    f"span {span_id} [{start}, {end}] escapes parent "
+                    f"{parent_id} [{pstart}, {pend}]")
+
+    print(f"{path}: OK ({len(events)} events, {len(spans)} spans, "
+          f"{dropped} dropped)")
+    return 0
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        if check_file(path):
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
