@@ -1,6 +1,11 @@
 // Interactive shell: explore catalogs, estimates, plans and execution.
 // Works interactively or scripted (commands on stdin, one per line).
 //
+// Built on the joinest service facade (include/joinest/joinest.h): the
+// shell owns a Database, every mutation (gen/load/stats_load/reanalyze)
+// publishes a new catalog snapshot, and every query command runs through
+// a Session so repeated estimates and plans come from the service cache.
+//
 //   gen paper [scale]        materialise the §8 dataset (S, M, B, G)
 //   gen example1             materialise the Example 1b dataset (R1-R3)
 //   load <name> <csv> <col:type,...>   import a CSV file
@@ -14,6 +19,9 @@
 //   explain <sql>            optimize and print the chosen plan
 //   run <sql>                optimize, execute, report count and time
 //   truth <sql>              exact result size via the reference executor
+//   snapshot                 show the published catalog snapshot
+//   reanalyze                re-collect statistics (publishes a snapshot)
+//   cache                    service cache statistics
 //   help / quit
 
 #include <cstdio>
@@ -24,26 +32,38 @@
 #include <vector>
 
 #include "common/table_printer.h"
+#include "joinest/joinest.h"
 #include "stats/stats_io.h"
-#include "estimator/presets.h"
-#include "executor/execute.h"
-#include "optimizer/optimizer.h"
-#include "query/parser.h"
 #include "storage/csv.h"
-#include "storage/datasets.h"
 
 using namespace joinest;  // NOLINT - example code
 
 namespace {
 
 struct Shell {
-  Catalog catalog;
+  Database db;
   AlgorithmPreset preset = AlgorithmPreset::kELS;
+
+  // Per-command session under the current preset: sessions are cheap
+  // views, and recreating one picks up preset changes immediately.
+  Session MakeSession() const {
+    return db.CreateSession(Session::Options().set_preset(preset)).value();
+  }
+
+  const Catalog& catalog() const { return db.snapshot()->catalog(); }
 
   Status GenPaper(int64_t scale) {
     PaperDatasetOptions options;
     options.scale = scale;
-    return BuildPaperDataset(catalog, options);
+    Catalog staged;
+    JOINEST_RETURN_IF_ERROR(BuildPaperDataset(staged, options));
+    return db.ImportTables(std::move(staged));
+  }
+
+  Status GenExample1() {
+    Catalog staged;
+    JOINEST_RETURN_IF_ERROR(BuildExample1Dataset(staged));
+    return db.ImportTables(std::move(staged));
   }
 
   Status Load(const std::string& name, const std::string& path,
@@ -72,44 +92,45 @@ struct Shell {
     }
     JOINEST_ASSIGN_OR_RETURN(Table table,
                              ReadCsvFile(Schema(std::move(columns)), path));
-    JOINEST_ASSIGN_OR_RETURN([[maybe_unused]] int id,
-                             catalog.AddTable(name, std::move(table)));
-    return Status::OK();
+    return db.LoadTable(name, std::move(table));
   }
 
   Status Save(const std::string& name, const std::string& path) {
-    JOINEST_ASSIGN_OR_RETURN(int id, catalog.ResolveTable(name));
-    return WriteCsvFile(catalog.table(id), path);
+    JOINEST_ASSIGN_OR_RETURN(int id, catalog().ResolveTable(name));
+    return WriteCsvFile(catalog().table(id), path);
   }
 
   void Tables() {
+    const std::shared_ptr<const CatalogSnapshot> snap = db.snapshot();
     TablePrinter table({"table", "rows", "columns"});
-    for (int t = 0; t < catalog.num_tables(); ++t) {
-      table.AddRow({catalog.table_name(t),
-                    FormatNumber(catalog.stats(t).row_count),
-                    catalog.table(t).schema().ToString()});
+    for (int t = 0; t < snap->catalog().num_tables(); ++t) {
+      table.AddRow({snap->catalog().table_name(t),
+                    FormatNumber(snap->catalog().stats(t).row_count),
+                    snap->catalog().table(t).schema().ToString()});
     }
     table.Print(std::cout);
   }
 
   Status Stats(const std::string& name) {
-    JOINEST_ASSIGN_OR_RETURN(int id, catalog.ResolveTable(name));
-    std::cout << catalog.stats(id).ToString() << "\n";
+    JOINEST_ASSIGN_OR_RETURN(int id, catalog().ResolveTable(name));
+    std::cout << catalog().stats(id).ToString() << "\n";
     return Status::OK();
   }
 
   // Exports one table's statistics in the editable text format.
   Status StatsSave(const std::string& name, const std::string& path) {
-    JOINEST_ASSIGN_OR_RETURN(int id, catalog.ResolveTable(name));
+    JOINEST_ASSIGN_OR_RETURN(int id, catalog().ResolveTable(name));
     std::ofstream out(path);
     if (!out) return InvalidArgument("cannot open '" + path + "'");
-    out << SerializeTableStats(catalog.stats(id));
+    out << SerializeTableStats(catalog().stats(id));
     return out ? Status::OK() : Internal("write failed");
   }
 
-  // Loads (possibly hand-edited) statistics back — what-if analysis.
+  // Loads (possibly hand-edited) statistics back — what-if analysis. The
+  // service publishes a fresh snapshot, so cached estimates from the old
+  // statistics can never be served again.
   Status StatsLoad(const std::string& name, const std::string& path) {
-    JOINEST_ASSIGN_OR_RETURN(int id, catalog.ResolveTable(name));
+    JOINEST_ASSIGN_OR_RETURN(int id, catalog().ResolveTable(name));
     std::ifstream in(path);
     if (!in) return NotFound("cannot open '" + path + "'");
     std::stringstream buffer;
@@ -117,8 +138,8 @@ struct Shell {
     JOINEST_ASSIGN_OR_RETURN(
         TableStats stats,
         ParseTableStats(buffer.str(),
-                        catalog.table(id).schema().num_columns()));
-    return catalog.SetStats(id, std::move(stats));
+                        catalog().table(id).schema().num_columns()));
+    return db.SetTableStats(name, std::move(stats));
   }
 
   Status SetPreset(const std::string& name) {
@@ -142,70 +163,70 @@ struct Shell {
   }
 
   Status Analyze(const std::string& sql) {
-    JOINEST_ASSIGN_OR_RETURN(QuerySpec spec, ParseQuery(catalog, sql));
-    JOINEST_ASSIGN_OR_RETURN(
-        AnalyzedQuery analyzed,
-        AnalyzedQuery::Create(catalog, spec, PresetOptions(preset)));
+    const Session session = MakeSession();
+    JOINEST_ASSIGN_OR_RETURN(PreparedQuery prepared, session.Prepare(sql));
+    JOINEST_ASSIGN_OR_RETURN(EstimateResult estimate,
+                             session.Estimate(prepared));
+    const AnalyzedQuery& analyzed = estimate.analysis();
     std::cout << analyzed.DebugString();
-    std::vector<int> order(spec.num_tables());
-    for (int t = 0; t < spec.num_tables(); ++t) order[t] = t;
-    if (spec.num_tables() > 1) {
+    std::vector<int> order(prepared.spec.num_tables());
+    for (int t = 0; t < prepared.spec.num_tables(); ++t) order[t] = t;
+    if (prepared.spec.num_tables() > 1) {
       std::cout << "estimation trace (table order):\n"
                 << analyzed.FormatTrace(analyzed.TraceOrder(order));
     }
-    std::cout << "full-join estimate: "
-              << FormatNumber(analyzed.EstimateFullJoin()) << "\n";
-    if (!spec.group_by.empty()) {
-      std::cout << "estimated groups: "
-                << FormatNumber(analyzed.EstimateGroupCount()) << "\n";
+    std::cout << "full-join estimate: " << FormatNumber(estimate.rows())
+              << "\n";
+    if (!prepared.spec.group_by.empty()) {
+      std::cout << "estimated groups: " << FormatNumber(estimate.groups())
+                << "\n";
     }
     return Status::OK();
   }
 
   Status Estimate(const std::string& sql) {
-    JOINEST_ASSIGN_OR_RETURN(QuerySpec spec, ParseQuery(catalog, sql));
+    const Session session = MakeSession();
+    JOINEST_ASSIGN_OR_RETURN(PreparedQuery prepared, session.Prepare(sql));
     TablePrinter table({"preset", "estimate (table order)"});
     for (AlgorithmPreset p : AllPresets()) {
+      // The prepared query is pinned to one snapshot, so every preset
+      // estimates against the same statistics.
       JOINEST_ASSIGN_OR_RETURN(
-          AnalyzedQuery analyzed,
-          AnalyzedQuery::Create(catalog, spec, PresetOptions(p)));
-      table.AddRow({PresetName(p),
-                    FormatNumber(analyzed.EstimateFullJoin())});
+          Session variant,
+          db.CreateSession(Session::Options().set_preset(p)));
+      JOINEST_ASSIGN_OR_RETURN(EstimateResult estimate,
+                               variant.Estimate(prepared));
+      table.AddRow({PresetName(p), FormatNumber(estimate.rows())});
     }
     table.Print(std::cout);
     return Status::OK();
   }
 
   Status Explain(const std::string& sql) {
-    JOINEST_ASSIGN_OR_RETURN(QuerySpec spec, ParseQuery(catalog, sql));
-    OptimizerOptions options;
-    options.estimation = PresetOptions(preset);
-    JOINEST_ASSIGN_OR_RETURN(OptimizedPlan plan,
-                             OptimizeQuery(catalog, spec, options));
+    const Session session = MakeSession();
+    JOINEST_ASSIGN_OR_RETURN(PlannedQuery plan, session.Optimize(sql));
     std::cout << "estimation: " << PresetName(preset)
-              << ", estimated cost " << FormatNumber(plan.estimated_cost)
+              << ", estimated cost " << FormatNumber(plan.estimated_cost())
               << "\n"
-              << PlanToString(*plan.root, catalog, spec);
+              << plan.ToString();
     return Status::OK();
   }
 
   Status Run(const std::string& sql) {
-    JOINEST_ASSIGN_OR_RETURN(QuerySpec spec, ParseQuery(catalog, sql));
-    OptimizerOptions options;
-    options.estimation = PresetOptions(preset);
-    JOINEST_ASSIGN_OR_RETURN(OptimizedPlan plan,
-                             OptimizeQuery(catalog, spec, options));
-    JOINEST_ASSIGN_OR_RETURN(ExecutionResult result,
-                             ExecutePlan(catalog, spec, *plan.root));
-    if (spec.count_star && !spec.group_by.empty()) {
-      std::cout << result.output_rows << " groups, total COUNT(*) = "
-                << result.count;
-    } else if (spec.count_star) {
-      std::cout << "COUNT(*) = " << result.count;
+    const Session session = MakeSession();
+    JOINEST_ASSIGN_OR_RETURN(PreparedQuery prepared, session.Prepare(sql));
+    JOINEST_ASSIGN_OR_RETURN(ExecuteResult result,
+                             session.Execute(prepared));
+    const ExecutionResult& exec = result.execution;
+    if (prepared.spec.count_star && !prepared.spec.group_by.empty()) {
+      std::cout << exec.output_rows << " groups, total COUNT(*) = "
+                << exec.count;
+    } else if (prepared.spec.count_star) {
+      std::cout << "COUNT(*) = " << exec.count;
     } else {
-      std::cout << result.output_rows << " rows";
+      std::cout << exec.output_rows << " rows";
     }
-    std::cout << " in " << FormatNumber(result.seconds * 1e3, 3) << " ms ("
+    std::cout << " in " << FormatNumber(exec.seconds * 1e3, 3) << " ms ("
               << PresetName(preset) << " plan)\n";
     return Status::OK();
   }
@@ -214,31 +235,42 @@ struct Shell {
   // inclusive wall-clock (an operator's time contains its children's) and
   // self time (inclusive minus children — where the time is actually spent).
   Status RunAnalyze(const std::string& sql) {
-    JOINEST_ASSIGN_OR_RETURN(QuerySpec spec, ParseQuery(catalog, sql));
-    OptimizerOptions options;
-    options.estimation = PresetOptions(preset);
-    JOINEST_ASSIGN_OR_RETURN(OptimizedPlan plan,
-                             OptimizeQuery(catalog, spec, options));
-    std::cout << PlanToString(*plan.root, catalog, spec);
-    JOINEST_ASSIGN_OR_RETURN(ExecutionResult result,
-                             ExecutePlan(catalog, spec, *plan.root));
+    const Session session = MakeSession();
+    JOINEST_ASSIGN_OR_RETURN(ExecuteResult result, session.Execute(sql));
+    std::cout << result.plan.ToString();
     TablePrinter table({"operator", "rows produced", "incl ms", "self ms"});
-    for (const OperatorStats& op : result.operators) {
+    for (const OperatorStats& op : result.execution.operators) {
       table.AddRow({op.name, FormatNumber(static_cast<double>(op.rows)),
                     FormatNumber(op.seconds * 1e3, 3),
                     FormatNumber(op.self_seconds * 1e3, 3)});
     }
     table.Print(std::cout);
-    std::cout << "total " << FormatNumber(result.seconds * 1e3, 3)
-              << " ms, COUNT/rows = " << result.count << "\n";
+    std::cout << "total " << FormatNumber(result.execution.seconds * 1e3, 3)
+              << " ms, COUNT/rows = " << result.execution.count << "\n";
     return Status::OK();
   }
 
   Status Truth(const std::string& sql) {
-    JOINEST_ASSIGN_OR_RETURN(QuerySpec spec, ParseQuery(catalog, sql));
-    JOINEST_ASSIGN_OR_RETURN(int64_t size, TrueResultSize(catalog, spec));
+    const Session session = MakeSession();
+    JOINEST_ASSIGN_OR_RETURN(PreparedQuery prepared, session.Prepare(sql));
+    JOINEST_ASSIGN_OR_RETURN(
+        int64_t size,
+        TrueResultSize(prepared.snapshot->catalog(), prepared.spec));
     std::cout << "true result size: " << size << "\n";
     return Status::OK();
+  }
+
+  void Snapshot() { std::cout << db.snapshot()->DebugString() << "\n"; }
+
+  Status Reanalyze() { return db.Analyze(); }
+
+  void CacheStats() {
+    const ServiceCacheStats stats = db.cache_stats();
+    std::cout << "cache: " << stats.size << "/" << db.options().cache_capacity()
+              << " entries, " << stats.hits << " hit(s), " << stats.misses
+              << " miss(es), " << stats.evictions << " evicted, "
+              << stats.invalidated << " invalidated (hit rate "
+              << FormatNumber(stats.hit_rate() * 100, 1) << "%)\n";
   }
 };
 
@@ -253,6 +285,7 @@ void PrintHelp() {
       "  stats_save <table> <path> | stats_load <table> <path>   (what-if)\n"
       "  analyze <sql> | estimate <sql> | explain <sql> | run <sql> |\n"
       "  runx <sql> (explain analyze) | truth <sql>\n"
+      "  snapshot | reanalyze | cache\n"
       "  help | quit\n";
 }
 
@@ -268,7 +301,7 @@ Status Dispatch(Shell& shell, const std::string& line) {
       iss >> scale;
       return shell.GenPaper(std::max<int64_t>(scale, 1));
     }
-    if (what == "example1") return BuildExample1Dataset(shell.catalog);
+    if (what == "example1") return shell.GenExample1();
     return InvalidArgument("gen paper [scale] | gen example1");
   }
   if (command == "load") {
@@ -305,6 +338,15 @@ Status Dispatch(Shell& shell, const std::string& line) {
     std::string name;
     iss >> name;
     return shell.SetPreset(name);
+  }
+  if (command == "snapshot") {
+    shell.Snapshot();
+    return Status::OK();
+  }
+  if (command == "reanalyze") return shell.Reanalyze();
+  if (command == "cache") {
+    shell.CacheStats();
+    return Status::OK();
   }
   std::string rest;
   std::getline(iss, rest);

@@ -1,0 +1,40 @@
+// joinest — public entry point.
+//
+// One include pulls in the estimation service facade and everything an
+// application needs to drive it:
+//
+//   #include "joinest/joinest.h"
+//
+//   using namespace joinest;
+//   auto db = Database::Open().value();
+//   Catalog tables;
+//   BuildPaperDataset(tables, {});
+//   JOINEST_CHECK(db->ImportTables(std::move(tables)).ok());
+//   auto session = db->CreateSession(
+//       Session::Options().set_preset(AlgorithmPreset::kELS));
+//   auto estimate = session->Estimate(
+//       "SELECT COUNT(*) FROM S, M WHERE S.s = M.m");
+//
+// The facade (Database / Session / PreparedQuery / EstimateResult /
+// PlannedQuery) lives in service/database.h; see docs/API.md for the
+// lifecycle, snapshot semantics and cache-key contract. The lower-layer
+// headers re-exported here (catalog, analyze, presets, explain analyze)
+// are the types that cross the facade boundary.
+
+#ifndef JOINEST_JOINEST_H_
+#define JOINEST_JOINEST_H_
+
+#include "common/status.h"          // Status, StatusOr.
+#include "estimator/presets.h"      // AlgorithmPreset, StatsPreset.
+#include "obs/explain_analyze.h"    // ExplainAnalyzeReport.
+#include "obs/metrics.h"            // MetricsRegistry (scraping).
+#include "query/query_spec.h"       // QuerySpec.
+#include "service/cache.h"          // ServiceCacheStats.
+#include "service/database.h"       // Database, Session, results.
+#include "service/snapshot.h"       // CatalogSnapshot, SnapshotBuilder.
+#include "storage/analyze.h"        // AnalyzeOptions.
+#include "storage/catalog.h"        // Catalog, TableStats.
+#include "storage/datasets.h"       // Paper dataset builders.
+#include "storage/table.h"          // Table.
+
+#endif  // JOINEST_JOINEST_H_

@@ -1,0 +1,535 @@
+#include "service/database.h"
+
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "query/parser.h"
+#include "service/fingerprint.h"
+
+namespace joinest {
+
+// ---------------------------------------------------------- Validation
+
+Status ValidateAnalyzeOptions(const AnalyzeOptions& options) {
+  if (!(options.sample_fraction > 0.0) || options.sample_fraction > 1.0 ||
+      !std::isfinite(options.sample_fraction)) {
+    return InvalidArgument("analyze: sample_fraction must be in (0, 1]");
+  }
+  if (options.histogram_buckets < 1) {
+    return InvalidArgument("analyze: histogram_buckets must be >= 1");
+  }
+  if (options.end_biased_singletons < 0) {
+    return InvalidArgument("analyze: end_biased_singletons must be >= 0");
+  }
+  if (options.num_partitions < 1) {
+    return InvalidArgument("analyze: num_partitions must be >= 1");
+  }
+  if (options.sketch.hll_precision < 4 || options.sketch.hll_precision > 18) {
+    return InvalidArgument("analyze: sketch.hll_precision must be in [4, 18]");
+  }
+  if (options.sketch.cms_depth < 1 || options.sketch.cms_width < 1) {
+    return InvalidArgument("analyze: sketch CMS dimensions must be >= 1");
+  }
+  if (options.sketch.top_k < 0) {
+    return InvalidArgument("analyze: sketch.top_k must be >= 0");
+  }
+  if (options.sketch.reservoir_capacity < 1) {
+    return InvalidArgument("analyze: sketch.reservoir_capacity must be >= 1");
+  }
+  return Status::OK();
+}
+
+Status ValidateEstimationOptions(const EstimationOptions& options) {
+  // Every combination of the estimation knobs is currently meaningful; the
+  // hook exists so later knobs get a single validation point.
+  (void)options;
+  return Status::OK();
+}
+
+Status ValidateOptimizerOptions(const OptimizerOptions& options) {
+  JOINEST_RETURN_IF_ERROR(ValidateEstimationOptions(options.estimation));
+  if (options.methods.empty()) {
+    return InvalidArgument("optimizer: the join-method list must not be "
+                           "empty");
+  }
+  if (options.randomized.restarts < 1) {
+    return InvalidArgument("optimizer: randomized.restarts must be >= 1");
+  }
+  if (options.randomized.max_moves < 1) {
+    return InvalidArgument("optimizer: randomized.max_moves must be >= 1");
+  }
+  if (!(options.randomized.initial_temperature > 0.0) ||
+      !std::isfinite(options.randomized.initial_temperature)) {
+    return InvalidArgument(
+        "optimizer: randomized.initial_temperature must be positive");
+  }
+  if (!(options.randomized.cooling > 0.0) ||
+      !(options.randomized.cooling < 1.0)) {
+    return InvalidArgument("optimizer: randomized.cooling must be in (0, 1)");
+  }
+  if (options.allow_bushy &&
+      options.enumerator !=
+          OptimizerOptions::Enumerator::kDynamicProgramming) {
+    return InvalidArgument("optimizer: allow_bushy requires the "
+                           "dynamic-programming enumerator");
+  }
+  for (double cost : {options.cost.scan_tuple_cost, options.cost.filter_cost,
+                      options.cost.compare_cost, options.cost.hash_build_cost,
+                      options.cost.hash_probe_cost, options.cost.sort_factor,
+                      options.cost.merge_cost, options.cost.index_build_cost,
+                      options.cost.index_probe_cost,
+                      options.cost.output_tuple_cost}) {
+    if (!std::isfinite(cost) || cost < 0.0) {
+      return InvalidArgument("optimizer: cost parameters must be finite and "
+                             ">= 0");
+    }
+  }
+  return Status::OK();
+}
+
+// ------------------------------------------------------ Session options
+
+Session::Options& Session::Options::set_preset(AlgorithmPreset preset) {
+  optimizer_.estimation = PresetOptions(preset);
+  return *this;
+}
+
+Session::Options& Session::Options::set_estimation(
+    EstimationOptions estimation) {
+  optimizer_.estimation = std::move(estimation);
+  return *this;
+}
+
+Session::Options& Session::Options::set_optimizer(OptimizerOptions optimizer) {
+  optimizer_ = std::move(optimizer);
+  return *this;
+}
+
+Session::Options& Session::Options::set_use_cache(bool use_cache) {
+  use_cache_ = use_cache;
+  return *this;
+}
+
+Session::Options& Session::Options::set_capture_trace(bool capture) {
+  capture_trace_ = capture;
+  return *this;
+}
+
+Session::Options& Session::Options::set_with_true_cardinalities(
+    bool with_true) {
+  with_true_cardinalities_ = with_true;
+  return *this;
+}
+
+Status Session::Options::Validate() const {
+  return ValidateOptimizerOptions(optimizer_);
+}
+
+// ----------------------------------------------------- Database options
+
+Database::Options& Database::Options::set_analyze(AnalyzeOptions analyze) {
+  analyze_ = std::move(analyze);
+  return *this;
+}
+
+Database::Options& Database::Options::set_cache_capacity(int64_t entries) {
+  cache_capacity_ = entries;
+  return *this;
+}
+
+Database::Options& Database::Options::set_cache_shards(int shards) {
+  cache_shards_ = shards;
+  return *this;
+}
+
+Database::Options& Database::Options::set_cache_label(std::string label) {
+  cache_label_ = std::move(label);
+  return *this;
+}
+
+Status Database::Options::Validate() const {
+  if (cache_capacity_ < 1 || cache_capacity_ > (int64_t{1} << 30)) {
+    return InvalidArgument("database: cache_capacity must be in [1, 2^30]");
+  }
+  if (cache_shards_ < 1 || cache_shards_ > 4096) {
+    return InvalidArgument("database: cache_shards must be in [1, 4096]");
+  }
+  if (cache_label_.empty()) {
+    return InvalidArgument("database: cache_label must not be empty");
+  }
+  return ValidateAnalyzeOptions(analyze_);
+}
+
+// ------------------------------------------------------------- Payloads
+
+struct EstimateResult::Payload {
+  std::shared_ptr<const CatalogSnapshot> snapshot;  // Keeps analyzed valid.
+  AnalyzedQuery analyzed;
+  double rows = 0;
+  double groups = 0;
+  std::vector<RuleEstimate> per_rule;
+};
+
+double EstimateResult::rows() const {
+  JOINEST_CHECK(payload_ != nullptr);
+  return payload_->rows;
+}
+
+double EstimateResult::groups() const {
+  JOINEST_CHECK(payload_ != nullptr);
+  return payload_->groups;
+}
+
+const std::vector<EstimateResult::RuleEstimate>& EstimateResult::per_rule()
+    const {
+  JOINEST_CHECK(payload_ != nullptr);
+  return payload_->per_rule;
+}
+
+const AnalyzedQuery& EstimateResult::analysis() const {
+  JOINEST_CHECK(payload_ != nullptr);
+  return payload_->analyzed;
+}
+
+uint64_t EstimateResult::snapshot_version() const {
+  JOINEST_CHECK(payload_ != nullptr);
+  return payload_->snapshot->version();
+}
+
+struct PlannedQuery::Payload {
+  std::shared_ptr<const CatalogSnapshot> snapshot;  // Keeps the plan valid.
+  QuerySpec spec;
+  OptimizedPlan plan;
+};
+
+const PlanNode& PlannedQuery::plan() const {
+  JOINEST_CHECK(payload_ != nullptr);
+  return *payload_->plan.root;
+}
+
+double PlannedQuery::estimated_cost() const {
+  JOINEST_CHECK(payload_ != nullptr);
+  return payload_->plan.estimated_cost;
+}
+
+double PlannedQuery::estimated_rows() const {
+  JOINEST_CHECK(payload_ != nullptr);
+  return payload_->plan.estimated_rows;
+}
+
+const std::vector<int>& PlannedQuery::join_order() const {
+  JOINEST_CHECK(payload_ != nullptr);
+  return payload_->plan.join_order;
+}
+
+const std::vector<double>& PlannedQuery::intermediate_estimates() const {
+  JOINEST_CHECK(payload_ != nullptr);
+  return payload_->plan.intermediate_estimates;
+}
+
+std::string PlannedQuery::ToString() const {
+  JOINEST_CHECK(payload_ != nullptr);
+  return PlanToString(*payload_->plan.root, payload_->snapshot->catalog(),
+                      payload_->spec);
+}
+
+uint64_t PlannedQuery::snapshot_version() const {
+  JOINEST_CHECK(payload_ != nullptr);
+  return payload_->snapshot->version();
+}
+
+// -------------------------------------------------------------- Session
+
+namespace {
+
+// Cold/warm estimate latency, registered once (the registry lookup takes a
+// mutex — too hot for the cache-hit path).
+HistogramMetric& EstimateSeconds(bool warm) {
+  static HistogramMetric& cold = MetricsRegistry::Global().GetHistogram(
+      "service_estimate_seconds", "Session::Estimate latency",
+      HistogramBuckets::Seconds(), {{"path", "cold"}});
+  static HistogramMetric& hot = MetricsRegistry::Global().GetHistogram(
+      "service_estimate_seconds", "Session::Estimate latency",
+      HistogramBuckets::Seconds(), {{"path", "warm"}});
+  return warm ? hot : cold;
+}
+
+Status CheckPrepared(const PreparedQuery& prepared) {
+  if (prepared.snapshot == nullptr) {
+    return InvalidArgument("prepared query carries no snapshot (was it "
+                           "default-constructed?)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<PreparedQuery> Session::Prepare(const std::string& sql) const {
+  PreparedQuery prepared;
+  prepared.snapshot = database_->snapshot();
+  prepared.sql = sql;
+  JOINEST_ASSIGN_OR_RETURN(prepared.spec,
+                           ParseQuery(prepared.snapshot->catalog(), sql));
+  prepared.fingerprint = QuerySpecFingerprint(prepared.spec);
+  return prepared;
+}
+
+StatusOr<EstimateResult> Session::Estimate(
+    const PreparedQuery& prepared) const {
+  JOINEST_RETURN_IF_ERROR(CheckPrepared(prepared));
+  const ServiceCacheKey key{prepared.fingerprint,
+                            prepared.snapshot->version(),
+                            EstimationOptionsDigest(options_.estimation()),
+                            CacheEntryKind::kAnalysis};
+  if (options_.use_cache()) {
+    const auto start = std::chrono::steady_clock::now();
+    if (std::shared_ptr<const void> hit = database_->cache().Lookup(key)) {
+      EstimateSeconds(/*warm=*/true)
+          .Observe(std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count());
+      EstimateResult result;
+      result.payload_ =
+          std::static_pointer_cast<const EstimateResult::Payload>(hit);
+      result.cache_hit_ = true;
+      return result;
+    }
+  }
+
+  Timer timer(&EstimateSeconds(/*warm=*/false));
+  const Catalog& catalog = prepared.snapshot->catalog();
+  JOINEST_ASSIGN_OR_RETURN(
+      AnalyzedQuery analyzed,
+      AnalyzedQuery::Create(catalog, prepared.spec, options_.estimation()));
+
+  auto payload = std::make_shared<EstimateResult::Payload>(
+      EstimateResult::Payload{prepared.snapshot, std::move(analyzed), 0, 0,
+                              {}});
+  payload->rows = payload->analyzed.EstimateFullJoin();
+  payload->groups = payload->analyzed.EstimateGroupCount();
+
+  // The paper's comparison rules, computed while everything is hot; a
+  // cache hit then answers the whole §8 row at once.
+  static constexpr struct {
+    const char* name;
+    AlgorithmPreset preset;
+  } kRules[] = {{"LS", AlgorithmPreset::kELS},
+                {"M", AlgorithmPreset::kSM},
+                {"SS", AlgorithmPreset::kSSS}};
+  for (const auto& rule : kRules) {
+    JOINEST_ASSIGN_OR_RETURN(
+        AnalyzedQuery variant,
+        AnalyzedQuery::Create(catalog, prepared.spec,
+                              PresetOptions(rule.preset)));
+    payload->per_rule.push_back(
+        EstimateResult::RuleEstimate{rule.name, variant.EstimateFullJoin()});
+  }
+
+  if (options_.use_cache()) database_->cache().Insert(key, payload);
+
+  EstimateResult result;
+  result.payload_ = std::move(payload);
+  result.cache_hit_ = false;
+  return result;
+}
+
+StatusOr<EstimateResult> Session::Estimate(const std::string& sql) const {
+  JOINEST_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(sql));
+  return Estimate(prepared);
+}
+
+StatusOr<PlannedQuery> Session::Optimize(const PreparedQuery& prepared) const {
+  JOINEST_RETURN_IF_ERROR(CheckPrepared(prepared));
+  const ServiceCacheKey key{prepared.fingerprint,
+                            prepared.snapshot->version(),
+                            OptimizerOptionsDigest(options_.optimizer()),
+                            CacheEntryKind::kPlan};
+  if (options_.use_cache()) {
+    if (std::shared_ptr<const void> hit = database_->cache().Lookup(key)) {
+      PlannedQuery result;
+      result.payload_ =
+          std::static_pointer_cast<const PlannedQuery::Payload>(hit);
+      result.cache_hit_ = true;
+      return result;
+    }
+  }
+
+  JOINEST_ASSIGN_OR_RETURN(
+      OptimizedPlan plan,
+      OptimizeQuery(prepared.snapshot->catalog(), prepared.spec,
+                    options_.optimizer()));
+  auto payload = std::make_shared<PlannedQuery::Payload>(PlannedQuery::Payload{
+      prepared.snapshot, prepared.spec, std::move(plan)});
+
+  if (options_.use_cache()) database_->cache().Insert(key, payload);
+
+  PlannedQuery result;
+  result.payload_ = std::move(payload);
+  result.cache_hit_ = false;
+  return result;
+}
+
+StatusOr<PlannedQuery> Session::Optimize(const std::string& sql) const {
+  JOINEST_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(sql));
+  return Optimize(prepared);
+}
+
+StatusOr<ExecuteResult> Session::Execute(const PreparedQuery& prepared) const {
+  JOINEST_ASSIGN_OR_RETURN(PlannedQuery planned, Optimize(prepared));
+  JOINEST_ASSIGN_OR_RETURN(
+      ExecutionResult execution,
+      ExecutePlan(prepared.snapshot->catalog(), prepared.spec,
+                  planned.plan()));
+  ExecuteResult result;
+  result.execution = std::move(execution);
+  result.plan = std::move(planned);
+  return result;
+}
+
+StatusOr<ExecuteResult> Session::Execute(const std::string& sql) const {
+  JOINEST_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(sql));
+  return Execute(prepared);
+}
+
+StatusOr<ExplainAnalyzeReport> Session::ExplainAnalyze(
+    const PreparedQuery& prepared) const {
+  JOINEST_ASSIGN_OR_RETURN(PlannedQuery planned, Optimize(prepared));
+  ExplainAnalyzeOptions ea;
+  ea.estimation = options_.estimation();
+  ea.with_true_cardinalities = options_.with_true_cardinalities();
+  ea.capture_trace = options_.capture_trace();
+  return ExplainAnalyzePlan(prepared.snapshot->catalog(), prepared.spec,
+                            planned.plan(), ea);
+}
+
+StatusOr<ExplainAnalyzeReport> Session::ExplainAnalyze(
+    const std::string& sql) const {
+  JOINEST_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(sql));
+  return ExplainAnalyze(prepared);
+}
+
+// ------------------------------------------------------------- Database
+
+StatusOr<std::unique_ptr<Database>> Database::Open() {
+  return Open(Options());
+}
+
+StatusOr<std::unique_ptr<Database>> Database::Open(Options options) {
+  JOINEST_RETURN_IF_ERROR(options.Validate());
+  return std::make_unique<Database>(std::move(options));
+}
+
+Database::Database() : Database(Options()) {}
+
+Database::Database(Options options) : options_(std::move(options)) {
+  const Status valid = options_.Validate();
+  JOINEST_CHECK(valid.ok()) << "Database options invalid: " << valid;
+  cache_ = std::make_unique<ServiceCache>(options_.cache_capacity(),
+                                          options_.cache_shards(),
+                                          options_.cache_label());
+  // Version 0: the empty bootstrap snapshot, so snapshot() is never null.
+  Publish(SnapshotBuilder().Build(0));
+}
+
+template <typename Fn>
+Status Database::Mutate(Fn&& mutate) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  SnapshotBuilder builder(*snapshot());
+  JOINEST_RETURN_IF_ERROR(mutate(builder));
+  Publish(std::move(builder).Build(next_version_++));
+  return Status::OK();
+}
+
+void Database::Publish(std::shared_ptr<const CatalogSnapshot> snapshot) {
+  const uint64_t version = snapshot->version();
+#if JOINEST_SERVICE_ATOMIC_SNAPSHOT
+  snapshot_.store(std::move(snapshot), std::memory_order_release);
+#else
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    snapshot_ = std::move(snapshot);
+  }
+#endif
+  // Entries keyed to superseded versions can never hit again; reclaim them
+  // eagerly rather than waiting for LRU pressure.
+  cache_->InvalidateBefore(version);
+  MetricsRegistry::Global()
+      .GetGauge("service_snapshot_version",
+                "version of the currently published catalog snapshot",
+                {{"db", options_.cache_label()}})
+      .Set(static_cast<double>(version));
+}
+
+std::shared_ptr<const CatalogSnapshot> Database::snapshot() const {
+#if JOINEST_SERVICE_ATOMIC_SNAPSHOT
+  return snapshot_.load(std::memory_order_acquire);
+#else
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_;
+#endif
+}
+
+Status Database::LoadTable(const std::string& name, Table table) {
+  return LoadTable(name, std::move(table), options_.analyze());
+}
+
+Status Database::LoadTable(const std::string& name, Table table,
+                           const AnalyzeOptions& options) {
+  JOINEST_RETURN_IF_ERROR(ValidateAnalyzeOptions(options));
+  return Mutate([&](SnapshotBuilder& builder) -> Status {
+    JOINEST_ASSIGN_OR_RETURN(
+        [[maybe_unused]] int id,
+        builder.AddTable(name, std::move(table), options));
+    return Status::OK();
+  });
+}
+
+Status Database::LoadTableWithStats(const std::string& name, Table table,
+                                    TableStats stats) {
+  return Mutate([&](SnapshotBuilder& builder) -> Status {
+    JOINEST_ASSIGN_OR_RETURN(
+        [[maybe_unused]] int id,
+        builder.AddTableWithStats(name, std::move(table), std::move(stats)));
+    return Status::OK();
+  });
+}
+
+Status Database::ImportTables(Catalog source) {
+  return Mutate([&](SnapshotBuilder& builder) -> Status {
+    return builder.ImportTables(source);
+  });
+}
+
+Status Database::Analyze() { return Analyze(options_.analyze()); }
+
+Status Database::Analyze(const AnalyzeOptions& options) {
+  JOINEST_RETURN_IF_ERROR(ValidateAnalyzeOptions(options));
+  return Mutate([&](SnapshotBuilder& builder) -> Status {
+    return builder.ReanalyzeAll(options);
+  });
+}
+
+Status Database::AnalyzeTable(const std::string& name,
+                              const AnalyzeOptions& options) {
+  JOINEST_RETURN_IF_ERROR(ValidateAnalyzeOptions(options));
+  return Mutate([&](SnapshotBuilder& builder) -> Status {
+    JOINEST_ASSIGN_OR_RETURN(int id, builder.ResolveTable(name));
+    return builder.Reanalyze(id, options);
+  });
+}
+
+Status Database::SetTableStats(const std::string& name, TableStats stats) {
+  return Mutate([&](SnapshotBuilder& builder) -> Status {
+    JOINEST_ASSIGN_OR_RETURN(int id, builder.ResolveTable(name));
+    return builder.SetStats(id, std::move(stats));
+  });
+}
+
+StatusOr<Session> Database::CreateSession(Session::Options options) const {
+  JOINEST_RETURN_IF_ERROR(options.Validate());
+  return Session(const_cast<Database*>(this), std::move(options));
+}
+
+}  // namespace joinest

@@ -1,0 +1,72 @@
+// Canonical fingerprints for the estimation service's cache keys.
+//
+// A cache entry is valid iff three things match: WHAT is being asked (the
+// query), AGAINST WHICH statistics (the catalog snapshot) and UNDER WHICH
+// configuration (the estimation / optimizer options). Each dimension gets
+// its own 64-bit digest:
+//
+//   * QuerySpecFingerprint — semantic identity of a resolved QuerySpec.
+//     Predicates are canonicalised (operand order normalised via
+//     Predicate::Canonical) and combined order-independently, so
+//     `WHERE a.x = b.y AND a.k < 3` and `WHERE a.k < 3 AND b.y = a.x`
+//     collide on purpose. Table aliases do not participate (they change
+//     names, not semantics); catalog ids, projection, COUNT(*) and
+//     GROUP BY do.
+//   * EstimationOptionsDigest / OptimizerOptionsDigest / AnalyzeOptionsDigest
+//     — field-wise digests of the knob structs. Any knob that can change a
+//     result participates.
+//   * TableStatsDigest / tie-breaking digests used by CatalogSnapshot.
+//
+// All digests are FNV-1a over the fields' raw bytes — deterministic within
+// a process run and across runs (no pointer values, no container addresses).
+
+#ifndef JOINEST_SERVICE_FINGERPRINT_H_
+#define JOINEST_SERVICE_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "estimator/analyzed_query.h"
+#include "optimizer/optimizer.h"
+#include "query/query_spec.h"
+#include "stats/column_stats.h"
+#include "storage/analyze.h"
+
+namespace joinest {
+
+// Incremental FNV-1a (64-bit). Mix* methods fold a field into the state;
+// the order of Mix calls is part of the digest, so callers fix a canonical
+// field order.
+class Fingerprint {
+ public:
+  uint64_t digest() const { return state_; }
+
+  void MixBytes(const void* data, size_t size);
+  void MixU64(uint64_t v);
+  void MixI64(int64_t v) { MixU64(static_cast<uint64_t>(v)); }
+  void MixInt(int v) { MixI64(v); }
+  void MixBool(bool v) { MixU64(v ? 1 : 0); }
+  // Bit pattern, not value: -0.0 and 0.0 digest differently, NaNs stably.
+  void MixDouble(double v);
+  void MixString(const std::string& s);
+
+ private:
+  uint64_t state_ = 14695981039346656037ull;  // FNV offset basis.
+};
+
+// Semantic identity of a resolved query (see file comment).
+uint64_t QuerySpecFingerprint(const QuerySpec& spec);
+
+// Field-wise digests of the option structs.
+uint64_t EstimationOptionsDigest(const EstimationOptions& options);
+uint64_t OptimizerOptionsDigest(const OptimizerOptions& options);
+uint64_t AnalyzeOptionsDigest(const AnalyzeOptions& options);
+
+// Digest of one table's statistics (row count, per-column d/min/max/
+// source/histogram shape). CatalogSnapshot folds these per-table digests
+// (plus names and schemas) into its stats_digest.
+uint64_t TableStatsDigest(const TableStats& stats);
+
+}  // namespace joinest
+
+#endif  // JOINEST_SERVICE_FINGERPRINT_H_

@@ -1,22 +1,46 @@
 #include "storage/catalog.h"
 
+#include "common/check.h"
 #include "common/logging.h"
 
 namespace joinest {
 
+Status Catalog::SealedError(const char* operation) const {
+  // In contract builds this aborts — mutating a published snapshot's
+  // catalog is a programming error, not a runtime condition. Release
+  // builds degrade to a recoverable error Status.
+  JOINEST_DCHECK(!sealed_)
+      << "Catalog::" << operation
+      << " on a sealed catalog (published snapshots are immutable; "
+      << "mutate through a SnapshotBuilder instead)";
+  return Internal(std::string("catalog is sealed; ") + operation +
+                  " must go through a SnapshotBuilder");
+}
+
 StatusOr<int> Catalog::AddTable(const std::string& name, Table table,
                                 const AnalyzeOptions& options) {
+  if (sealed_) return SealedError("AddTable");
   TableStats stats = AnalyzeTable(table, options);
   return AddTableWithStats(name, std::move(table), std::move(stats));
 }
 
 StatusOr<int> Catalog::AddTableWithStats(const std::string& name, Table table,
                                          TableStats stats) {
+  return AddSharedTable(name,
+                        std::make_shared<const Table>(std::move(table)),
+                        std::move(stats));
+}
+
+StatusOr<int> Catalog::AddSharedTable(const std::string& name,
+                                      std::shared_ptr<const Table> table,
+                                      TableStats stats) {
+  if (sealed_) return SealedError("AddSharedTable");
+  JOINEST_CHECK(table != nullptr);
   if (by_name_.count(name) > 0) {
     return AlreadyExists("table '" + name + "' already registered");
   }
   JOINEST_CHECK_EQ(static_cast<int>(stats.columns.size()),
-                   table.num_columns());
+                   table->num_columns());
   const int id = num_tables();
   entries_.push_back(std::make_unique<CatalogEntry>(
       CatalogEntry{name, std::move(table), std::move(stats)}));
@@ -37,13 +61,16 @@ const CatalogEntry& Catalog::entry(int table_id) const {
 }
 
 Status Catalog::Reanalyze(int table_id, const AnalyzeOptions& options) {
+  if (sealed_) return SealedError("Reanalyze");
   JOINEST_CHECK_GE(table_id, 0);
   JOINEST_CHECK_LT(table_id, num_tables());
-  entries_[table_id]->stats = AnalyzeTable(entries_[table_id]->table, options);
+  entries_[table_id]->stats =
+      AnalyzeTable(*entries_[table_id]->table, options);
   return Status::OK();
 }
 
 Status Catalog::ReanalyzeAll(const AnalyzeOptions& options) {
+  if (sealed_) return SealedError("ReanalyzeAll");
   for (int t = 0; t < num_tables(); ++t) {
     const Status status = Reanalyze(t, options);
     if (!status.ok()) return status;
@@ -52,10 +79,11 @@ Status Catalog::ReanalyzeAll(const AnalyzeOptions& options) {
 }
 
 Status Catalog::SetStats(int table_id, TableStats stats) {
+  if (sealed_) return SealedError("SetStats");
   JOINEST_CHECK_GE(table_id, 0);
   JOINEST_CHECK_LT(table_id, num_tables());
   if (static_cast<int>(stats.columns.size()) !=
-      entries_[table_id]->table.num_columns()) {
+      entries_[table_id]->table->num_columns()) {
     return InvalidArgument("stats column count does not match the schema");
   }
   entries_[table_id]->stats = std::move(stats);

@@ -3,6 +3,18 @@
 // Tables get dense integer ids (0, 1, ...) in registration order; queries,
 // the rewrite engine and the optimizer all refer to tables by id so that
 // table sets can be represented as bitmasks.
+//
+// Table payloads are held as shared_ptr<const Table>: the bulk data is
+// immutable from the moment it enters a catalog, so catalogs derived from
+// one another (the service layer's CatalogSnapshot chain) share it for
+// free — republishing statistics never copies a row.
+//
+// A catalog can be *sealed* (Seal()), after which every mutating entry
+// point fails: a JOINEST_DCHECK fires in contract builds and an error
+// Status is returned otherwise. The service layer seals every catalog it
+// publishes inside a CatalogSnapshot, which is what makes "ANALYZE under a
+// live reader" impossible by construction — mutation happens only on the
+// unsealed catalog a SnapshotBuilder owns privately.
 
 #ifndef JOINEST_STORAGE_CATALOG_H_
 #define JOINEST_STORAGE_CATALOG_H_
@@ -21,7 +33,7 @@ namespace joinest {
 
 struct CatalogEntry {
   std::string name;
-  Table table;
+  std::shared_ptr<const Table> table;
   TableStats stats;
 };
 
@@ -45,11 +57,21 @@ class Catalog {
   StatusOr<int> AddTableWithStats(const std::string& name, Table table,
                                   TableStats stats);
 
+  // Registers an already-shared table payload (the snapshot builder's path:
+  // derived catalogs share the rows, only the statistics differ).
+  StatusOr<int> AddSharedTable(const std::string& name,
+                               std::shared_ptr<const Table> table,
+                               TableStats stats);
+
   StatusOr<int> ResolveTable(const std::string& name) const;
 
   int num_tables() const { return static_cast<int>(entries_.size()); }
   const CatalogEntry& entry(int table_id) const;
-  const Table& table(int table_id) const { return entry(table_id).table; }
+  const Table& table(int table_id) const { return *entry(table_id).table; }
+  // The shared payload itself, for catalogs that want to alias this table.
+  const std::shared_ptr<const Table>& table_ptr(int table_id) const {
+    return entry(table_id).table;
+  }
   const TableStats& stats(int table_id) const { return entry(table_id).stats; }
   const std::string& table_name(int table_id) const {
     return entry(table_id).name;
@@ -67,9 +89,20 @@ class Catalog {
   // serialised stats). The column count must match the schema.
   Status SetStats(int table_id, TableStats stats);
 
+  // Freezes the catalog: every later mutation attempt DCHECK-fails (and
+  // returns an error Status in builds with contracts compiled out).
+  // Irreversible — a sealed catalog stays sealed for life.
+  void Seal() { sealed_ = true; }
+  bool sealed() const { return sealed_; }
+
  private:
+  // Error (after the contract fires) used by every mutator on a sealed
+  // catalog.
+  Status SealedError(const char* operation) const;
+
   std::vector<std::unique_ptr<CatalogEntry>> entries_;
   std::unordered_map<std::string, int> by_name_;
+  bool sealed_ = false;
 };
 
 }  // namespace joinest

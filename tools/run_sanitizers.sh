@@ -5,10 +5,12 @@
 #   * asan_ubsan — AddressSanitizer + UndefinedBehaviorSanitizer over the
 #     full ctest suite;
 #   * tsan — ThreadSanitizer over the tests that exercise concurrency: the
-#     partitioned sketch ANALYZE path (one thread per row-range partition)
-#     and the morsel-parallel executor (parity_test drives TrueResultSize
+#     partitioned sketch ANALYZE path (one thread per row-range partition),
+#     the morsel-parallel executor (parity_test drives TrueResultSize
 #     under JOINEST_THREADS=8; executor_test covers the shared read-only
-#     hash tables it probes).
+#     hash tables it probes), and the estimation service (service_test
+#     races sessions against concurrent ANALYZE snapshot republishes and
+#     hammers the sharded result cache).
 #
 # Usage: tools/run_sanitizers.sh [build-root]   (default: build-sanitize)
 
@@ -34,6 +36,6 @@ export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
 export TSAN_OPTIONS="halt_on_error=1"
 
 run_job asan_ubsan "address,undefined" ""
-run_job tsan "thread" "-R 'sketch_test|storage_test|parity_test|executor_test'"
+run_job tsan "thread" "-R 'sketch_test|storage_test|parity_test|executor_test|service_test'"
 
 echo "All sanitizer jobs passed."
