@@ -18,6 +18,8 @@
 //   estimate <sql>           estimates under ALL presets side by side
 //   explain <sql>            optimize and print the chosen plan
 //   run <sql>                optimize, execute, report count and time
+//   pt <on|off>              toggle predicate transfer (Bloom semi-join
+//                            reduction + runtime selectivity feedback)
 //   truth <sql>              exact result size via the reference executor
 //   snapshot                 show the published catalog snapshot
 //   reanalyze                re-collect statistics (publishes a snapshot)
@@ -43,11 +45,17 @@ namespace {
 struct Shell {
   Database db;
   AlgorithmPreset preset = AlgorithmPreset::kELS;
+  // Predicate transfer (pt on|off): Bloom-filter semi-join reduction before
+  // execution, with observed pass rates feeding later estimates.
+  bool predicate_transfer = false;
 
   // Per-command session under the current preset: sessions are cheap
   // views, and recreating one picks up preset changes immediately.
   Session MakeSession() const {
-    return db.CreateSession(Session::Options().set_preset(preset)).value();
+    return db.CreateSession(Session::Options()
+                                .set_preset(preset)
+                                .set_predicate_transfer(predicate_transfer))
+        .value();
   }
 
   const Catalog& catalog() const { return db.snapshot()->catalog(); }
@@ -212,11 +220,44 @@ struct Shell {
     return Status::OK();
   }
 
+  Status SetPredicateTransfer(const std::string& arg) {
+    if (arg == "on") {
+      predicate_transfer = true;
+    } else if (arg == "off") {
+      predicate_transfer = false;
+    } else {
+      return InvalidArgument("pt on|off");
+    }
+    std::cout << "predicate transfer: " << (predicate_transfer ? "on" : "off")
+              << "\n";
+    return Status::OK();
+  }
+
+  void PrintPtSummary(const PtResult& pt) {
+    TablePrinter table(
+        {"pass", "table.column", "probed", "passed", "pass rate"});
+    for (const PtFilterStats& f : pt.filters) {
+      table.AddRow({f.forward ? "fwd" : "bwd",
+                    f.table_name + "." + f.column_name,
+                    FormatNumber(static_cast<double>(f.probed)),
+                    FormatNumber(static_cast<double>(f.passed)),
+                    FormatNumber(f.pass_rate * 100.0, 1) + "%"});
+    }
+    table.Print(std::cout);
+    std::cout << "predicate transfer pruned "
+              << FormatNumber(static_cast<double>(pt.rows_pruned()))
+              << " scan rows in " << FormatNumber(pt.seconds * 1e3, 3)
+              << " ms\n";
+  }
+
   Status Run(const std::string& sql) {
     const Session session = MakeSession();
     JOINEST_ASSIGN_OR_RETURN(PreparedQuery prepared, session.Prepare(sql));
     JOINEST_ASSIGN_OR_RETURN(ExecuteResult result,
                              session.Execute(prepared));
+    if (result.predicate_transfer != nullptr) {
+      PrintPtSummary(*result.predicate_transfer);
+    }
     const ExecutionResult& exec = result.execution;
     if (prepared.spec.count_star && !prepared.spec.group_by.empty()) {
       std::cout << exec.output_rows << " groups, total COUNT(*) = "
@@ -238,6 +279,9 @@ struct Shell {
     const Session session = MakeSession();
     JOINEST_ASSIGN_OR_RETURN(ExecuteResult result, session.Execute(sql));
     std::cout << result.plan.ToString();
+    if (result.predicate_transfer != nullptr) {
+      PrintPtSummary(*result.predicate_transfer);
+    }
     TablePrinter table({"operator", "rows produced", "incl ms", "self ms"});
     for (const OperatorStats& op : result.execution.operators) {
       table.AddRow({op.name, FormatNumber(static_cast<double>(op.rows)),
@@ -285,6 +329,8 @@ void PrintHelp() {
       "  stats_save <table> <path> | stats_load <table> <path>   (what-if)\n"
       "  analyze <sql> | estimate <sql> | explain <sql> | run <sql> |\n"
       "  runx <sql> (explain analyze) | truth <sql>\n"
+      "  pt <on|off>   (predicate transfer: Bloom semi-join reduction +\n"
+      "                 runtime selectivities for later estimates)\n"
       "  snapshot | reanalyze | cache\n"
       "  help | quit\n";
 }
@@ -338,6 +384,11 @@ Status Dispatch(Shell& shell, const std::string& line) {
     std::string name;
     iss >> name;
     return shell.SetPreset(name);
+  }
+  if (command == "pt") {
+    std::string arg;
+    iss >> arg;
+    return shell.SetPredicateTransfer(arg);
   }
   if (command == "snapshot") {
     shell.Snapshot();

@@ -28,6 +28,7 @@
 #include "estimator/presets.h"      // AlgorithmPreset, StatsPreset.
 #include "obs/explain_analyze.h"    // ExplainAnalyzeReport.
 #include "obs/metrics.h"            // MetricsRegistry (scraping).
+#include "pt/reducer.h"             // PtResult (ExecuteResult carries one).
 #include "query/query_spec.h"       // QuerySpec.
 #include "service/cache.h"          // ServiceCacheStats.
 #include "service/database.h"       // Database, Session, results.

@@ -74,6 +74,34 @@ StatusOr<AnalyzedQuery> AnalyzedQuery::Create(
     }
   }
 
+  // EXTENSION: refine the statistics-only profiles with observed runtime
+  // selectivities (predicate-transfer pass rates). Both refinements target
+  // the same quantities the urn model estimates — rows that can reach the
+  // joins and distincts that have join partners — so the downstream
+  // S_J = 1/max(d', d') machinery runs unchanged.
+  if (options.runtime_selectivities != nullptr) {
+    const RuntimeSelectivityStore& store = *options.runtime_selectivities;
+    Span runtime_span("estimator::runtime_selectivities");
+    int applied = 0;
+    for (int t = 0; t < spec.num_tables(); ++t) {
+      const std::string& name =
+          catalog.table_name(spec.tables[t].catalog_id);
+      TableProfile& profile = query.profiles_[static_cast<size_t>(t)];
+      if (const auto survival = store.TableSurvival(name)) {
+        profile.effective_rows *= *survival;
+        ++applied;
+      }
+      for (size_t c = 0; c < profile.join_distinct.size(); ++c) {
+        const auto rate = store.ColumnPassRate(name, static_cast<int>(c));
+        if (!rate) continue;
+        profile.join_distinct[c] =
+            std::max(1.0, profile.join_distinct[c] * *rate);
+        ++applied;
+      }
+    }
+    runtime_span.SetArg("applied", static_cast<int64_t>(applied));
+  }
+
   // Step 5 (+ the §3.3 strawman's per-class constant): join selectivities
   // exist per predicate; precompute the per-class representative.
   Span span("estimator::join_selectivities");

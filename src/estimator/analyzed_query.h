@@ -26,10 +26,12 @@
 #define JOINEST_ESTIMATOR_ANALYZED_QUERY_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "estimator/runtime_selectivity.h"
 #include "estimator/table_profile.h"
 #include "query/query_spec.h"
 #include "rewrite/transitive_closure.h"
@@ -61,6 +63,14 @@ struct EstimationOptions {
   // global 1/max(d', d'). Tracks skewed join columns; falls back to the
   // classic formula when either histogram is missing.
   bool histogram_join_selectivity = false;
+  // EXTENSION (predicate transfer): observed runtime selectivities consulted
+  // after the statistics-only profiles are built. When set, a table with a
+  // recorded survival fraction gets ||R||' <- survival x ||R||', and a join
+  // column with a recorded pass rate gets d' <- max(1, pass_rate x d').
+  // Null (the default) keeps the estimator paper-faithful. The store's
+  // epoch is part of the estimation-options digest (service/fingerprint.cc)
+  // so cached estimates refresh when new observations land.
+  std::shared_ptr<const RuntimeSelectivityStore> runtime_selectivities;
 };
 
 class AnalyzedQuery {

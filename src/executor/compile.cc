@@ -10,7 +10,8 @@ namespace {
 StatusOr<std::unique_ptr<Operator>> CompileNode(
     const Catalog& catalog, const QuerySpec& spec, const PlanNode& node,
     std::vector<Operator*>* registry,
-    std::vector<PlanNodeOperator>* node_roots) {
+    std::vector<PlanNodeOperator>* node_roots,
+    const ScanSelections* selections) {
   auto track = [registry](std::unique_ptr<Operator> op)
       -> std::unique_ptr<Operator> {
     if (registry != nullptr) registry->push_back(op.get());
@@ -28,8 +29,16 @@ StatusOr<std::unique_ptr<Operator>> CompileNode(
 
   if (node.kind == PlanNode::Kind::kScan) {
     const Table& table = catalog.table(spec.tables[node.table_index].catalog_id);
+    const std::vector<int64_t>* selected =
+        selections != nullptr ? selections->ForTable(node.table_index)
+                              : nullptr;
     std::unique_ptr<Operator> op =
-        track(std::make_unique<SeqScanOperator>(table, node.table_index));
+        selected != nullptr
+            ? track(std::make_unique<SelectionScanOperator>(
+                  table, node.table_index,
+                  selections->row_ids[static_cast<size_t>(node.table_index)]))
+            : track(std::make_unique<SeqScanOperator>(table,
+                                                      node.table_index));
     if (!node.filter.empty()) {
       op = track(std::make_unique<FilterOperator>(std::move(op), node.filter));
     }
@@ -42,7 +51,8 @@ StatusOr<std::unique_ptr<Operator>> CompileNode(
   }
   JOINEST_ASSIGN_OR_RETURN(
       std::unique_ptr<Operator> left,
-      CompileNode(catalog, spec, *node.left, registry, node_roots));
+      CompileNode(catalog, spec, *node.left, registry, node_roots,
+                  selections));
 
   if (node.method == JoinMethod::kIndexNestedLoop) {
     if (node.right->kind != PlanNode::Kind::kScan) {
@@ -59,7 +69,8 @@ StatusOr<std::unique_ptr<Operator>> CompileNode(
 
   JOINEST_ASSIGN_OR_RETURN(
       std::unique_ptr<Operator> right,
-      CompileNode(catalog, spec, *node.right, registry, node_roots));
+      CompileNode(catalog, spec, *node.right, registry, node_roots,
+                  selections));
   switch (node.method) {
     case JoinMethod::kNestedLoop:
       return root(track(std::make_unique<NestedLoopJoinOperator>(
@@ -84,8 +95,9 @@ StatusOr<std::unique_ptr<Operator>> CompileNode(
 StatusOr<std::unique_ptr<Operator>> CompilePlan(
     const Catalog& catalog, const QuerySpec& spec, const PlanNode& plan,
     std::vector<Operator*>* registry,
-    std::vector<PlanNodeOperator>* node_roots) {
-  return CompileNode(catalog, spec, plan, registry, node_roots);
+    std::vector<PlanNodeOperator>* node_roots,
+    const ScanSelections* selections) {
+  return CompileNode(catalog, spec, plan, registry, node_roots, selections);
 }
 
 }  // namespace joinest

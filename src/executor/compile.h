@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "executor/operator.h"
 #include "executor/plan.h"
+#include "executor/scan_ops.h"
 #include "query/query_spec.h"
 #include "storage/catalog.h"
 
@@ -34,10 +35,17 @@ struct PlanNodeOperator {
 //
 // Constraints checked: an index-nested-loop join's right child must be a
 // scan node (the index is built over that base table).
+//
+// If `selections` is non-null, a scan node whose table has a row-id
+// selection compiles to a SelectionScanOperator over those rows instead of
+// a full SeqScan (predicate transfer's pre-filtered path). An
+// index-nested-loop join's absorbed inner scan ignores selections — the
+// index probes by key, so unselected rows cost nothing there.
 StatusOr<std::unique_ptr<Operator>> CompilePlan(
     const Catalog& catalog, const QuerySpec& spec, const PlanNode& plan,
     std::vector<Operator*>* registry = nullptr,
-    std::vector<PlanNodeOperator>* node_roots = nullptr);
+    std::vector<PlanNodeOperator>* node_roots = nullptr,
+    const ScanSelections* selections = nullptr);
 
 }  // namespace joinest
 

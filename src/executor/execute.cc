@@ -10,12 +10,13 @@ namespace joinest {
 
 StatusOr<ExecutionResult> ExecutePlan(const Catalog& catalog,
                                       const QuerySpec& spec,
-                                      const PlanNode& plan) {
+                                      const PlanNode& plan,
+                                      const ScanSelections* selections) {
   std::vector<Operator*> registry;
   std::vector<PlanNodeOperator> node_roots;
   JOINEST_ASSIGN_OR_RETURN(
       std::unique_ptr<Operator> root,
-      CompilePlan(catalog, spec, plan, &registry, &node_roots));
+      CompilePlan(catalog, spec, plan, &registry, &node_roots, selections));
   // Top with the query's output shape.
   const bool grouped = spec.count_star && !spec.group_by.empty();
   if (grouped) {

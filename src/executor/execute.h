@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "executor/operator.h"
 #include "executor/plan.h"
+#include "executor/scan_ops.h"
 #include "query/query_spec.h"
 #include "storage/catalog.h"
 
@@ -38,10 +39,15 @@ struct ExecutionResult {
 
 // Compiles and runs `plan`, topping it with the query's projection or
 // COUNT(*). The root is driven batch-at-a-time; joins and scans stream,
-// and nothing is retained beyond counts.
+// and nothing is retained beyond counts. A non-null `selections` restricts
+// base-table scans to pre-computed row-id lists (the predicate-transfer
+// path); since the lists may only omit rows that cannot join, results are
+// bit-identical with and without them.
 StatusOr<ExecutionResult> ExecutePlan(const Catalog& catalog,
                                       const QuerySpec& spec,
-                                      const PlanNode& plan);
+                                      const PlanNode& plan,
+                                      const ScanSelections* selections =
+                                          nullptr);
 
 // Greedy connected join order starting from table 0 (a cartesian step is
 // appended only when the join graph is disconnected) — the order the

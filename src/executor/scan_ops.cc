@@ -45,6 +45,44 @@ bool SeqScanOperator::NextBatchImpl(RowBatch& batch) {
 
 void SeqScanOperator::CloseImpl() {}
 
+SelectionScanOperator::SelectionScanOperator(
+    const Table& table, int table_index,
+    std::shared_ptr<const std::vector<int64_t>> row_ids)
+    : table_(table), row_ids_(std::move(row_ids)) {
+  JOINEST_CHECK(row_ids_ != nullptr);
+  if (!row_ids_->empty()) {
+    JOINEST_CHECK_GE(row_ids_->front(), 0);
+    JOINEST_CHECK_LT(row_ids_->back(), table.num_rows());
+  }
+  for (int c = 0; c < table.num_columns(); ++c) {
+    layout_.push_back(ColumnRef{table_index, c});
+  }
+}
+
+void SelectionScanOperator::OpenImpl() { cursor_ = 0; }
+
+bool SelectionScanOperator::NextImpl(Row& row) {
+  if (cursor_ >= row_ids_->size()) return false;
+  table_.CopyRowInto((*row_ids_)[cursor_], row);
+  ++cursor_;
+  ++rows_produced_;
+  return true;
+}
+
+bool SelectionScanOperator::NextBatchImpl(RowBatch& batch) {
+  batch.Clear();
+  const size_t take = std::min<size_t>(
+      static_cast<size_t>(batch.capacity()), row_ids_->size() - cursor_);
+  for (size_t i = 0; i < take; ++i) {
+    table_.CopyRowInto((*row_ids_)[cursor_ + i], batch.AppendSlot());
+  }
+  cursor_ += take;
+  rows_produced_ += static_cast<int64_t>(take);
+  return !batch.empty();
+}
+
+void SelectionScanOperator::CloseImpl() {}
+
 FilterOperator::FilterOperator(std::unique_ptr<Operator> child,
                                std::vector<Predicate> predicates)
     : child_(std::move(child)), predicates_(std::move(predicates)) {
@@ -108,6 +146,10 @@ ProjectOperator::ProjectOperator(std::unique_ptr<Operator> child,
   for (ColumnRef ref : columns) {
     const int pos = FindInLayout(child_->layout(), ref);
     JOINEST_CHECK_GE(pos, 0) << "projected column missing from child layout";
+    if (std::find(positions_.begin(), positions_.end(), pos) !=
+        positions_.end()) {
+      has_duplicate_positions_ = true;
+    }
     positions_.push_back(pos);
     layout_.push_back(ref);
   }
@@ -120,7 +162,13 @@ bool ProjectOperator::NextImpl(Row& row) {
   if (!child_->Next(input)) return false;
   row.clear();
   row.reserve(positions_.size());
-  for (int pos : positions_) row.push_back(std::move(input[pos]));
+  if (has_duplicate_positions_) {
+    // A duplicated projection (SELECT S.a, S.a) must copy: moving would
+    // leave the second occurrence a moved-from Value.
+    for (int pos : positions_) row.push_back(input[pos]);
+  } else {
+    for (int pos : positions_) row.push_back(std::move(input[pos]));
+  }
   ++rows_produced_;
   return true;
 }

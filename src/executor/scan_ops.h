@@ -8,6 +8,7 @@
 #ifndef JOINEST_EXECUTOR_SCAN_OPS_H_
 #define JOINEST_EXECUTOR_SCAN_OPS_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -16,6 +17,26 @@
 #include "storage/table.h"
 
 namespace joinest {
+
+// Per-table row-id selections a caller (the predicate-transfer reducer)
+// computed ahead of execution. A null (or missing) entry means "scan all
+// rows"; a present entry is a sorted list of row ids the scan is restricted
+// to. Entries are shared_ptrs so a selection can outlive the plan run that
+// used it (cached PtResults, reports).
+struct ScanSelections {
+  std::vector<std::shared_ptr<const std::vector<int64_t>>> row_ids;
+
+  const std::vector<int64_t>* ForTable(int table) const {
+    if (table < 0 || table >= static_cast<int>(row_ids.size())) return nullptr;
+    return row_ids[static_cast<size_t>(table)].get();
+  }
+  bool empty() const {
+    for (const auto& ids : row_ids) {
+      if (ids != nullptr) return false;
+    }
+    return true;
+  }
+};
 
 // Scans all rows of a base table. Output layout: ColumnRef{table_index, c}
 // for every column c. Optionally restricted to a [begin, end) row range —
@@ -38,6 +59,31 @@ class SeqScanOperator : public Operator {
   const Table& table_;
   RowRange range_;
   int64_t cursor_ = 0;
+};
+
+// Scans an explicit sorted list of row ids of a base table — the scan the
+// predicate-transfer reducer swaps in for a SeqScan once it has narrowed a
+// table to the rows that can survive the semi-joins. Output layout matches
+// SeqScanOperator's, so the operators above are oblivious to the swap.
+class SelectionScanOperator : public Operator {
+ public:
+  // `table` must outlive the operator; `row_ids` must be sorted and within
+  // [0, table.num_rows()).
+  SelectionScanOperator(const Table& table, int table_index,
+                        std::shared_ptr<const std::vector<int64_t>> row_ids);
+
+  std::string name() const override { return "SelectionScan"; }
+
+ protected:
+  void OpenImpl() override;
+  bool NextImpl(Row& row) override;
+  bool NextBatchImpl(RowBatch& batch) override;
+  void CloseImpl() override;
+
+ private:
+  const Table& table_;
+  std::shared_ptr<const std::vector<int64_t>> row_ids_;
+  size_t cursor_ = 0;
 };
 
 // Filters child rows by a conjunction of local predicates (kLocalConst or
@@ -85,6 +131,10 @@ class ProjectOperator : public Operator {
  private:
   std::unique_ptr<Operator> child_;
   std::vector<int> positions_;
+  // True when some child position is projected more than once (e.g.
+  // SELECT S.a, S.a); the move fast path would leave later occurrences
+  // reading a moved-from Value.
+  bool has_duplicate_positions_ = false;
 };
 
 // Consumes the child and emits one row holding COUNT(*).

@@ -165,11 +165,14 @@ StatusOr<ExplainAnalyzeReport> ExplainAnalyzePlan(
       }
     }
 
-    // Execute the plan with per-node statistics.
-    JOINEST_ASSIGN_OR_RETURN(ExecutionResult result,
-                             ExecutePlan(catalog, spec, plan));
+    // Execute the plan with per-node statistics, honouring any predicate-
+    // transfer scan selections (the ground truth above stays unfiltered).
+    JOINEST_ASSIGN_OR_RETURN(
+        ExecutionResult result,
+        ExecutePlan(catalog, spec, plan, options.scan_selections));
     report.count = result.count;
     report.seconds = result.seconds;
+    report.predicate_transfer = options.predicate_transfer;
 
     std::map<const PlanNode*, const OperatorStats*> stats_of;
     for (const ExecutionResult::PlanNodeStats& entry : result.node_stats) {
@@ -274,6 +277,20 @@ std::string ExplainAnalyzeReport::FormatText() const {
     levels.Print(oss);
   }
 
+  if (!predicate_transfer.empty()) {
+    oss << "\nPredicate transfer (runtime selectivities):\n";
+    TablePrinter pt_table(
+        {"pass", "table.column", "probed", "passed", "pass rate"});
+    for (const PtFilterRow& row : predicate_transfer) {
+      pt_table.AddRow({row.forward ? "fwd" : "bwd",
+                       row.table + "." + row.column,
+                       FormatNumber(static_cast<double>(row.probed)),
+                       FormatNumber(static_cast<double>(row.passed)),
+                       FormatNumber(row.pass_rate * 100.0) + "%"});
+    }
+    pt_table.Print(oss);
+  }
+
   if (!spans.empty()) {
     oss << "\nSpans:\n";
     TablePrinter span_table({"span", "count", "total"});
@@ -356,6 +373,25 @@ void ExplainAnalyzeReport::WriteJson(JsonWriter& json) const {
     json.Key("SS");
     json.Number(level.q_ss);
     json.EndObject();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("predicate_transfer");
+  json.BeginArray();
+  for (const PtFilterRow& row : predicate_transfer) {
+    json.BeginObject();
+    json.Key("table");
+    json.String(row.table);
+    json.Key("column");
+    json.String(row.column);
+    json.Key("pass");
+    json.String(row.forward ? "forward" : "backward");
+    json.Key("probed");
+    json.Int(row.probed);
+    json.Key("passed");
+    json.Int(row.passed);
+    json.Key("pass_rate");
+    json.Number(row.pass_rate);
     json.EndObject();
   }
   json.EndArray();

@@ -32,10 +32,22 @@
 #include "common/status.h"
 #include "estimator/analyzed_query.h"
 #include "executor/plan.h"
+#include "executor/scan_ops.h"
 #include "query/query_spec.h"
 #include "storage/catalog.h"
 
 namespace joinest {
+
+// One executed predicate-transfer probe, as plain data (the service layer
+// copies these out of PtResult so obs does not depend on src/pt/).
+struct PtFilterRow {
+  std::string table;
+  std::string column;
+  bool forward = true;
+  int64_t probed = 0;
+  int64_t passed = 0;
+  double pass_rate = 1.0;
+};
 
 struct ExplainAnalyzeOptions {
   // Estimation configuration the plan was (or will be) optimized under;
@@ -48,6 +60,13 @@ struct ExplainAnalyzeOptions {
   // Capture a trace of the full run (estimation + execution + ground
   // truth). When a session is already active, it is reused and left active.
   bool capture_trace = true;
+  // Predicate-transfer row-id selections the plan's scans are restricted
+  // to, and the probe statistics to report. The ground-truth counting
+  // (TruePrefixSizes) deliberately ignores the selections — true
+  // cardinalities stay unfiltered so q-errors price the estimates, not the
+  // reduction. Must outlive the call.
+  const ScanSelections* scan_selections = nullptr;
+  std::vector<PtFilterRow> predicate_transfer;
 };
 
 struct ExplainAnalyzeReport {
@@ -85,6 +104,10 @@ struct ExplainAnalyzeReport {
     double q_ls = 0, q_m = 0, q_ss = 0;
   };
   std::vector<JoinLevel> join_levels;
+
+  // Predicate-transfer probes that ran before the plan (runtime
+  // selectivities observed by the reduction). Empty when transfer was off.
+  std::vector<PtFilterRow> predicate_transfer;
 
   // Per-span-name aggregation over the captured trace.
   struct SpanSummary {

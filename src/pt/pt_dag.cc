@@ -1,0 +1,110 @@
+#include "pt/pt_dag.h"
+
+#include <sstream>
+
+#include "common/check.h"
+#include "executor/execute.h"
+
+namespace joinest {
+
+PtDag PtDag::Build(const QuerySpec& spec) {
+  PtDag dag;
+  ClosureResult closure = ComputeTransitiveClosure(spec.predicates);
+  dag.closed_predicates = std::move(closure.predicates);
+  dag.classes = std::move(closure.classes);
+
+  std::vector<Predicate> joins;
+  for (const Predicate& p : dag.closed_predicates) {
+    if (p.kind == Predicate::Kind::kJoin) joins.push_back(p);
+  }
+  dag.table_order = CanonicalJoinOrder(spec.num_tables(), joins);
+
+  // Position of each table in the walk order.
+  std::vector<int> position(static_cast<size_t>(spec.num_tables()), -1);
+  for (size_t i = 0; i < dag.table_order.size(); ++i) {
+    position[static_cast<size_t>(dag.table_order[i])] = static_cast<int>(i);
+  }
+
+  // Per class: the member tables (ascending) — only classes spanning two or
+  // more tables transfer anything.
+  struct ClassInfo {
+    int class_id;
+    std::vector<int> tables;
+    int min_pos;
+    int max_pos;
+  };
+  std::vector<ClassInfo> transferable;
+  for (int c = 0; c < dag.classes.num_classes(); ++c) {
+    std::vector<int> tables = dag.classes.TablesOfClass(c);
+    if (tables.size() < 2) continue;
+    int min_pos = spec.num_tables();
+    int max_pos = -1;
+    for (int t : tables) {
+      min_pos = std::min(min_pos, position[static_cast<size_t>(t)]);
+      max_pos = std::max(max_pos, position[static_cast<size_t>(t)]);
+    }
+    transferable.push_back(ClassInfo{c, std::move(tables), min_pos, max_pos});
+  }
+
+  auto make_pass = [&](bool forward) {
+    const int n = static_cast<int>(dag.table_order.size());
+    for (int step_idx = 0; step_idx < n; ++step_idx) {
+      const int pos = forward ? step_idx : n - 1 - step_idx;
+      const int table = dag.table_order[static_cast<size_t>(pos)];
+      PtStep step;
+      step.table = table;
+      step.forward = forward;
+      for (const ClassInfo& info : transferable) {
+        const auto members = dag.classes.MembersOfTable(info.class_id, table);
+        if (members.empty()) continue;
+        const int column = members.front().column;
+        // Forward: a filter exists once some earlier-positioned member has
+        // built it; build when a later member will probe. Backward mirrors
+        // the comparison.
+        const bool has_upstream =
+            forward ? info.min_pos < pos : info.max_pos > pos;
+        const bool has_downstream =
+            forward ? info.max_pos > pos : info.min_pos < pos;
+        if (has_upstream) {
+          step.probes.push_back(PtColumnFilter{info.class_id, column});
+          ++dag.num_probes;
+        }
+        if (has_downstream) {
+          step.builds.push_back(PtColumnFilter{info.class_id, column});
+          ++dag.num_builds;
+        }
+      }
+      dag.steps.push_back(std::move(step));
+    }
+  };
+  make_pass(/*forward=*/true);
+  make_pass(/*forward=*/false);
+  return dag;
+}
+
+std::string PtDag::DebugString(const Catalog& catalog,
+                               const QuerySpec& spec) const {
+  std::ostringstream oss;
+  oss << "predicate-transfer schedule (order";
+  for (int t : table_order) oss << " " << spec.tables[t].alias;
+  oss << "):\n";
+  for (const PtStep& step : steps) {
+    if (step.probes.empty() && step.builds.empty()) continue;
+    oss << "  " << (step.forward ? "fwd" : "bwd") << " "
+        << spec.tables[step.table].alias << ":";
+    auto column_name = [&](int column) {
+      const int catalog_id = spec.tables[step.table].catalog_id;
+      return catalog.table(catalog_id).schema().column(column).name;
+    };
+    for (const PtColumnFilter& f : step.probes) {
+      oss << " probe[" << f.class_id << "]." << column_name(f.column);
+    }
+    for (const PtColumnFilter& f : step.builds) {
+      oss << " build[" << f.class_id << "]." << column_name(f.column);
+    }
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace joinest

@@ -1,0 +1,75 @@
+// Predicate-transfer schedule over the join graph.
+//
+// The rewrite layer's equivalence classes say exactly which columns must
+// hold equal values in any result row (paper §2: classes merged by the
+// equality predicates, closed transitively). Predicate transfer exploits
+// the contrapositive at execution time: a base row whose class value does
+// not occur in some other member table of the class cannot contribute to
+// the result, so it can be dropped before the joins run.
+//
+// The schedule is the classic two-pass semi-join reduction (Yannakakis):
+// tables are visited in the canonical join order; on the forward pass each
+// table first probes the filters built by earlier class members, then
+// builds/replaces the class filter from its surviving rows (so the filter
+// cascades: it approximates the intersection of every class member seen so
+// far). The backward pass repeats the walk in reverse with fresh filters,
+// which propagates reductions from the tail of the order back to the head.
+// For acyclic (tree-shaped) join graphs two passes reach the full
+// semi-join fixpoint; for cyclic graphs they are still sound — filters can
+// only drop rows that cannot join — just not necessarily minimal.
+
+#ifndef JOINEST_PT_PT_DAG_H_
+#define JOINEST_PT_PT_DAG_H_
+
+#include <string>
+#include <vector>
+
+#include "query/query_spec.h"
+#include "rewrite/equivalence.h"
+#include "rewrite/transitive_closure.h"
+
+namespace joinest {
+
+// One filter slot of one step: the equivalence class it carries and the
+// member column of the step's table used to build or probe it. When a table
+// holds several j-equivalent columns of the class, one member suffices —
+// the closure's implied local equalities make them equal on surviving rows.
+struct PtColumnFilter {
+  int class_id = -1;
+  int column = -1;
+};
+
+// One table visit of a pass: probe the listed class filters (in order),
+// then rebuild the listed class filters from the rows that survived.
+struct PtStep {
+  int table = -1;
+  bool forward = true;
+  std::vector<PtColumnFilter> probes;
+  std::vector<PtColumnFilter> builds;
+};
+
+struct PtDag {
+  // Closed, deduplicated predicate set (transitive closure always on: the
+  // implied predicates are what make one column per class-and-table
+  // sufficient).
+  std::vector<Predicate> closed_predicates;
+  EquivalenceClasses classes;
+  // Canonical join order the passes walk (executor/execute.h).
+  std::vector<int> table_order;
+  // Forward steps in table_order, then backward steps in reverse order.
+  std::vector<PtStep> steps;
+  // Build slots scheduled in total (forward + backward).
+  int num_builds = 0;
+  // Probe slots scheduled in total.
+  int num_probes = 0;
+
+  // Builds the schedule for `spec`. Tables without any multi-table
+  // equivalence class get empty steps (nothing to transfer).
+  static PtDag Build(const QuerySpec& spec);
+
+  std::string DebugString(const Catalog& catalog, const QuerySpec& spec) const;
+};
+
+}  // namespace joinest
+
+#endif  // JOINEST_PT_PT_DAG_H_

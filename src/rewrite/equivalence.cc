@@ -87,4 +87,16 @@ std::vector<ColumnRef> EquivalenceClasses::MembersOfTable(int id,
   return result;
 }
 
+std::vector<int> EquivalenceClasses::TablesOfClass(int id) const {
+  std::vector<int> result;
+  for (const ColumnRef& ref : members(id)) {
+    if (result.empty() || result.back() != ref.table) {
+      result.push_back(ref.table);
+    }
+  }
+  // Members are sorted by (table, column), so duplicates are adjacent and
+  // the table list comes out sorted.
+  return result;
+}
+
 }  // namespace joinest

@@ -49,6 +49,11 @@ class EquivalenceClasses {
   // more results means the single-table j-equivalent case of §6 applies.
   std::vector<ColumnRef> MembersOfTable(int id, int table) const;
 
+  // Distinct query-local tables with at least one member in class `id`,
+  // ascending. Classes spanning two or more tables are the ones predicate
+  // transfer can push Bloom filters across.
+  std::vector<int> TablesOfClass(int id) const;
+
  private:
   std::unordered_map<ColumnRef, int, ColumnRefHash> class_of_;
   std::vector<std::vector<ColumnRef>> classes_;

@@ -123,6 +123,11 @@ Session::Options& Session::Options::set_with_true_cardinalities(
   return *this;
 }
 
+Session::Options& Session::Options::set_predicate_transfer(bool enabled) {
+  predicate_transfer_ = enabled;
+  return *this;
+}
+
 Status Session::Options::Validate() const {
   return ValidateOptimizerOptions(optimizer_);
 }
@@ -266,6 +271,39 @@ Status CheckPrepared(const PreparedQuery& prepared) {
 
 }  // namespace
 
+EstimationOptions Session::EffectiveEstimation() const {
+  EstimationOptions estimation = options_.estimation();
+  if (options_.predicate_transfer()) {
+    estimation.runtime_selectivities = database_->runtime_selectivities_;
+  }
+  return estimation;
+}
+
+OptimizerOptions Session::EffectiveOptimizer() const {
+  OptimizerOptions optimizer = options_.optimizer();
+  if (options_.predicate_transfer()) {
+    optimizer.estimation.runtime_selectivities =
+        database_->runtime_selectivities_;
+  }
+  return optimizer;
+}
+
+StatusOr<std::shared_ptr<const PtResult>> Session::MaybeRunPredicateTransfer(
+    const PreparedQuery& prepared) const {
+  if (!options_.predicate_transfer() || prepared.spec.num_tables() < 2) {
+    return std::shared_ptr<const PtResult>();
+  }
+  JOINEST_ASSIGN_OR_RETURN(
+      PtResult pt,
+      RunPredicateTransfer(prepared.snapshot->catalog(), prepared.spec));
+  auto shared = std::make_shared<const PtResult>(std::move(pt));
+  // Feed the observed rates back; later Estimate/Optimize calls in
+  // transfer-enabled sessions see them (the store epoch in the options
+  // digest invalidates stale cached analyses).
+  RecordRuntimeSelectivities(*shared, *database_->runtime_selectivities_);
+  return shared;
+}
+
 StatusOr<PreparedQuery> Session::Prepare(const std::string& sql) const {
   PreparedQuery prepared;
   prepared.snapshot = database_->snapshot();
@@ -279,9 +317,10 @@ StatusOr<PreparedQuery> Session::Prepare(const std::string& sql) const {
 StatusOr<EstimateResult> Session::Estimate(
     const PreparedQuery& prepared) const {
   JOINEST_RETURN_IF_ERROR(CheckPrepared(prepared));
+  const EstimationOptions estimation = EffectiveEstimation();
   const ServiceCacheKey key{prepared.fingerprint,
                             prepared.snapshot->version(),
-                            EstimationOptionsDigest(options_.estimation()),
+                            EstimationOptionsDigest(estimation),
                             CacheEntryKind::kAnalysis};
   if (options_.use_cache()) {
     const auto start = std::chrono::steady_clock::now();
@@ -302,7 +341,7 @@ StatusOr<EstimateResult> Session::Estimate(
   const Catalog& catalog = prepared.snapshot->catalog();
   JOINEST_ASSIGN_OR_RETURN(
       AnalyzedQuery analyzed,
-      AnalyzedQuery::Create(catalog, prepared.spec, options_.estimation()));
+      AnalyzedQuery::Create(catalog, prepared.spec, estimation));
 
   auto payload = std::make_shared<EstimateResult::Payload>(
       EstimateResult::Payload{prepared.snapshot, std::move(analyzed), 0, 0,
@@ -342,9 +381,10 @@ StatusOr<EstimateResult> Session::Estimate(const std::string& sql) const {
 
 StatusOr<PlannedQuery> Session::Optimize(const PreparedQuery& prepared) const {
   JOINEST_RETURN_IF_ERROR(CheckPrepared(prepared));
+  const OptimizerOptions optimizer = EffectiveOptimizer();
   const ServiceCacheKey key{prepared.fingerprint,
                             prepared.snapshot->version(),
-                            OptimizerOptionsDigest(options_.optimizer()),
+                            OptimizerOptionsDigest(optimizer),
                             CacheEntryKind::kPlan};
   if (options_.use_cache()) {
     if (std::shared_ptr<const void> hit = database_->cache().Lookup(key)) {
@@ -358,8 +398,7 @@ StatusOr<PlannedQuery> Session::Optimize(const PreparedQuery& prepared) const {
 
   JOINEST_ASSIGN_OR_RETURN(
       OptimizedPlan plan,
-      OptimizeQuery(prepared.snapshot->catalog(), prepared.spec,
-                    options_.optimizer()));
+      OptimizeQuery(prepared.snapshot->catalog(), prepared.spec, optimizer));
   auto payload = std::make_shared<PlannedQuery::Payload>(PlannedQuery::Payload{
       prepared.snapshot, prepared.spec, std::move(plan)});
 
@@ -378,13 +417,16 @@ StatusOr<PlannedQuery> Session::Optimize(const std::string& sql) const {
 
 StatusOr<ExecuteResult> Session::Execute(const PreparedQuery& prepared) const {
   JOINEST_ASSIGN_OR_RETURN(PlannedQuery planned, Optimize(prepared));
+  JOINEST_ASSIGN_OR_RETURN(std::shared_ptr<const PtResult> pt,
+                           MaybeRunPredicateTransfer(prepared));
   JOINEST_ASSIGN_OR_RETURN(
       ExecutionResult execution,
-      ExecutePlan(prepared.snapshot->catalog(), prepared.spec,
-                  planned.plan()));
+      ExecutePlan(prepared.snapshot->catalog(), prepared.spec, planned.plan(),
+                  pt != nullptr ? &pt->selections : nullptr));
   ExecuteResult result;
   result.execution = std::move(execution);
   result.plan = std::move(planned);
+  result.predicate_transfer = std::move(pt);
   return result;
 }
 
@@ -396,10 +438,20 @@ StatusOr<ExecuteResult> Session::Execute(const std::string& sql) const {
 StatusOr<ExplainAnalyzeReport> Session::ExplainAnalyze(
     const PreparedQuery& prepared) const {
   JOINEST_ASSIGN_OR_RETURN(PlannedQuery planned, Optimize(prepared));
+  JOINEST_ASSIGN_OR_RETURN(std::shared_ptr<const PtResult> pt,
+                           MaybeRunPredicateTransfer(prepared));
   ExplainAnalyzeOptions ea;
-  ea.estimation = options_.estimation();
+  ea.estimation = EffectiveEstimation();
   ea.with_true_cardinalities = options_.with_true_cardinalities();
   ea.capture_trace = options_.capture_trace();
+  if (pt != nullptr) {
+    ea.scan_selections = &pt->selections;
+    for (const PtFilterStats& f : pt->filters) {
+      ea.predicate_transfer.push_back(PtFilterRow{
+          f.table_name, f.column_name, f.forward, f.probed, f.passed,
+          f.pass_rate});
+    }
+  }
   return ExplainAnalyzePlan(prepared.snapshot->catalog(), prepared.spec,
                             planned.plan(), ea);
 }
@@ -429,6 +481,7 @@ Database::Database(Options options) : options_(std::move(options)) {
   cache_ = std::make_unique<ServiceCache>(options_.cache_capacity(),
                                           options_.cache_shards(),
                                           options_.cache_label());
+  runtime_selectivities_ = std::make_shared<RuntimeSelectivityStore>();
   // Version 0: the empty bootstrap snapshot, so snapshot() is never null.
   Publish(SnapshotBuilder().Build(0));
 }

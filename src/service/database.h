@@ -54,6 +54,7 @@
 #include "executor/execute.h"
 #include "obs/explain_analyze.h"
 #include "optimizer/optimizer.h"
+#include "pt/reducer.h"
 #include "query/query_spec.h"
 #include "service/cache.h"
 #include "service/snapshot.h"
@@ -165,6 +166,10 @@ struct ExecuteResult {
   ExecutionResult execution;
   // The plan that ran (cache_hit() tells whether it was memoised).
   PlannedQuery plan;
+  // The predicate-transfer reduction that preceded the run (pass rates,
+  // per-table survival, timing). Null when the session has predicate
+  // transfer off or the query had nothing to transfer.
+  std::shared_ptr<const PtResult> predicate_transfer;
 };
 
 class Session {
@@ -187,6 +192,12 @@ class Session {
     // ExplainAnalyze: run the counting sub-queries that provide exact
     // per-join-level cardinalities (expensive on big data).
     Options& set_with_true_cardinalities(bool with_true);
+    // Predicate transfer (src/pt/): Execute/ExplainAnalyze run a Bloom-
+    // filter semi-join reduction before the plan, scans are restricted to
+    // surviving rows, and the observed pass rates feed the database's
+    // RuntimeSelectivityStore, which Estimate/Optimize then consult.
+    // Default off — the paper-faithful pipeline.
+    Options& set_predicate_transfer(bool enabled);
 
     const EstimationOptions& estimation() const {
       return optimizer_.estimation;
@@ -195,6 +206,7 @@ class Session {
     bool use_cache() const { return use_cache_; }
     bool capture_trace() const { return capture_trace_; }
     bool with_true_cardinalities() const { return with_true_cardinalities_; }
+    bool predicate_transfer() const { return predicate_transfer_; }
 
     // Checks every knob combination that can be rejected without a query:
     // restarts/moves >= 1 for randomized enumerators, SA temperature and
@@ -207,6 +219,7 @@ class Session {
     bool use_cache_ = true;
     bool capture_trace_ = true;
     bool with_true_cardinalities_ = true;
+    bool predicate_transfer_ = false;
   };
 
   // Parses and resolves `sql` against the database's CURRENT snapshot and
@@ -242,6 +255,17 @@ class Session {
   friend class Database;
   Session(Database* database, Options options)
       : database_(database), options_(std::move(options)) {}
+
+  // The session's estimation/optimizer options with the database's
+  // runtime-selectivity store injected when predicate transfer is on. Used
+  // for BOTH the cache-key digest and the computation, so cached results
+  // always match what the cold path would produce.
+  EstimationOptions EffectiveEstimation() const;
+  OptimizerOptions EffectiveOptimizer() const;
+  // Runs the reduction for Execute/ExplainAnalyze and records the observed
+  // rates. Returns null when transfer is off or the query is single-table.
+  StatusOr<std::shared_ptr<const PtResult>> MaybeRunPredicateTransfer(
+      const PreparedQuery& prepared) const;
 
   Database* database_;
   Options options_;
@@ -322,6 +346,14 @@ class Database {
   ServiceCacheStats cache_stats() const { return cache_->Stats(); }
   const Options& options() const { return options_; }
 
+  // Observed predicate-transfer selectivities, shared by every session of
+  // this database (keyed by catalog table name, so observations transfer
+  // across queries). Estimation consults it only in sessions with
+  // set_predicate_transfer(true).
+  RuntimeSelectivityStore& runtime_selectivities() const {
+    return *runtime_selectivities_;
+  }
+
  private:
   friend class Session;
 
@@ -337,6 +369,9 @@ class Database {
 
   Options options_;
   std::unique_ptr<ServiceCache> cache_;
+  // shared_ptr: EstimationOptions holds a co-owning reference while cached
+  // analyses are alive.
+  std::shared_ptr<RuntimeSelectivityStore> runtime_selectivities_;
 
   // Writers serialise here; readers go straight to snapshot_.
   std::mutex writer_mutex_;

@@ -72,6 +72,13 @@ void MixEstimationOptions(Fingerprint& fp, const EstimationOptions& options) {
   fp.MixInt(static_cast<int>(options.rule));
   fp.MixInt(static_cast<int>(options.representative));
   fp.MixBool(options.histogram_join_selectivity);
+  // Runtime-selectivity feedback: the store's epoch advances with every
+  // materially new observation, so cached estimates computed against stale
+  // observations can never be served.
+  fp.MixBool(options.runtime_selectivities != nullptr);
+  fp.MixU64(options.runtime_selectivities != nullptr
+                ? options.runtime_selectivities->epoch()
+                : 0);
 }
 
 }  // namespace

@@ -36,6 +36,6 @@ export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
 export TSAN_OPTIONS="halt_on_error=1"
 
 run_job asan_ubsan "address,undefined" ""
-run_job tsan "thread" "-R 'sketch_test|storage_test|parity_test|executor_test|service_test'"
+run_job tsan "thread" "-R 'sketch_test|storage_test|parity_test|executor_test|service_test|pt_test'"
 
 echo "All sanitizer jobs passed."
