@@ -1,7 +1,7 @@
 // Estimation service throughput: multi-threaded QPS through the Database /
 // Session facade, and the speedup the fingerprint-keyed cache buys.
 //
-// Five modes over the paper's §8 dataset with a workload of distinct
+// Six modes over the paper's §8 dataset with a workload of distinct
 // 4-table queries (varying local-predicate constants → distinct
 // fingerprints):
 //   estimate_cold_8t — 8 threads, cache bypassed: every Estimate runs the
@@ -13,7 +13,13 @@
 //   mixed_8t         — 7 query threads with the cache on racing 1 ANALYZE
 //                      thread that republishes snapshots (each republish
 //                      invalidates, so the hit rate is the interesting
-//                      number, exported as service_cache_hit_rate).
+//                      number, exported as service_cache_hit_rate);
+//   mixed_32t        — the same race with 31 query threads: far more
+//                      clients than cores or shared-pool workers, so the
+//                      sessions' batch drains oversubscribe the executor
+//                      pool (bounded submission degrades to inline runs).
+//                      The mode exists to catch convoying or starvation
+//                      under contention, not to show speedup.
 //
 // Before timing, every workload query's warm estimate is checked
 // bit-identical (==, not within-epsilon) to the cache-bypassing cold path;
@@ -172,13 +178,17 @@ int64_t OptimizeSweep(const Fixture& f, bool use_cache, int rounds) {
   return static_cast<int64_t>(f.queries.size()) * rounds;
 }
 
-// 7 query threads (cache on, re-Preparing so they follow republishes) race
-// 1 writer thread that keeps publishing new snapshots.
-int64_t MixedSweep(const Fixture& f, int iterations, int republishes) {
+// `clients` query threads (cache on, re-Preparing so they follow
+// republishes) race 1 writer thread that keeps publishing new snapshots.
+// With clients >> cores this doubles as the oversubscription check: every
+// session funnels into the one shared executor pool, whose bounded
+// submission must degrade to inline execution instead of queue blow-up.
+int64_t MixedSweep(const Fixture& f, int clients, int iterations,
+                   int republishes) {
   std::atomic<bool> stop{false};
   std::vector<std::thread> workers;
-  workers.reserve(kThreads - 1);
-  for (int t = 0; t < kThreads - 1; ++t) {
+  workers.reserve(static_cast<size_t>(clients));
+  for (int t = 0; t < clients; ++t) {
     workers.emplace_back([&f, iterations, t] {
       const Session session =
           f.db->CreateSession(Session::Options()).value();
@@ -202,7 +212,7 @@ int64_t MixedSweep(const Fixture& f, int iterations, int republishes) {
   for (std::thread& w : workers) w.join();
   stop.store(true);
   writer.join();
-  return static_cast<int64_t>(kThreads - 1) * iterations;
+  return static_cast<int64_t>(clients) * iterations;
 }
 
 }  // namespace
@@ -252,7 +262,7 @@ int main(int argc, char** argv) {
 
   const ServiceCacheStats before_mixed = f.db->cache_stats();
   results.push_back(TimeMode("mixed_8t", repeats, [&] {
-    return MixedSweep(f, smoke ? 50 : 200, smoke ? 10 : 40);
+    return MixedSweep(f, kThreads - 1, smoke ? 50 : 200, smoke ? 10 : 40);
   }));
   const ServiceCacheStats after_mixed = f.db->cache_stats();
   const int64_t mixed_lookups =
@@ -263,6 +273,14 @@ int main(int argc, char** argv) {
           ? static_cast<double>(after_mixed.hits - before_mixed.hits) /
                 static_cast<double>(mixed_lookups)
           : 0.0;
+
+  // High-client-count mixed load: 31 query threads plus the writer — four
+  // times the mixed_8t client count and far past this machine's cores.
+  // Fewer iterations per client keep total work comparable to mixed_8t.
+  constexpr int kManyClients = 31;
+  results.push_back(TimeMode("mixed_32t", repeats, [&] {
+    return MixedSweep(f, kManyClients, smoke ? 12 : 50, smoke ? 10 : 40);
+  }));
 
   const double cold_qps = results[0].queries_per_sec;
   const double warm_qps = results[1].queries_per_sec;

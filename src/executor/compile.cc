@@ -1,6 +1,7 @@
 #include "executor/compile.h"
 
 #include "executor/join_ops.h"
+#include "executor/kernels.h"
 #include "executor/scan_ops.h"
 
 namespace joinest {
@@ -11,7 +12,7 @@ StatusOr<std::unique_ptr<Operator>> CompileNode(
     const Catalog& catalog, const QuerySpec& spec, const PlanNode& node,
     std::vector<Operator*>* registry,
     std::vector<PlanNodeOperator>* node_roots,
-    const ScanSelections* selections) {
+    const ScanSelections* selections, const CompileOptions& options) {
   auto track = [registry](std::unique_ptr<Operator> op)
       -> std::unique_ptr<Operator> {
     if (registry != nullptr) registry->push_back(op.get());
@@ -32,15 +33,23 @@ StatusOr<std::unique_ptr<Operator>> CompileNode(
     const std::vector<int64_t>* selected =
         selections != nullptr ? selections->ForTable(node.table_index)
                               : nullptr;
-    std::unique_ptr<Operator> op =
-        selected != nullptr
-            ? track(std::make_unique<SelectionScanOperator>(
-                  table, node.table_index,
-                  selections->row_ids[static_cast<size_t>(node.table_index)]))
-            : track(std::make_unique<SeqScanOperator>(table,
-                                                      node.table_index));
+    std::unique_ptr<Operator> op;
+    if (selected != nullptr) {
+      op = track(std::make_unique<SelectionScanOperator>(
+          table, node.table_index,
+          selections->row_ids[static_cast<size_t>(node.table_index)]));
+    } else {
+      auto scan = std::make_unique<SeqScanOperator>(table, node.table_index);
+      if (options.specialize_kernels) scan->Specialize();
+      op = track(std::move(scan));
+    }
     if (!node.filter.empty()) {
-      op = track(std::make_unique<FilterOperator>(std::move(op), node.filter));
+      auto filter =
+          std::make_unique<FilterOperator>(std::move(op), node.filter);
+      if (options.specialize_kernels) {
+        filter->Specialize(LayoutTypes(catalog, spec, filter->layout()));
+      }
+      op = track(std::move(filter));
     }
     return root(std::move(op));
   }
@@ -51,8 +60,8 @@ StatusOr<std::unique_ptr<Operator>> CompileNode(
   }
   JOINEST_ASSIGN_OR_RETURN(
       std::unique_ptr<Operator> left,
-      CompileNode(catalog, spec, *node.left, registry, node_roots,
-                  selections));
+      CompileNode(catalog, spec, *node.left, registry, node_roots, selections,
+                  options));
 
   if (node.method == JoinMethod::kIndexNestedLoop) {
     if (node.right->kind != PlanNode::Kind::kScan) {
@@ -69,8 +78,8 @@ StatusOr<std::unique_ptr<Operator>> CompileNode(
 
   JOINEST_ASSIGN_OR_RETURN(
       std::unique_ptr<Operator> right,
-      CompileNode(catalog, spec, *node.right, registry, node_roots,
-                  selections));
+      CompileNode(catalog, spec, *node.right, registry, node_roots, selections,
+                  options));
   switch (node.method) {
     case JoinMethod::kNestedLoop:
       return root(track(std::make_unique<NestedLoopJoinOperator>(
@@ -78,9 +87,17 @@ StatusOr<std::unique_ptr<Operator>> CompileNode(
     case JoinMethod::kBlockNestedLoop:
       return root(track(std::make_unique<BlockNestedLoopJoinOperator>(
           std::move(left), std::move(right), node.join_predicates)));
-    case JoinMethod::kHash:
-      return root(track(std::make_unique<HashJoinOperator>(
-          std::move(left), std::move(right), node.join_predicates)));
+    case JoinMethod::kHash: {
+      const std::vector<ColumnRef> left_layout = left->layout();
+      const std::vector<ColumnRef> right_layout = right->layout();
+      auto join = std::make_unique<HashJoinOperator>(
+          std::move(left), std::move(right), node.join_predicates);
+      if (options.specialize_kernels) {
+        join->Specialize(LayoutTypes(catalog, spec, left_layout),
+                         LayoutTypes(catalog, spec, right_layout));
+      }
+      return root(track(std::move(join)));
+    }
     case JoinMethod::kSortMerge:
       return root(track(std::make_unique<SortMergeJoinOperator>(
           std::move(left), std::move(right), node.join_predicates)));
@@ -96,8 +113,9 @@ StatusOr<std::unique_ptr<Operator>> CompilePlan(
     const Catalog& catalog, const QuerySpec& spec, const PlanNode& plan,
     std::vector<Operator*>* registry,
     std::vector<PlanNodeOperator>* node_roots,
-    const ScanSelections* selections) {
-  return CompileNode(catalog, spec, plan, registry, node_roots, selections);
+    const ScanSelections* selections, const CompileOptions& options) {
+  return CompileNode(catalog, spec, plan, registry, node_roots, selections,
+                     options);
 }
 
 }  // namespace joinest

@@ -25,6 +25,15 @@ struct PlanNodeOperator {
   Operator* op = nullptr;
 };
 
+// Compilation knobs.
+struct CompileOptions {
+  // Select type-specialized batch kernels (executor/kernels.h) per operator
+  // from the table schemas. Off compiles the pure generic Value path — the
+  // parity oracle the kernel tests and the batch_generic benchmark mode
+  // compare against.
+  bool specialize_kernels = true;
+};
+
 // Compiles `plan` into an operator tree over the catalog's tables. If
 // `registry` is non-null, every created operator is appended (pre-order) so
 // the caller can report per-operator row counts after execution. If
@@ -45,7 +54,8 @@ StatusOr<std::unique_ptr<Operator>> CompilePlan(
     const Catalog& catalog, const QuerySpec& spec, const PlanNode& plan,
     std::vector<Operator*>* registry = nullptr,
     std::vector<PlanNodeOperator>* node_roots = nullptr,
-    const ScanSelections* selections = nullptr);
+    const ScanSelections* selections = nullptr,
+    const CompileOptions& options = CompileOptions{});
 
 }  // namespace joinest
 

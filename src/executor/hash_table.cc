@@ -157,6 +157,23 @@ void JoinHashTable::BuildGeneric() {
   }
 }
 
+void JoinHashTable::BuildIntPayload() {
+  const size_t width = rows_.empty() ? 0 : rows_[0].size();
+  for (const Row& row : rows_) {
+    for (const Value& v : row) {
+      if (v.type() != TypeKind::kInt64) return;
+    }
+  }
+  int_payload_.resize(payload_.size() * width);
+  for (size_t p = 0; p < payload_.size(); ++p) {
+    const Row& row = rows_[payload_[p]];
+    for (size_t c = 0; c < width; ++c) {
+      int_payload_[p * width + c] = row[c].int64_unchecked();
+    }
+  }
+  int_width_ = static_cast<int>(width);
+}
+
 JoinHashTable::Span JoinHashTable::Probe(
     const Row& probe_row, const std::vector<int>& probe_positions,
     Scratch& scratch) const {

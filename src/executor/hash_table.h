@@ -64,10 +64,54 @@ class JoinHashTable {
   Span Probe(const Row& probe_row, const std::vector<int>& probe_positions,
              Scratch& scratch) const;
 
+  // Specialized probe for the int64 fast path, inlined into the kernelized
+  // join loop: the probe key is already a native int64 (the kernel proved
+  // the probe column's type at compile time), so the canonicalisation and
+  // per-row contract checks of Probe() vanish. Valid only when fast_path()
+  // is true; bit-identical to Probe() on the same key.
+  Span ProbeFastInt64(int64_t key) const {
+    size_t slot = HashUint64(static_cast<uint64_t>(key)) & mask_;
+    while (fast_slots_[slot].used) {
+      if (fast_slots_[slot].key == key) {
+        return Span{payload_.data() + fast_slots_[slot].begin,
+                    fast_slots_[slot].count};
+      }
+      slot = (slot + 1) & mask_;
+    }
+    return Span{};
+  }
+
+  // Warms the cache line of `key`'s home slot. The kernelized join calls
+  // this for a whole input batch of keys right after the refill, so by the
+  // time each key is actually probed its slot is (usually) already in
+  // cache — the probe's dependent load chain no longer stalls on memory.
+  void PrefetchFastInt64(int64_t key) const {
+    __builtin_prefetch(
+        &fast_slots_[HashUint64(static_cast<uint64_t>(key)) & mask_]);
+  }
+
   const Row& row(uint32_t index) const { return rows_[index]; }
   size_t num_rows() const { return rows_.size(); }
   size_t num_keys() const { return num_keys_; }
   bool fast_path() const { return fast_path_; }
+
+  // Opt-in for the all-int64 emit kernel: materialises the build rows as
+  // one contiguous row-major int64 matrix ordered by payload position, so
+  // a probe span's matches occupy consecutive matrix rows and the emit
+  // loop walks sequential memory instead of chasing per-row heap blocks.
+  // No-op (has_int_payload() stays false) unless every value of every
+  // build row is int64. The Row storage is kept — Probe()/row() and the
+  // generic paths are unchanged.
+  void BuildIntPayload();
+  bool has_int_payload() const { return int_width_ >= 0; }
+  // Payload position of a span's first match; the i-th match of the span
+  // is matrix row PayloadPos(span) + i.
+  size_t PayloadPos(const Span& span) const {
+    return static_cast<size_t>(span.data - payload_.data());
+  }
+  const int64_t* int_payload_row(size_t pos) const {
+    return int_payload_.data() + pos * static_cast<size_t>(int_width_);
+  }
 
  private:
   struct FastSlot {
@@ -100,6 +144,8 @@ class JoinHashTable {
   std::vector<GenericSlot> generic_slots_;
   std::vector<std::vector<Value>> keys_;  // Generic path: one per distinct.
   std::vector<uint32_t> payload_;         // Row indices grouped by key.
+  int int_width_ = -1;                    // -1: no int payload built.
+  std::vector<int64_t> int_payload_;      // Row-major, in payload order.
 };
 
 }  // namespace joinest

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "executor/eval.h"
+#include "executor/kernels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -52,6 +53,17 @@ void ConcatRows(Row& out, const Row& left, const Row& right) {
   out.reserve(left.size() + right.size());
   out.insert(out.end(), left.begin(), left.end());
   out.insert(out.end(), right.begin(), right.end());
+}
+
+// Specialized-path concatenation into a pooled slot: element-wise
+// copy-assign into resized storage, so a reused slot keeps its values'
+// capacity (strings especially) instead of destroying and reconstructing
+// them the way clear+insert does.
+void ConcatInto(Row& out, const Row& left, const Row& right) {
+  out.resize(left.size() + right.size());
+  size_t j = 0;
+  for (const Value& v : left) out[j++] = v;
+  for (const Value& v : right) out[j++] = v;
 }
 
 }  // namespace
@@ -163,6 +175,30 @@ HashJoinOperator::HashJoinOperator(std::unique_ptr<Operator> left,
   }
 }
 
+void HashJoinOperator::Specialize(const std::vector<TypeKind>& left_types,
+                                  const std::vector<TypeKind>& right_types) {
+  specialized_ = true;
+  left_width_ = static_cast<int>(left_types.size());
+  right_width_ = static_cast<int>(right_types.size());
+  int64_key_ =
+      probe_positions_.size() == 1 &&
+      left_types[static_cast<size_t>(probe_positions_[0])] ==
+          TypeKind::kInt64 &&
+      right_types[static_cast<size_t>(build_positions_[0])] ==
+          TypeKind::kInt64;
+  all_int64_ = true;
+  for (TypeKind t : left_types) {
+    if (t != TypeKind::kInt64) all_int64_ = false;
+  }
+  for (TypeKind t : right_types) {
+    if (t != TypeKind::kInt64) all_int64_ = false;
+  }
+  CountKernelSelection(int64_key_ ? "hashjoin_probe_int64"
+                                  : "hashjoin_probe_generic");
+  CountKernelSelection(all_int64_ ? "hashjoin_emit_int64"
+                                  : "hashjoin_emit_generic");
+}
+
 void HashJoinOperator::OpenImpl() {
   left_->Open();
   right_->Open();
@@ -170,7 +206,10 @@ void HashJoinOperator::OpenImpl() {
   RowBatch batch;
   while (right_->NextBatch(batch)) {
     for (int i = 0; i < batch.size(); ++i) {
-      build_rows.push_back(batch.row(i));
+      // Moving steals the slot's storage; the child re-fills moved-from
+      // slots on the next refill, so this only trades the per-value copy
+      // for one allocation the copy would have paid anyway.
+      build_rows.push_back(std::move(batch.row(i)));
     }
   }
   right_->Close();
@@ -196,6 +235,12 @@ void HashJoinOperator::OpenImpl() {
       .GetCounter("executor_hashjoin_build_keys_total",
                   "Distinct keys across hash-join build sides")
       .Add(static_cast<int64_t>(table_->num_keys()));
+  // The table only takes its int64 fast path when every build key actually
+  // is int64; with a schema-proven int64 key the two always agree, but the
+  // kernel re-checks so a declined fast path degrades instead of breaking.
+  use_fast_probe_ = int64_key_ && table_->fast_path();
+  if (all_int64_) table_->BuildIntPayload();
+  use_int_payload_ = all_int64_ && table_->has_int_payload();
   matches_ = JoinHashTable::Span{};
   match_cursor_ = 0;
   input_valid_ = false;
@@ -218,6 +263,7 @@ bool HashJoinOperator::NextImpl(Row& row) {
 }
 
 bool HashJoinOperator::NextBatchImpl(RowBatch& batch) {
+  if (specialized_) return NextBatchSpecialized(batch);
   batch.Clear();
   while (!batch.full()) {
     if (batch_match_cursor_ < batch_matches_.size) {
@@ -242,6 +288,106 @@ bool HashJoinOperator::NextBatchImpl(RowBatch& batch) {
       }
       input_valid_ = true;
       input_pos_ = 0;
+    }
+  }
+  return !batch.empty();
+}
+
+// The generic NextBatchImpl state machine with the kernel probe and emit
+// loops swapped in. Control flow mirrors the generic path exactly — same
+// probe order, same span walk, same batch boundaries — so the emitted rows
+// are bit-identical; only the per-row Value dispatch is gone.
+bool HashJoinOperator::NextBatchSpecialized(RowBatch& batch) {
+  batch.Clear();
+  const size_t out_width =
+      static_cast<size_t>(left_width_) + static_cast<size_t>(right_width_);
+  while (!batch.full()) {
+    if (batch_match_cursor_ < batch_matches_.size) {
+      if (use_int_payload_) {
+        // Matches of one span are consecutive matrix rows: the inner side
+        // reads sequential int64s instead of dereferencing per-row heap
+        // blocks.
+        do {
+          Row& slot = batch.AppendSlot();
+          slot.resize(out_width);
+          for (int c = 0; c < left_width_; ++c) {
+            slot[static_cast<size_t>(c)].StoreInt64(
+                outer_ints_[static_cast<size_t>(c)]);
+          }
+          const int64_t* inner = table_->int_payload_row(
+              batch_match_pos_ + batch_match_cursor_++);
+          for (int c = 0; c < right_width_; ++c) {
+            slot[static_cast<size_t>(left_width_ + c)].StoreInt64(inner[c]);
+          }
+          ++rows_produced_;
+        } while (!batch.full() && batch_match_cursor_ < batch_matches_.size);
+      } else if (all_int64_) {
+        do {
+          Row& slot = batch.AppendSlot();
+          slot.resize(out_width);
+          for (int c = 0; c < left_width_; ++c) {
+            slot[static_cast<size_t>(c)].StoreInt64(
+                outer_ints_[static_cast<size_t>(c)]);
+          }
+          const Row& inner =
+              table_->row(batch_matches_.data[batch_match_cursor_++]);
+          for (int c = 0; c < right_width_; ++c) {
+            slot[static_cast<size_t>(left_width_ + c)].StoreInt64(
+                inner[static_cast<size_t>(c)].int64_unchecked());
+          }
+          ++rows_produced_;
+        } while (!batch.full() && batch_match_cursor_ < batch_matches_.size);
+      } else {
+        const Row& outer = input_.row(input_pos_);
+        do {
+          ConcatInto(batch.AppendSlot(), outer,
+                     table_->row(batch_matches_.data[batch_match_cursor_++]));
+          ++rows_produced_;
+        } while (!batch.full() && batch_match_cursor_ < batch_matches_.size);
+      }
+      if (batch_match_cursor_ < batch_matches_.size) break;
+      ++input_pos_;
+    } else if (input_valid_ && input_pos_ < input_.size()) {
+      const Row& outer = input_.row(input_pos_);
+      if (use_fast_probe_) {
+        batch_matches_ = table_->ProbeFastInt64(
+            probe_keys_[static_cast<size_t>(input_pos_)]);
+      } else {
+        batch_matches_ = table_->Probe(outer, probe_positions_, scratch_);
+      }
+      batch_match_cursor_ = 0;
+      if (batch_matches_.empty()) {
+        ++input_pos_;
+        continue;
+      }
+      if (use_int_payload_) {
+        batch_match_pos_ = table_->PayloadPos(batch_matches_);
+      }
+      if (all_int64_) {
+        outer_ints_.resize(static_cast<size_t>(left_width_));
+        for (int c = 0; c < left_width_; ++c) {
+          outer_ints_[static_cast<size_t>(c)] =
+              outer[static_cast<size_t>(c)].int64_unchecked();
+        }
+      }
+    } else {
+      if (!left_->NextBatch(input_)) {
+        input_valid_ = false;
+        break;
+      }
+      input_valid_ = true;
+      input_pos_ = 0;
+      if (use_fast_probe_) {
+        // Gather the batch's keys into a contiguous array and warm each
+        // key's hash slot, so the per-row probe below starts from cache.
+        const size_t kpos = static_cast<size_t>(probe_positions_[0]);
+        probe_keys_.resize(static_cast<size_t>(input_.size()));
+        for (int i = 0; i < input_.size(); ++i) {
+          const int64_t key = input_.row(i)[kpos].int64_unchecked();
+          probe_keys_[static_cast<size_t>(i)] = key;
+          table_->PrefetchFastInt64(key);
+        }
+      }
     }
   }
   return !batch.empty();

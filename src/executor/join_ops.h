@@ -104,6 +104,17 @@ class HashJoinOperator : public Operator {
 
   std::string name() const override { return "HashJoin"; }
 
+  // Specializes the batch probe/emit loops against the child layouts'
+  // column types (schema-proven at CompilePlan time): a single int64 key
+  // pair probes through JoinHashTable::ProbeFastInt64 — no per-row
+  // canonicalisation or contract checks — and an all-int64 output layout
+  // emits through native stores into resized slots instead of
+  // clear+reinsert. Shapes the kernels decline (multi-column or mixed-type
+  // keys, string columns) keep the generic loops. The tuple path stays
+  // generic on purpose: it is the parity oracle.
+  void Specialize(const std::vector<TypeKind>& left_types,
+                  const std::vector<TypeKind>& right_types);
+
  protected:
   void OpenImpl() override;
   bool NextImpl(Row& row) override;
@@ -111,12 +122,31 @@ class HashJoinOperator : public Operator {
   void CloseImpl() override;
 
  private:
+  bool NextBatchSpecialized(RowBatch& batch);
+
   std::unique_ptr<Operator> left_;
   std::unique_ptr<Operator> right_;
   std::vector<int> build_positions_;  // Key columns in the right layout.
   std::vector<int> probe_positions_;  // Key columns in the left layout.
   std::unique_ptr<JoinHashTable> table_;
   JoinHashTable::Scratch scratch_;
+
+  // Kernel state (Specialize).
+  bool specialized_ = false;
+  bool int64_key_ = false;       // Single key pair, int64 on both sides.
+  bool all_int64_ = false;       // Every output column is int64.
+  bool use_fast_probe_ = false;  // int64_key_ and the table built fast-path.
+  // all_int64_ and the table materialised its contiguous int64 payload
+  // matrix: the emit loop reads consecutive matrix rows per span.
+  bool use_int_payload_ = false;
+  int left_width_ = 0;
+  int right_width_ = 0;
+  // Outer row's values as native ints for the emit loop; cached once per
+  // probed row (a match span can stretch across emitted batches).
+  std::vector<int64_t> outer_ints_;
+  // Fast-probe keys of the current input batch, gathered (and their hash
+  // slots prefetched) once per refill.
+  std::vector<int64_t> probe_keys_;
 
   // Tuple-path probe state.
   Row outer_row_;
@@ -129,6 +159,8 @@ class HashJoinOperator : public Operator {
   int input_pos_ = 0;
   JoinHashTable::Span batch_matches_;
   size_t batch_match_cursor_ = 0;
+  // Payload position of batch_matches_'s first match (int-payload emit).
+  size_t batch_match_pos_ = 0;
   bool input_valid_ = false;
 };
 

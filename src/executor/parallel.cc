@@ -2,14 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdlib>
-#include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/logging.h"
 #include "executor/eval.h"
 #include "obs/metrics.h"
+#include "obs/pool_obs.h"
 #include "obs/trace.h"
 #include "executor/execute.h"
 #include "executor/hash_table.h"
@@ -17,14 +16,7 @@
 
 namespace joinest {
 
-int NumExecutorThreads() {
-  if (const char* env = std::getenv("JOINEST_THREADS")) {
-    const int n = std::atoi(env);
-    if (n > 0) return n;
-  }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
-}
+int NumExecutorThreads() { return NumPoolThreads(); }
 
 namespace {
 
@@ -58,13 +50,44 @@ struct Level {
   std::vector<int> copy_cols;
 };
 
-// Filtered rows of a base table (all columns).
-std::vector<Row> FilteredRows(const Table& table, const LocalFilter& filter) {
-  std::vector<Row> rows;
+// Filtered rows of one row range of a base table (all columns), appended to
+// `out`.
+void FilterRangeInto(const Table& table, const LocalFilter& filter,
+                     RowRange range, std::vector<Row>& out) {
   Row row;
-  for (int64_t r = 0; r < table.num_rows(); ++r) {
+  for (int64_t r = range.begin; r < range.end; ++r) {
     table.CopyRowInto(r, row);
-    if (filter.Passes(row)) rows.push_back(row);
+    if (filter.Passes(row)) out.push_back(row);
+  }
+}
+
+// Filtered rows of a base table, chunk-parallel on the pool: each morsel
+// filters into a private vector and the chunks concatenate in morsel order,
+// so the row order — and hence the hash table built from it — is identical
+// to a serial scan.
+std::vector<Row> FilteredRows(const Table& table, const LocalFilter& filter,
+                              ThreadPool& pool) {
+  const std::vector<RowRange> morsels = table.Morsels(kMorselRows);
+  if (morsels.size() <= 1 || pool.num_workers() == 0) {
+    std::vector<Row> rows;
+    FilterRangeInto(table, filter, RowRange{0, table.num_rows()}, rows);
+    return rows;
+  }
+  std::vector<std::vector<Row>> chunks(morsels.size());
+  {
+    TaskGroup group(pool);
+    for (size_t m = 0; m < morsels.size(); ++m) {
+      group.Run([&table, &filter, &morsels, &chunks, m] {
+        FilterRangeInto(table, filter, morsels[m], chunks[m]);
+      });
+    }
+  }
+  size_t total = 0;
+  for (const std::vector<Row>& chunk : chunks) total += chunk.size();
+  std::vector<Row> rows;
+  rows.reserve(total);
+  for (std::vector<Row>& chunk : chunks) {
+    for (Row& row : chunk) rows.push_back(std::move(row));
   }
   return rows;
 }
@@ -98,7 +121,11 @@ struct Worker {
 }  // namespace
 
 StatusOr<int64_t> ParallelTrueCount(const Catalog& catalog,
-                                    const QuerySpec& spec) {
+                                    const QuerySpec& spec,
+                                    const ParallelOptions& options) {
+  EnsureThreadPoolMetrics();
+  ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : SharedThreadPool();
   JOINEST_RETURN_IF_ERROR(spec.Validate(catalog));
   const int n = spec.num_tables();
 
@@ -152,12 +179,22 @@ StatusOr<int64_t> ParallelTrueCount(const Catalog& catalog,
     in_plan[t] = true;
   }
 
-  // Build the hash tables (sequential; each is immutable afterwards and
-  // shared read-only by every worker).
-  for (size_t i = 1; i < order.size(); ++i) {
-    const int t = order[i];
-    levels[i - 1].table = std::make_unique<JoinHashTable>(
-        FilteredRows(*tables[t], local[t]), build_positions[i - 1]);
+  // Build the hash tables — one pool task per level, each level's filtered
+  // scan chunk-parallel in turn (nested submission lands on the worker's
+  // own deque, so idle workers steal the chunks). Each table is immutable
+  // afterwards and shared read-only by every worker. Keeping the builds off
+  // the critical path matters for scaling: a serial build phase would cap
+  // parallel efficiency well below the probe phase's.
+  {
+    Span build_span("ParallelTrueCount::build");
+    TaskGroup group(pool);
+    for (size_t i = 1; i < order.size(); ++i) {
+      const int t = order[i];
+      group.Run([&, i, t] {
+        levels[i - 1].table = std::make_unique<JoinHashTable>(
+            FilteredRows(*tables[t], local[t], pool), build_positions[i - 1]);
+      });
+    }
   }
 
   // Which columns each level must publish into the combined row: those its
@@ -229,19 +266,24 @@ StatusOr<int64_t> ParallelTrueCount(const Catalog& catalog,
   };
 
   std::atomic<size_t> next_morsel{0};
-  const int threads = std::max(
-      1, static_cast<int>(std::min<size_t>(NumExecutorThreads(),
-                                           morsels.size())));
-  std::vector<int64_t> counts(threads, 0);
-  if (threads == 1) {
+  const int limit =
+      options.max_workers > 0 ? options.max_workers : pool.num_workers() + 1;
+  const int workers = std::max(
+      1, static_cast<int>(std::min<size_t>(limit, morsels.size())));
+  std::vector<int64_t> counts(workers, 0);
+  if (workers == 1) {
     run_worker(counts[0], next_morsel);
   } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (int w = 0; w < threads; ++w) {
-      pool.emplace_back([&, w] { run_worker(counts[w], next_morsel); });
+    // Workers 1..n-1 are pool tasks; the caller runs worker 0 inline, then
+    // Wait() helps with any task no pool thread has claimed yet — the
+    // caller never blocks while countable work remains. Per-worker counts
+    // sum at the end; addition commutes, so the total is bit-identical to
+    // the single-threaded run whatever the schedule.
+    TaskGroup group(pool);
+    for (int w = 1; w < workers; ++w) {
+      group.Run([&, w] { run_worker(counts[w], next_morsel); });
     }
-    for (std::thread& t : pool) t.join();
+    run_worker(counts[0], next_morsel);
   }
   int64_t total = 0;
   for (int64_t c : counts) total += c;

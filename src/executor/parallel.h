@@ -15,8 +15,12 @@
 //   4. the per-thread counts are summed — addition commutes, so the result
 //      is bit-identical to the tuple path no matter the schedule.
 //
-// Thread count: JOINEST_THREADS if set (deterministic CI), else
-// hardware_concurrency. One thread runs inline on the caller.
+// Work runs on the shared work-stealing pool (common/thread_pool.h) — no
+// thread is spawned per query. The level builds fan out as pool tasks too
+// (each level's filtered scan is itself chunk-parallel), which keeps the
+// serial fraction small enough for the 4-thread efficiency targets.
+// Concurrency: JOINEST_THREADS if set (deterministic CI; 1 = fully inline),
+// else hardware_concurrency. The caller always counts as one worker.
 
 #ifndef JOINEST_EXECUTOR_PARALLEL_H_
 #define JOINEST_EXECUTOR_PARALLEL_H_
@@ -24,24 +28,37 @@
 #include <cstdint>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "query/query_spec.h"
 #include "storage/catalog.h"
 
 namespace joinest {
 
-// Worker count for morsel-parallel execution: the JOINEST_THREADS
-// environment variable when set to a positive integer, otherwise
-// std::thread::hardware_concurrency(); always at least 1.
+// Worker count for morsel-parallel execution: JOINEST_THREADS when set to a
+// positive integer, otherwise hardware_concurrency; always at least 1.
+// (Forwards to NumPoolThreads — the executor and the shared pool size from
+// the same knob.)
 int NumExecutorThreads();
 
 // Rows per morsel handed to a worker.
 inline constexpr int64_t kMorselRows = 4096;
 
+// Knobs for ParallelTrueCount, used by benchmarks to pin the pool and the
+// concurrency for scaling sweeps.
+struct ParallelOptions {
+  // Pool to schedule on; null uses the process-wide SharedThreadPool().
+  ThreadPool* pool = nullptr;
+  // Cap on concurrent counting workers, including the caller; 0 sizes from
+  // the pool (its workers + the caller).
+  int max_workers = 0;
+};
+
 // Exact COUNT(*) of `spec` (all predicates applied), computed with the
 // morsel-parallel counting pipeline over the canonical safe join order.
 // Counts match ExecutePlan on the canonical safe plan bit for bit.
 StatusOr<int64_t> ParallelTrueCount(const Catalog& catalog,
-                                    const QuerySpec& spec);
+                                    const QuerySpec& spec,
+                                    const ParallelOptions& options = {});
 
 }  // namespace joinest
 

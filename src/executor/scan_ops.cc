@@ -21,6 +21,11 @@ SeqScanOperator::SeqScanOperator(const Table& table, int table_index,
   }
 }
 
+void SeqScanOperator::Specialize() {
+  specialized_ = true;
+  CountKernelSelection("scan_columnwise_fill");
+}
+
 void SeqScanOperator::OpenImpl() { cursor_ = range_.begin; }
 
 bool SeqScanOperator::NextImpl(Row& row) {
@@ -35,8 +40,12 @@ bool SeqScanOperator::NextBatchImpl(RowBatch& batch) {
   batch.Clear();
   const int64_t take =
       std::min<int64_t>(batch.capacity(), range_.end - cursor_);
-  for (int64_t i = 0; i < take; ++i) {
-    table_.CopyRowInto(cursor_ + i, batch.AppendSlot());
+  if (specialized_) {
+    FillBatchColumnwise(table_, cursor_, take, batch, slots_);
+  } else {
+    for (int64_t i = 0; i < take; ++i) {
+      table_.CopyRowInto(cursor_ + i, batch.AppendSlot());
+    }
   }
   cursor_ += take;
   rows_produced_ += take;
@@ -103,6 +112,26 @@ FilterOperator::FilterOperator(std::unique_ptr<Operator> child,
   }
 }
 
+void FilterOperator::Specialize(const std::vector<TypeKind>& child_types) {
+  std::vector<CompiledPredicate> all;
+  CompilePredicates(predicates_, left_pos_, right_pos_, child_types, &all);
+  compiled_.clear();
+  generic_predicates_.clear();
+  generic_left_pos_.clear();
+  generic_right_pos_.clear();
+  for (size_t i = 0; i < all.size(); ++i) {
+    CountKernelSelection(FilterKernelName(all[i].kernel));
+    if (all[i].kernel == FilterKernel::kGeneric) {
+      generic_predicates_.push_back(predicates_[i]);
+      generic_left_pos_.push_back(left_pos_[i]);
+      generic_right_pos_.push_back(right_pos_[i]);
+    } else {
+      compiled_.push_back(std::move(all[i]));
+    }
+  }
+  specialized_ = true;
+}
+
 void FilterOperator::OpenImpl() { child_->Open(); }
 
 bool FilterOperator::RowPasses(const Row& row) const {
@@ -123,11 +152,30 @@ bool FilterOperator::NextBatchImpl(RowBatch& batch) {
   // The filter's layout equals the child's, so the child fills the caller's
   // batch directly and passing rows are compacted in place — no copies.
   while (child_->NextBatch(batch)) {
-    keep_.resize(batch.size());
     int passed = 0;
-    for (int i = 0; i < batch.size(); ++i) {
-      keep_[i] = RowPasses(batch.row(i)) ? 1 : 0;
-      passed += keep_[i];
+    if (specialized_) {
+      // Kernel path: typed column-at-a-time loops over the specialized
+      // predicates, then the generic remainder row-wise over survivors.
+      // The conjunction short-circuits per column instead of per row, but
+      // the predicates are pure, so the surviving set is bit-identical.
+      keep_.assign(batch.size(), 1);
+      EvalCompiledPredicates(batch, compiled_, keep_);
+      if (!generic_predicates_.empty()) {
+        for (int i = 0; i < batch.size(); ++i) {
+          if (!keep_[i]) continue;
+          keep_[i] = EvalPredicatesRow(batch.row(i), generic_predicates_,
+                                       generic_left_pos_, generic_right_pos_)
+                         ? 1
+                         : 0;
+        }
+      }
+      for (int i = 0; i < batch.size(); ++i) passed += keep_[i];
+    } else {
+      keep_.resize(batch.size());
+      for (int i = 0; i < batch.size(); ++i) {
+        keep_[i] = RowPasses(batch.row(i)) ? 1 : 0;
+        passed += keep_[i];
+      }
     }
     if (passed == 0) continue;  // Fully filtered batch; pull the next one.
     if (passed < batch.size()) batch.Keep(keep_);

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "executor/kernels.h"
 #include "executor/operator.h"
 #include "query/predicate.h"
 #include "storage/table.h"
@@ -49,6 +50,11 @@ class SeqScanOperator : public Operator {
 
   std::string name() const override { return "SeqScan"; }
 
+  // Switches the batch path to the column-wise kernel fill (the column
+  // types are schema-proven, so the per-cell variant dispatch of
+  // CopyRowInto is unnecessary). Called once at CompilePlan time.
+  void Specialize();
+
  protected:
   void OpenImpl() override;
   bool NextImpl(Row& row) override;
@@ -59,6 +65,8 @@ class SeqScanOperator : public Operator {
   const Table& table_;
   RowRange range_;
   int64_t cursor_ = 0;
+  bool specialized_ = false;
+  std::vector<Row*> slots_;  // Kernel-fill scratch, reused per batch.
 };
 
 // Scans an explicit sorted list of row ids of a base table — the scan the
@@ -97,6 +105,14 @@ class FilterOperator : public Operator {
 
   const Operator& child() const { return *child_; }
 
+  // Lowers the predicate list against the child layout's column types:
+  // predicates whose operand types fit a typed kernel run column-at-a-time
+  // through EvalCompiledPredicates; any remainder stays on the generic row
+  // path. The tuple path (NextImpl) is left generic on purpose — it is the
+  // parity oracle the batch kernels are tested against. Called once at
+  // CompilePlan time.
+  void Specialize(const std::vector<TypeKind>& child_types);
+
  protected:
   void OpenImpl() override;
   bool NextImpl(Row& row) override;
@@ -113,6 +129,13 @@ class FilterOperator : public Operator {
   std::vector<int> left_pos_;
   std::vector<int> right_pos_;
   std::vector<char> keep_;  // Batch-path selection vector, reused.
+  // Kernel state (Specialize): the compiled specialized predicates plus the
+  // generic remainder with its resolved positions.
+  bool specialized_ = false;
+  std::vector<CompiledPredicate> compiled_;
+  std::vector<Predicate> generic_predicates_;
+  std::vector<int> generic_left_pos_;
+  std::vector<int> generic_right_pos_;
 };
 
 // Projects child rows onto a subset of columns.

@@ -1,0 +1,67 @@
+#include "obs/pool_obs.h"
+
+#include <mutex>
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace joinest {
+
+namespace {
+
+class RegistryPoolObserver : public ThreadPoolObserver {
+ public:
+  RegistryPoolObserver()
+      : worker_tasks_(MetricsRegistry::Global().GetCounter(
+            "pool_tasks_total", "Thread-pool tasks executed",
+            {{"source", "worker"}})),
+        inline_tasks_(MetricsRegistry::Global().GetCounter(
+            "pool_tasks_total", "Thread-pool tasks executed",
+            {{"source", "inline"}})),
+        steals_(MetricsRegistry::Global().GetCounter(
+            "pool_steals_total",
+            "Thread-pool tasks taken from another worker's deque")),
+        queue_depth_(MetricsRegistry::Global().GetGauge(
+            "pool_queue_depth", "Queued thread-pool tasks at submission")) {}
+
+  void* TaskStarted(int worker, bool stolen) override {
+    (worker >= 0 ? worker_tasks_ : inline_tasks_).Increment();
+    if (stolen) steals_.Increment();
+    // Worker span, only while a session records: pool scheduling becomes
+    // visible per-thread in the Perfetto export.
+    if (TraceSession::Active() != nullptr) {
+      return new Span("ThreadPool::task", "worker",
+                      static_cast<int64_t>(worker));
+    }
+    return nullptr;
+  }
+
+  void TaskFinished(int worker, bool stolen, void* token) override {
+    (void)worker;
+    (void)stolen;
+    delete static_cast<Span*>(token);
+  }
+
+  void QueueDepth(int64_t depth) override {
+    queue_depth_.Set(static_cast<double>(depth));
+  }
+
+ private:
+  Counter& worker_tasks_;
+  Counter& inline_tasks_;
+  Counter& steals_;
+  Gauge& queue_depth_;
+};
+
+}  // namespace
+
+void EnsureThreadPoolMetrics() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    static RegistryPoolObserver observer;
+    InstallThreadPoolObserver(&observer);
+  });
+}
+
+}  // namespace joinest

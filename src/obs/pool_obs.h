@@ -1,0 +1,28 @@
+// Registry-backed telemetry for the shared thread pool.
+//
+// common/thread_pool.h cannot link the metrics registry (obs/ sits above
+// common/ in the layering), so the pool exposes a ThreadPoolObserver hook
+// instead. This module provides the observer that feeds the registry —
+//
+//   pool_tasks_total{source=worker|inline}  tasks executed
+//   pool_steals_total                       tasks taken from a victim deque
+//   pool_queue_depth                        queued tasks at last submission
+//
+// — and opens a `ThreadPool::task` trace span per task while a
+// TraceSession is active, so pool scheduling shows up in Perfetto exports
+// alongside the operator and worker spans.
+
+#ifndef JOINEST_OBS_POOL_OBS_H_
+#define JOINEST_OBS_POOL_OBS_H_
+
+namespace joinest {
+
+// Installs the registry-backed ThreadPoolObserver process-wide. Idempotent
+// and thread-safe; every subsystem that drives the pool through an
+// obs-linked layer (executor, pt, service) calls this on its way in, so
+// pool metrics exist whichever entry point ran first.
+void EnsureThreadPoolMetrics();
+
+}  // namespace joinest
+
+#endif  // JOINEST_OBS_POOL_OBS_H_

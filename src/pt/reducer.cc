@@ -5,13 +5,14 @@
 #include <cmath>
 #include <map>
 #include <memory>
-#include <thread>
 #include <utility>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "executor/eval.h"
 #include "executor/parallel.h"
 #include "obs/metrics.h"
+#include "obs/pool_obs.h"
 #include "pt/bloom.h"
 
 namespace joinest {
@@ -68,17 +69,19 @@ void BuildFilterSerial(const Table& table, int column,
   for (const int64_t r : rows) filter.Add(HashValueAt(table, r, column));
 }
 
-// Morsel-parallel build: workers fill private same-geometry filters over
-// row slices, then the slices OR-merge into `filter`. Bit-identical to the
-// serial build — the final bit set does not depend on insertion order.
+// Morsel-parallel build on the shared pool: slices fill private
+// same-geometry filters, then the slices OR-merge into `filter` in fixed
+// slice order. Bit-identical to the serial build — the final bit set does
+// not depend on insertion order.
 void BuildFilterParallel(const Table& table, int column,
                          const std::vector<int64_t>& rows,
                          int64_t expected_keys, BlockedBloomFilter& filter) {
-  const int threads = std::max(
-      1, std::min(NumExecutorThreads(),
+  ThreadPool& pool = SharedThreadPool();
+  const int slices = std::max(
+      1, std::min(pool.num_workers() + 1,
                   static_cast<int>(rows.size() / static_cast<size_t>(
                                        kChunkRows)) + 1));
-  if (threads <= 1) {
+  if (slices <= 1) {
     BuildFilterSerial(table, column, rows, filter);
     return;
   }
@@ -86,30 +89,43 @@ void BuildFilterParallel(const Table& table, int column,
   // (the ctor derives the block count deterministically from expected keys
   // and bits per key), which MergeFrom requires.
   std::vector<BlockedBloomFilter> partials;
-  partials.reserve(static_cast<size_t>(threads));
-  for (int i = 0; i < threads; ++i) {
+  partials.reserve(static_cast<size_t>(slices));
+  for (int i = 0; i < slices; ++i) {
     partials.emplace_back(expected_keys, filter.bits_per_key());
   }
-  const size_t stride = (rows.size() + static_cast<size_t>(threads) - 1) /
-                        static_cast<size_t>(threads);
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<size_t>(threads));
-  for (int i = 0; i < threads; ++i) {
+  const size_t stride = (rows.size() + static_cast<size_t>(slices) - 1) /
+                        static_cast<size_t>(slices);
+  auto fill = [&table, column, &rows, &partials, stride](int i) {
     const size_t begin = static_cast<size_t>(i) * stride;
     const size_t end = std::min(rows.size(), begin + stride);
-    if (begin >= end) break;
-    workers.emplace_back([&table, column, &rows, &partials, i, begin, end] {
-      BlockedBloomFilter& partial = partials[static_cast<size_t>(i)];
-      for (size_t j = begin; j < end; ++j) {
-        partial.Add(HashValueAt(table, rows[j], column));
-      }
-    });
+    BlockedBloomFilter& partial = partials[static_cast<size_t>(i)];
+    for (size_t j = begin; j < end; ++j) {
+      partial.Add(HashValueAt(table, rows[j], column));
+    }
+  };
+  {
+    TaskGroup group(pool);
+    for (int i = 1; i < slices; ++i) {
+      group.Run([&fill, i] { fill(i); });
+    }
+    fill(0);  // The caller is a worker too.
   }
-  for (std::thread& w : workers) w.join();
   for (const BlockedBloomFilter& p : partials) {
     const Status merged = filter.MergeFrom(p);
     JOINEST_CHECK(merged.ok()) << merged;
   }
+}
+
+// Bits per key from the build side's expected cardinality: a small filter
+// is cache-resident anyway, so extra bits are nearly free and cut the
+// false-positive rate; a huge filter overflows cache, where fewer bits per
+// key keeps more of the probe path resident. Deterministic in `expected`,
+// so every build of the same side (serial, parallel, repeated) derives
+// identical geometry.
+double AdaptiveBitsPerKey(int64_t expected) {
+  const double log_keys =
+      std::log2(static_cast<double>(std::max<int64_t>(expected, 2)));
+  return std::clamp(32.0 - 1.25 * log_keys, 6.0, 18.0);
 }
 
 }  // namespace
@@ -137,6 +153,7 @@ StatusOr<PtResult> RunPredicateTransfer(const Catalog& catalog,
                                         const QuerySpec& spec,
                                         const PtOptions& options) {
   JOINEST_RETURN_IF_ERROR(options.Validate());
+  EnsureThreadPoolMetrics();
   const auto start = std::chrono::steady_clock::now();
 
   PtResult result;
@@ -235,8 +252,11 @@ StatusOr<PtResult> RunPredicateTransfer(const Catalog& catalog,
           std::min(static_cast<int64_t>(ids.size()),
                    static_cast<int64_t>(std::llround(
                        std::max(1.0, stat_distinct)))));
+      const double bits_per_key = options.adaptive_bits_per_key
+                                      ? AdaptiveBitsPerKey(expected)
+                                      : options.bits_per_key;
       auto filter =
-          std::make_unique<BlockedBloomFilter>(expected, options.bits_per_key);
+          std::make_unique<BlockedBloomFilter>(expected, bits_per_key);
       if (static_cast<int64_t>(ids.size()) >=
           options.parallel_build_threshold) {
         BuildFilterParallel(table, build.column, ids, expected, *filter);

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/pool_obs.h"
 #include "query/parser.h"
 #include "service/fingerprint.h"
 
@@ -482,9 +483,14 @@ Database::Database(Options options) : options_(std::move(options)) {
                                           options_.cache_shards(),
                                           options_.cache_label());
   runtime_selectivities_ = std::make_shared<RuntimeSelectivityStore>();
+  // Opening a database is the service's natural "threads will be used"
+  // moment: install the pool metrics observer before any stage submits.
+  EnsureThreadPoolMetrics();
   // Version 0: the empty bootstrap snapshot, so snapshot() is never null.
   Publish(SnapshotBuilder().Build(0));
 }
+
+ThreadPool& Database::thread_pool() const { return SharedThreadPool(); }
 
 template <typename Fn>
 Status Database::Mutate(Fn&& mutate) {

@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "estimator/analyzed_query.h"
 #include "estimator/presets.h"
 #include "executor/execute.h"
@@ -353,6 +354,13 @@ class Database {
   RuntimeSelectivityStore& runtime_selectivities() const {
     return *runtime_selectivities_;
   }
+
+  // The work-stealing pool this database's data-parallel stages (parallel
+  // counting, predicate-transfer builds, partitioned ANALYZE) run on. The
+  // pool is process-wide — every Database returns the same one — so
+  // concurrent sessions and concurrent databases share workers instead of
+  // oversubscribing cores. Sized by JOINEST_THREADS/hardware_concurrency.
+  ThreadPool& thread_pool() const;
 
  private:
   friend class Session;

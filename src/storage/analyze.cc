@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -10,6 +9,7 @@
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "stats/distinct.h"
 
 namespace joinest {
@@ -172,12 +172,14 @@ SketchProfile BuildSketchProfile(const Table& table,
   if (partitions == 1) {
     build_partition(0);
   } else {
-    std::vector<std::thread> workers;
-    workers.reserve(partitions);
-    for (int p = 0; p < partitions; ++p) {
-      workers.emplace_back(build_partition, p);
+    // Partitions 1..n-1 go to the shared pool; the caller builds partition
+    // 0 and then helps drain the rest. Partials merge in fixed order below,
+    // so the split is invisible in the result.
+    TaskGroup group(SharedThreadPool());
+    for (int p = 1; p < partitions; ++p) {
+      group.Run([&build_partition, p] { build_partition(p); });
     }
-    for (std::thread& t : workers) t.join();
+    build_partition(0);
   }
 
   SketchProfile merged = std::move(partials[0]);

@@ -39,6 +39,24 @@ class Value {
   double AsDouble() const;
   const std::string& AsString() const;
 
+  // Unchecked accessors for the executor's specialized kernels, which prove
+  // the type once per query shape (from the table schema, at CompilePlan
+  // time) instead of per row. Undefined when the variant holds another
+  // alternative; the kernels only call these on columns whose schema type
+  // they were specialized for.
+  int64_t int64_unchecked() const { return *std::get_if<int64_t>(&data_); }
+  double double_unchecked() const { return *std::get_if<double>(&data_); }
+  const std::string& string_unchecked() const {
+    return *std::get_if<std::string>(&data_);
+  }
+
+  // In-place stores for kernel emit loops: a plain variant assignment, but
+  // named so call sites read as the deliberate fast path. Cheap when the
+  // slot already holds the same alternative (the steady state of pooled
+  // batch rows).
+  void StoreInt64(int64_t v) { data_ = v; }
+  void StoreDouble(double v) { data_ = v; }
+
   // Numeric view: int64 widened to double; CHECK-fails for strings.
   double ToNumeric() const;
 

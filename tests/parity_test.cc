@@ -190,6 +190,161 @@ TEST(ParallelParityTest, ParallelCountMatchesTuplePathAcrossThreadCounts) {
   }
 }
 
+// --------------------------------------------- Specialized batch kernels
+//
+// CompilePlan lowers schema-provable filters, scans and hash joins onto
+// typed kernels (executor/kernels.h). The generic row-at-a-time path stays
+// behind CompileOptions{specialize_kernels = false} as the parity oracle:
+// both compilations of the same plan must produce the same row count AND
+// the same multiset of rows.
+
+DrainResult DrainCompiled(const Catalog& catalog, const QuerySpec& spec,
+                          const PlanNode& plan, bool specialize) {
+  CompileOptions options;
+  options.specialize_kernels = specialize;
+  auto root = CompilePlan(catalog, spec, plan, nullptr, nullptr, nullptr,
+                          options);
+  JOINEST_CHECK(root.ok()) << root.status();
+  return DrainBatch(**root);
+}
+
+void ExpectKernelParity(const Catalog& catalog, const QuerySpec& spec,
+                        const char* what) {
+  const std::unique_ptr<PlanNode> plan = CanonicalSafePlan(spec);
+  const DrainResult generic =
+      DrainCompiled(catalog, spec, *plan, /*specialize=*/false);
+  const DrainResult specialized =
+      DrainCompiled(catalog, spec, *plan, /*specialize=*/true);
+  EXPECT_EQ(specialized.rows, generic.rows) << what;
+  EXPECT_EQ(specialized.checksum, generic.checksum) << what;
+  // The tuple driver is always generic; it anchors both batch paths.
+  CompileOptions specialize;
+  auto root = CompilePlan(catalog, spec, *plan, nullptr, nullptr, nullptr,
+                          specialize);
+  JOINEST_CHECK(root.ok()) << root.status();
+  const DrainResult tuple = DrainTuple(**root);
+  EXPECT_EQ(tuple.rows, generic.rows) << what;
+  EXPECT_EQ(tuple.checksum, generic.checksum) << what;
+}
+
+TEST(KernelParityTest, SpecializedMatchesGenericOnGeneratedWorkloads) {
+  for (const ParityCase& c : ParityCases()) {
+    const GeneratedWorkload w = MakeWorkload(c);
+    ExpectKernelParity(w.catalog, w.spec, "generated workload");
+  }
+}
+
+// Mixed-type tables: int64, double and string columns in one plan, so the
+// filter lowers onto all three typed kernels plus the int64-vs-double
+// widening path, and the join exercises both the all-int64 emit kernel
+// (key join on the int side) and the generic emit (string payloads).
+class KernelMixedTypeTest : public ::testing::Test {
+ protected:
+  KernelMixedTypeTest() {
+    Table facts = Table::FromColumns(
+        Schema({{"k", TypeKind::kInt64},
+                {"x", TypeKind::kDouble},
+                {"s", TypeKind::kString},
+                {"m", TypeKind::kInt64}}),
+        {ToValueColumn(std::vector<int64_t>{1, 2, 3, 4, 5, 6, 7, 8}),
+         ToValueColumn(
+             std::vector<double>{0.5, 1.5, 2.5, 3.0, 4.5, 5.0, 6.5, 7.0}),
+         ToValueColumn(std::vector<std::string>{"a", "b", "a", "c", "b", "a",
+                                                "d", "b"}),
+         ToValueColumn(std::vector<int64_t>{1, 1, 2, 2, 3, 3, 4, 4})});
+    Table dims = Table::FromColumns(
+        Schema({{"k", TypeKind::kInt64}, {"t", TypeKind::kString}}),
+        {ToValueColumn(std::vector<int64_t>{1, 2, 3, 4, 1, 2}),
+         ToValueColumn(
+             std::vector<std::string>{"p", "q", "r", "s", "t", "u"})});
+    JOINEST_CHECK(catalog_.AddTable("F", std::move(facts)).ok());
+    JOINEST_CHECK(catalog_.AddTable("G", std::move(dims)).ok());
+  }
+
+  QuerySpec SpecWith(std::vector<Predicate> predicates) {
+    QuerySpec spec = MakeCountSpec(catalog_, 2);
+    spec.predicates.push_back(
+        Predicate::Join(ColumnRef{0, 0}, ColumnRef{1, 0}));
+    for (Predicate& p : predicates) spec.predicates.push_back(std::move(p));
+    return spec;
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(KernelMixedTypeTest, AllFilterKernelsAgree) {
+  // One predicate per kernel: int64 const, double const, string const,
+  // int64 col-col, and the int64-vs-double widening comparison.
+  ExpectKernelParity(
+      catalog_,
+      SpecWith({Predicate::LocalConst(ColumnRef{0, 0}, CompareOp::kGt,
+                                      Value(int64_t{1}))}),
+      "int64 const");
+  ExpectKernelParity(
+      catalog_,
+      SpecWith({Predicate::LocalConst(ColumnRef{0, 1}, CompareOp::kLe,
+                                      Value(5.0))}),
+      "double const");
+  ExpectKernelParity(
+      catalog_,
+      SpecWith({Predicate::LocalConst(ColumnRef{0, 2}, CompareOp::kEq,
+                                      Value(std::string("a")))}),
+      "string const");
+  ExpectKernelParity(
+      catalog_,
+      SpecWith({Predicate::LocalColCol(ColumnRef{0, 0}, CompareOp::kGe,
+                                       ColumnRef{0, 3})}),
+      "int64 col-col");
+  ExpectKernelParity(
+      catalog_,
+      SpecWith({Predicate::LocalColCol(ColumnRef{0, 1}, CompareOp::kLt,
+                                       ColumnRef{0, 0})}),
+      "double-vs-int64 widening");
+  // An int64 column against a double constant widens the column side.
+  ExpectKernelParity(
+      catalog_,
+      SpecWith({Predicate::LocalConst(ColumnRef{0, 0}, CompareOp::kLt,
+                                      Value(4.5))}),
+      "int64 column vs double const");
+}
+
+TEST_F(KernelMixedTypeTest, ConjunctionAcrossKernelsAgrees) {
+  ExpectKernelParity(
+      catalog_,
+      SpecWith({Predicate::LocalConst(ColumnRef{0, 0}, CompareOp::kGt,
+                                      Value(int64_t{1})),
+                Predicate::LocalConst(ColumnRef{0, 2}, CompareOp::kNe,
+                                      Value(std::string("d"))),
+                Predicate::LocalColCol(ColumnRef{0, 1}, CompareOp::kLt,
+                                       ColumnRef{0, 0})}),
+      "mixed-kernel conjunction");
+}
+
+// String payloads force the generic emit path; an int64-only projection of
+// the same join takes the all-int64 emit kernel. Both must match their
+// generic compilations.
+TEST_F(KernelMixedTypeTest, JoinEmitKernelsAgree) {
+  ExpectKernelParity(catalog_, SpecWith({}), "string payload join");
+}
+
+// The mixed int64-vs-double join key must stay on the generic canonical-key
+// probe (the fast probe is only sound when both sides are int64).
+TEST(KernelMixedKeyParityTest, MixedKeyJoinStaysCorrect) {
+  Catalog catalog;
+  Table ints = Table::FromColumns(
+      Schema({{"a", TypeKind::kInt64}}),
+      {ToValueColumn(std::vector<int64_t>{1, 2, 3, 5, -7, 4000000000})});
+  Table doubles = Table::FromColumns(
+      Schema({{"b", TypeKind::kDouble}}),
+      {ToValueColumn(std::vector<double>{1.0, 2.5, 3.0, 5.0, -7.0, 1e19,
+                                         4000000000.0, 0.5})});
+  JOINEST_CHECK(catalog.AddTable("I", std::move(ints)).ok());
+  JOINEST_CHECK(catalog.AddTable("D", std::move(doubles)).ok());
+  QuerySpec spec = MakeCountSpec(catalog, 2);
+  spec.predicates.push_back(Predicate::Join(ColumnRef{0, 0}, ColumnRef{1, 0}));
+  ExpectKernelParity(catalog, spec, "mixed-type join key");
+}
+
 // ------------------------------------------------- Mixed-type join keys
 //
 // Regression: the seed hashed a double key by casting to int64 (undefined

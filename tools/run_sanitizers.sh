@@ -5,7 +5,10 @@
 #   * asan_ubsan — AddressSanitizer + UndefinedBehaviorSanitizer over the
 #     full ctest suite;
 #   * tsan — ThreadSanitizer over the tests that exercise concurrency: the
-#     partitioned sketch ANALYZE path (one thread per row-range partition),
+#     shared work-stealing pool (thread_pool_test hammers stealing, nested
+#     submission, and shutdown-with-pending-tasks directly),
+#     the partitioned sketch ANALYZE path (pool tasks per row-range
+#     partition),
 #     the morsel-parallel executor (parity_test drives TrueResultSize
 #     under JOINEST_THREADS=8; executor_test covers the shared read-only
 #     hash tables it probes), and the estimation service (service_test
@@ -36,6 +39,6 @@ export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
 export TSAN_OPTIONS="halt_on_error=1"
 
 run_job asan_ubsan "address,undefined" ""
-run_job tsan "thread" "-R 'sketch_test|storage_test|parity_test|executor_test|service_test|pt_test'"
+run_job tsan "thread" "-R 'sketch_test|storage_test|parity_test|executor_test|service_test|pt_test|thread_pool_test'"
 
 echo "All sanitizer jobs passed."
