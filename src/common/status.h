@@ -32,7 +32,12 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 // A success-or-error result. Cheap to copy on the OK path (no allocation).
-class Status {
+// [[nodiscard]]: silently dropping a Status is how error paths rot — every
+// ignored return is a compile-time warning (fatal in src/ under
+// -DJOINEST_WERROR=ON). Deliberate drops must be `(void)`-cast with a
+// reason comment; the `nodiscard-status` lint checker keeps declarations
+// annotated.
+class [[nodiscard]] Status {
  public:
   // Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -69,7 +74,7 @@ Status Internal(std::string message);
 // Either a value of T or an error Status. Accessing the value of an error
 // result aborts (CHECK failure).
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   // Intentionally implicit, so `return value;` and `return status;` both work.
   StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -1,0 +1,141 @@
+// Clang thread-safety annotations + the annotated lock vocabulary.
+//
+// Two things live here, deliberately in one header:
+//
+//  1. The JOINEST_* annotation macros wrapping Clang's thread-safety
+//     attributes (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html).
+//     Under Clang, `-Wthread-safety -Wthread-safety-beta` turn every
+//     locking discipline they express into a compile error when violated;
+//     under other compilers they expand to nothing. The intent mirrors the
+//     JOINEST_CHECK* contract layer (common/check.h): check.h proves the
+//     paper's numeric invariants at run time, this header proves the
+//     engine's lock invariants at compile time.
+//
+//  2. joinest::Mutex / joinest::MutexLock / joinest::CondVar — thin,
+//     zero-overhead wrappers over std::mutex / std::condition_variable that
+//     carry the capability annotations. ALL mutex use in src/ goes through
+//     these (enforced by the `raw-mutex` checker in tools/lint): a naked
+//     std::mutex is invisible to the analysis, so one raw lock_guard would
+//     punch a silent hole in the whole proof.
+//
+// Annotation cheat sheet:
+//   JOINEST_GUARDED_BY(mu)   on a field: reads/writes require mu held.
+//   JOINEST_REQUIRES(mu)     on a function: caller must hold mu.
+//   JOINEST_ACQUIRE/RELEASE  on a function: it takes / drops mu itself.
+//   JOINEST_EXCLUDES(mu)     on a function: caller must NOT hold mu
+//                            (deadlock guard for self-calling APIs).
+//   JOINEST_CAPABILITY       declares a lockable type (Mutex below).
+//
+// Waiting: CondVar::Wait(mu) REQUIRES(mu) — the wrapper releases and
+// reacquires the native mutex internally, which matches the annotation's
+// model (held before, held after). Spurious wakeups are the caller's
+// problem, exactly as with std::condition_variable: always wait in a
+// `while (!predicate)` loop so the guarded predicate reads sit visibly
+// inside the locked scope (lambda predicates would hide them from the
+// analysis).
+
+#ifndef JOINEST_COMMON_THREAD_ANNOTATIONS_H_
+#define JOINEST_COMMON_THREAD_ANNOTATIONS_H_
+
+// lint:allow(raw-mutex) this header IS the sanctioned home of std::mutex.
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define JOINEST_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define JOINEST_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+#define JOINEST_CAPABILITY(x) JOINEST_THREAD_ANNOTATION_(capability(x))
+#define JOINEST_SCOPED_CAPABILITY JOINEST_THREAD_ANNOTATION_(scoped_lockable)
+#define JOINEST_GUARDED_BY(x) JOINEST_THREAD_ANNOTATION_(guarded_by(x))
+#define JOINEST_PT_GUARDED_BY(x) JOINEST_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define JOINEST_ACQUIRED_BEFORE(...) \
+  JOINEST_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define JOINEST_ACQUIRED_AFTER(...) \
+  JOINEST_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#define JOINEST_REQUIRES(...) \
+  JOINEST_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define JOINEST_REQUIRES_SHARED(...) \
+  JOINEST_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+#define JOINEST_ACQUIRE(...) \
+  JOINEST_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define JOINEST_ACQUIRE_SHARED(...) \
+  JOINEST_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define JOINEST_RELEASE(...) \
+  JOINEST_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define JOINEST_RELEASE_SHARED(...) \
+  JOINEST_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define JOINEST_TRY_ACQUIRE(...) \
+  JOINEST_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define JOINEST_EXCLUDES(...) \
+  JOINEST_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define JOINEST_ASSERT_CAPABILITY(x) \
+  JOINEST_THREAD_ANNOTATION_(assert_capability(x))
+#define JOINEST_RETURN_CAPABILITY(x) \
+  JOINEST_THREAD_ANNOTATION_(lock_returned(x))
+#define JOINEST_NO_THREAD_SAFETY_ANALYSIS \
+  JOINEST_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace joinest {
+
+// A std::mutex the analysis can see. Same size, same codegen; the
+// annotations are the whole point.
+class JOINEST_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() JOINEST_ACQUIRE() { mu_.lock(); }
+  void Unlock() JOINEST_RELEASE() { mu_.unlock(); }
+  bool TryLock() JOINEST_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII lock over a Mutex — the project's std::lock_guard. Scoped
+// capability: the analysis treats the guarded scope as holding the mutex.
+class JOINEST_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) JOINEST_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() JOINEST_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable bound to joinest::Mutex. Wait() requires the mutex
+// held and returns with it held again (it may wake spuriously — wait in a
+// while loop over the guarded predicate).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) JOINEST_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the duration of the wait;
+    // release() afterwards so the unique_lock does not unlock it on exit —
+    // ownership stays with the caller's MutexLock, as annotated.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace joinest
+
+#endif  // JOINEST_COMMON_THREAD_ANNOTATIONS_H_

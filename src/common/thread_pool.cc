@@ -60,7 +60,7 @@ ThreadPool::~ThreadPool() {
     for (size_t q = 0; q < queues_.size(); ++q) {
       Task task;
       {
-        std::lock_guard<std::mutex> lock(queues_[q]->mu);
+        MutexLock lock(queues_[q]->mu);
         if (!queues_[q]->tasks.empty()) {
           task = std::move(queues_[q]->tasks.front());
           queues_[q]->tasks.pop_front();
@@ -77,10 +77,10 @@ ThreadPool::~ThreadPool() {
     if (!ran) break;
   }
   {
-    std::lock_guard<std::mutex> lock(sleep_mu_);
+    MutexLock lock(sleep_mu_);
     stop_ = true;
   }
-  sleep_cv_.notify_all();
+  sleep_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -105,13 +105,13 @@ void ThreadPool::Submit(Task task) {
   }
   const int64_t depth = pending_.fetch_add(1, std::memory_order_relaxed) + 1;
   {
-    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    MutexLock lock(queues_[target]->mu);
     queues_[target]->tasks.push_back(std::move(task));
   }
   if (ThreadPoolObserver* obs = g_observer.load(std::memory_order_acquire)) {
     obs->QueueDepth(depth);
   }
-  sleep_cv_.notify_one();
+  sleep_cv_.NotifyOne();
 }
 
 bool ThreadPool::TryRunOneTask(int index) {
@@ -121,7 +121,7 @@ bool ThreadPool::TryRunOneTask(int index) {
   bool stolen = false;
   {
     WorkerQueue& own = *queues_[static_cast<size_t>(index)];
-    std::lock_guard<std::mutex> lock(own.mu);
+    MutexLock lock(own.mu);
     if (!own.tasks.empty()) {
       task = std::move(own.tasks.back());
       own.tasks.pop_back();
@@ -133,7 +133,7 @@ bool ThreadPool::TryRunOneTask(int index) {
     for (size_t delta = 1; delta < n && !task; ++delta) {
       WorkerQueue& victim =
           *queues_[(static_cast<size_t>(index) + delta) % n];
-      std::lock_guard<std::mutex> lock(victim.mu);
+      MutexLock lock(victim.mu);
       if (!victim.tasks.empty()) {
         task = std::move(victim.tasks.front());
         victim.tasks.pop_front();
@@ -155,14 +155,16 @@ void ThreadPool::WorkerLoop(int index) {
   t_worker_pool = this;
   while (true) {
     if (TryRunOneTask(index)) continue;
-    std::unique_lock<std::mutex> lock(sleep_mu_);
+    MutexLock lock(sleep_mu_);
     if (pending_.load(std::memory_order_relaxed) > 0) continue;
     // Drain-before-exit: stop_ is only honoured once every queue is empty,
     // so destroying the pool with tasks pending completes them.
     if (stop_) return;
-    sleep_cv_.wait(lock, [this] {
-      return stop_ || pending_.load(std::memory_order_relaxed) > 0;
-    });
+    // While-loop wait (not a predicate lambda): the guarded stop_ reads
+    // stay inside the locked scope where the analysis can see them.
+    while (!stop_ && pending_.load(std::memory_order_relaxed) <= 0) {
+      sleep_cv_.Wait(sleep_mu_);
+    }
   }
 }
 
@@ -185,7 +187,7 @@ TaskGroup::~TaskGroup() { Wait(); }
 bool TaskGroup::RunOne(const std::shared_ptr<State>& state) {
   std::function<void()> fn;
   {
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(state->mu);
     if (state->unstarted.empty()) return false;
     fn = std::move(state->unstarted.front());
     state->unstarted.pop_front();
@@ -193,16 +195,16 @@ bool TaskGroup::RunOne(const std::shared_ptr<State>& state) {
   fn();
   bool last;
   {
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(state->mu);
     last = --state->outstanding == 0;
   }
-  if (last) state->cv.notify_all();
+  if (last) state->cv.NotifyAll();
   return true;
 }
 
 void TaskGroup::Run(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(state_->mu);
+    MutexLock lock(state_->mu);
     ++state_->outstanding;
     state_->unstarted.push_back(std::move(fn));
   }
@@ -217,8 +219,8 @@ void TaskGroup::Wait() {
   // Help first: run this group's unstarted tasks on the waiting thread.
   while (RunOne(state_)) {
   }
-  std::unique_lock<std::mutex> lock(state_->mu);
-  state_->cv.wait(lock, [this] { return state_->outstanding == 0; });
+  MutexLock lock(state_->mu);
+  while (state_->outstanding != 0) state_->cv.Wait(state_->mu);
 }
 
 // ---------------------------------------------------------- Shared pool

@@ -41,14 +41,14 @@
 #define JOINEST_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace joinest {
 
@@ -109,8 +109,8 @@ class ThreadPool {
   friend class TaskGroup;
 
   struct WorkerQueue {
-    std::mutex mu;
-    std::deque<Task> tasks;
+    Mutex mu;
+    std::deque<Task> tasks JOINEST_GUARDED_BY(mu);
   };
 
   void WorkerLoop(int index);
@@ -121,9 +121,9 @@ class ThreadPool {
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
 
-  std::mutex sleep_mu_;
-  std::condition_variable sleep_cv_;
-  bool stop_ = false;
+  Mutex sleep_mu_;
+  CondVar sleep_cv_;
+  bool stop_ JOINEST_GUARDED_BY(sleep_mu_) = false;
 
   std::atomic<size_t> next_queue_{0};
   std::atomic<int64_t> pending_{0};
@@ -149,10 +149,11 @@ class TaskGroup {
 
  private:
   struct State {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<std::function<void()>> unstarted;
-    int64_t outstanding = 0;  // Queued + running tasks of this group.
+    Mutex mu;
+    CondVar cv;
+    std::deque<std::function<void()>> unstarted JOINEST_GUARDED_BY(mu);
+    // Queued + running tasks of this group.
+    int64_t outstanding JOINEST_GUARDED_BY(mu) = 0;
   };
 
   // Pops one unstarted task and runs it; false when none were queued.

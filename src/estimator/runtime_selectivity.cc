@@ -21,7 +21,7 @@ double ClampRate(double rate) {
 void RuntimeSelectivityStore::RecordTableSurvival(const std::string& table,
                                                   double fraction) {
   const double value = ClampRate(fraction);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto [it, inserted] = tables_.emplace(table, value);
   if (!inserted) {
     if (std::fabs(it->second - value) <= kSameRateTolerance) return;
@@ -33,7 +33,7 @@ void RuntimeSelectivityStore::RecordTableSurvival(const std::string& table,
 void RuntimeSelectivityStore::RecordColumnPassRate(const std::string& table,
                                                    int column, double rate) {
   const double value = ClampRate(rate);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto [it, inserted] = columns_.emplace(std::make_pair(table, column),
                                                value);
   if (!inserted) {
@@ -45,7 +45,7 @@ void RuntimeSelectivityStore::RecordColumnPassRate(const std::string& table,
 
 std::optional<double> RuntimeSelectivityStore::TableSurvival(
     const std::string& table) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = tables_.find(table);
   if (it == tables_.end()) return std::nullopt;
   return it->second;
@@ -53,19 +53,19 @@ std::optional<double> RuntimeSelectivityStore::TableSurvival(
 
 std::optional<double> RuntimeSelectivityStore::ColumnPassRate(
     const std::string& table, int column) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = columns_.find(std::make_pair(table, column));
   if (it == columns_.end()) return std::nullopt;
   return it->second;
 }
 
 int64_t RuntimeSelectivityStore::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return static_cast<int64_t>(tables_.size() + columns_.size());
 }
 
 void RuntimeSelectivityStore::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (tables_.empty() && columns_.empty()) return;
   tables_.clear();
   columns_.clear();

@@ -30,10 +30,11 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
+
+#include "common/thread_annotations.h"
 
 namespace joinest {
 
@@ -63,9 +64,10 @@ class RuntimeSelectivityStore {
   void Clear();
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, double> tables_;
-  std::map<std::pair<std::string, int>, double> columns_;
+  mutable Mutex mutex_;
+  std::map<std::string, double> tables_ JOINEST_GUARDED_BY(mutex_);
+  std::map<std::pair<std::string, int>, double> columns_
+      JOINEST_GUARDED_BY(mutex_);
   std::atomic<uint64_t> epoch_{0};
 };
 

@@ -5,8 +5,17 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "obs/metric_names.h"
 
 namespace joinest {
+
+bool IsDeclaredMetricName(std::string_view name) {
+#define JOINEST_METRIC_NAME_MATCH_(n) \
+  if (name == #n) return true;
+  JOINEST_METRIC_NAMES(JOINEST_METRIC_NAME_MATCH_)
+#undef JOINEST_METRIC_NAME_MATCH_
+  return false;
+}
 
 namespace internal_metrics {
 
@@ -134,7 +143,7 @@ MetricsRegistry::Series& MetricsRegistry::GetSeries(
     MetricLabels labels, const HistogramBuckets* buckets) {
   labels = NormalizeLabels(std::move(labels));
   const std::string key = RenderSeriesName(name, labels);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = series_.find(key);
   if (it != series_.end()) {
     JOINEST_CHECK(it->second.kind == kind)
@@ -198,7 +207,7 @@ std::vector<const MetricsRegistry::Series*> MetricsRegistry::SortedSeries()
 }
 
 void MetricsRegistry::WriteJson(JsonWriter& json) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   json.BeginObject();
   json.Key("metrics");
   json.BeginArray();
@@ -271,7 +280,7 @@ std::string MetricsRegistry::JsonText() const {
 }
 
 std::string MetricsRegistry::PrometheusText() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::ostringstream out;
   std::string last_family;
   for (const Series* series : SortedSeries()) {
@@ -326,7 +335,7 @@ std::string MetricsRegistry::PrometheusText() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   series_.clear();
   next_order_ = 0;
 }

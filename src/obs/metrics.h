@@ -30,12 +30,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/json_writer.h"
+#include "common/thread_annotations.h"
 
 namespace joinest {
 
@@ -207,13 +207,16 @@ class MetricsRegistry {
 
   Series& GetSeries(Kind kind, const std::string& name,
                     const std::string& help, MetricLabels labels,
-                    const HistogramBuckets* buckets);
-  std::vector<const Series*> SortedSeries() const;
+                    const HistogramBuckets* buckets)
+      JOINEST_EXCLUDES(mutex_);
+  // Called by the exposition paths, which hold the registry lock across the
+  // whole scrape so one scrape sees one consistent registration set.
+  std::vector<const Series*> SortedSeries() const JOINEST_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   // Keyed by name + rendered label string.
-  std::map<std::string, Series> series_;
-  int64_t next_order_ = 0;
+  std::map<std::string, Series> series_ JOINEST_GUARDED_BY(mutex_);
+  int64_t next_order_ JOINEST_GUARDED_BY(mutex_) = 0;
 };
 
 // "name{k=\"v\",...}" (bare name when unlabeled) — the Prometheus series

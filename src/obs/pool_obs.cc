@@ -1,7 +1,5 @@
 #include "obs/pool_obs.h"
 
-#include <mutex>
-
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -57,11 +55,13 @@ class RegistryPoolObserver : public ThreadPoolObserver {
 }  // namespace
 
 void EnsureThreadPoolMetrics() {
-  static std::once_flag once;
-  std::call_once(once, [] {
+  // Magic static: initialisation is thread-safe per the standard, and the
+  // observer outlives every pool (never destroyed before exit).
+  [[maybe_unused]] static const bool installed = [] {
     static RegistryPoolObserver observer;
     InstallThreadPoolObserver(&observer);
-  });
+    return true;
+  }();
 }
 
 }  // namespace joinest

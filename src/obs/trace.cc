@@ -54,7 +54,7 @@ TraceSession* TraceSession::Active() {
 }
 
 const char* TraceSession::Intern(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = intern_index_.find(name);
   if (it != intern_index_.end()) return it->second;
   interned_.push_back(name);
@@ -70,7 +70,7 @@ int64_t TraceSession::NowNs() const {
 }
 
 void TraceSession::Record(const Event& event) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (ring_.size() < capacity_) {
     ring_.push_back(event);
   } else {
@@ -80,7 +80,7 @@ void TraceSession::Record(const Event& event) {
 }
 
 std::vector<TraceSession::Event> TraceSession::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<Event> events;
   events.reserve(ring_.size());
   if (ring_.size() < capacity_) {
@@ -97,7 +97,7 @@ std::vector<TraceSession::Event> TraceSession::Snapshot() const {
 }
 
 int64_t TraceSession::dropped() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return next_index_ <= static_cast<int64_t>(capacity_)
              ? 0
              : next_index_ - static_cast<int64_t>(capacity_);

@@ -29,11 +29,11 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/json_writer.h"
+#include "common/thread_annotations.h"
 
 namespace joinest {
 
@@ -102,12 +102,14 @@ class TraceSession {
 
   const size_t capacity_;
   const std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mutex_;
-  std::vector<Event> ring_;
-  int64_t next_index_ = 0;  // Total events ever recorded.
+  mutable Mutex mutex_;
+  std::vector<Event> ring_ JOINEST_GUARDED_BY(mutex_);
+  // Total events ever recorded.
+  int64_t next_index_ JOINEST_GUARDED_BY(mutex_) = 0;
   std::atomic<int64_t> next_span_id_{0};
-  std::map<std::string, const char*> intern_index_;
-  std::deque<std::string> interned_;
+  std::map<std::string, const char*> intern_index_
+      JOINEST_GUARDED_BY(mutex_);
+  std::deque<std::string> interned_ JOINEST_GUARDED_BY(mutex_);
 };
 
 // RAII span. Constructing with the session inactive is free; with a session

@@ -8,6 +8,7 @@
 #define JOINEST_QUERY_COLUMN_REF_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 
 namespace joinest {

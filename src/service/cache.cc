@@ -48,7 +48,7 @@ std::shared_ptr<const void> ServiceCache::Lookup(const ServiceCacheKey& key) {
   Shard& shard = ShardFor(key);
   std::shared_ptr<const void> value;
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     const auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -73,7 +73,7 @@ void ServiceCache::Insert(const ServiceCacheKey& key,
   std::vector<std::shared_ptr<const void>> graveyard;
   {
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     const auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       // Refresh in place (two threads raced on the same cold key).
@@ -102,7 +102,7 @@ int64_t ServiceCache::InvalidateBefore(uint64_t version) {
   int64_t dropped = 0;
   std::vector<std::shared_ptr<const void>> graveyard;
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     for (auto it = shard->lru.begin(); it != shard->lru.end();) {
       if (it->key.snapshot_version < version) {
         graveyard.push_back(std::move(it->value));
@@ -125,7 +125,7 @@ int64_t ServiceCache::InvalidateBefore(uint64_t version) {
 int64_t ServiceCache::size() const {
   int64_t total = 0;
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     total += static_cast<int64_t>(shard->lru.size());
   }
   return total;

@@ -27,12 +27,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace joinest {
@@ -118,12 +118,12 @@ class ServiceCache {
     std::shared_ptr<const void> value;
   };
   struct Shard {
-    std::mutex mutex;
+    Mutex mutex;
     // Front = most recently used.
-    std::list<Entry> lru;
+    std::list<Entry> lru JOINEST_GUARDED_BY(mutex);
     std::unordered_map<ServiceCacheKey, std::list<Entry>::iterator,
                        ServiceCacheKeyHash>
-        index;
+        index JOINEST_GUARDED_BY(mutex);
   };
 
   Shard& ShardFor(const ServiceCacheKey& key) {

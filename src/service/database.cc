@@ -494,7 +494,7 @@ ThreadPool& Database::thread_pool() const { return SharedThreadPool(); }
 
 template <typename Fn>
 Status Database::Mutate(Fn&& mutate) {
-  std::lock_guard<std::mutex> lock(writer_mutex_);
+  MutexLock lock(writer_mutex_);
   SnapshotBuilder builder(*snapshot());
   JOINEST_RETURN_IF_ERROR(mutate(builder));
   Publish(std::move(builder).Build(next_version_++));
@@ -507,7 +507,7 @@ void Database::Publish(std::shared_ptr<const CatalogSnapshot> snapshot) {
   snapshot_.store(std::move(snapshot), std::memory_order_release);
 #else
   {
-    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    MutexLock lock(snapshot_mutex_);
     snapshot_ = std::move(snapshot);
   }
 #endif
@@ -525,7 +525,7 @@ std::shared_ptr<const CatalogSnapshot> Database::snapshot() const {
 #if JOINEST_SERVICE_ATOMIC_SNAPSHOT
   return snapshot_.load(std::memory_order_acquire);
 #else
-  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  MutexLock lock(snapshot_mutex_);
   return snapshot_;
 #endif
 }

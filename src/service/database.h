@@ -43,12 +43,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "estimator/analyzed_query.h"
 #include "estimator/presets.h"
@@ -381,17 +381,26 @@ class Database {
   // analyses are alive.
   std::shared_ptr<RuntimeSelectivityStore> runtime_selectivities_;
 
-  // Writers serialise here; readers go straight to snapshot_.
-  std::mutex writer_mutex_;
-  uint64_t next_version_ = 1;
+  // Writers serialise here; readers go straight to snapshot_. Lock order:
+  // writer_mutex_ before snapshot_mutex_ (Mutate holds the former across
+  // Publish, which briefly takes the latter). Expressed as ACQUIRED_BEFORE
+  // only in the fallback branch below — the member does not exist in the
+  // atomic configuration.
+#if JOINEST_SERVICE_ATOMIC_SNAPSHOT
+  Mutex writer_mutex_;
+#else
+  Mutex writer_mutex_ JOINEST_ACQUIRED_BEFORE(snapshot_mutex_);
+#endif
+  uint64_t next_version_ JOINEST_GUARDED_BY(writer_mutex_) = 1;
 
   // Atomically swapped publication point. Guarded by its own tiny mutex
   // when the toolchain lacks a tsan-visible std::atomic<std::shared_ptr>.
 #if JOINEST_SERVICE_ATOMIC_SNAPSHOT
   std::atomic<std::shared_ptr<const CatalogSnapshot>> snapshot_;
 #else
-  mutable std::mutex snapshot_mutex_;
-  std::shared_ptr<const CatalogSnapshot> snapshot_;
+  mutable Mutex snapshot_mutex_;
+  std::shared_ptr<const CatalogSnapshot> snapshot_
+      JOINEST_GUARDED_BY(snapshot_mutex_);
 #endif
 };
 

@@ -1,0 +1,166 @@
+// Self-tests for the unified lint framework (tools/lint/lint.py).
+//
+// Each checker has golden fixtures under tools/lint/testdata/<checker>/:
+// a `bad` snippet it must flag and a `good` snippet it must accept. A gate
+// that cannot fail is not a gate — these tests prove each one can, and
+// that the quiet path stays quiet, so a refactor of the driver or a
+// checker regex cannot silently disarm the rule. Also covers the driver
+// surface itself: unified output format, --list, and lint:allow()
+// suppressions.
+//
+// JOINEST_REPO_ROOT and JOINEST_PYTHON3 are injected by tests/CMakeLists.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+// Runs lint.py with `args` (paths relative to the repo root), capturing
+// stdout+stderr.
+RunResult RunLint(const std::string& args) {
+  const std::string command = std::string("cd '") + JOINEST_REPO_ROOT +
+                              "' && '" + JOINEST_PYTHON3 +
+                              "' tools/lint/lint.py " + args + " 2>&1";
+  RunResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer;
+  size_t n;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.output.append(buffer.data(), n);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+// checker name -> fixture directory (underscores) + bad/good file names.
+struct CheckerFixture {
+  const char* checker;
+  const char* bad;
+  const char* good;
+};
+
+constexpr CheckerFixture kFixtures[] = {
+    {"no-raw-threads", "testdata/no_raw_threads/bad.cc",
+     "testdata/no_raw_threads/good.cc"},
+    {"raw-mutex", "testdata/raw_mutex/bad.cc", "testdata/raw_mutex/good.cc"},
+    {"nodiscard-status", "testdata/nodiscard_status/bad.h",
+     "testdata/nodiscard_status/good.h"},
+    {"banned-functions", "testdata/banned_functions/bad.cc",
+     "testdata/banned_functions/good.cc"},
+    {"include-hygiene", "testdata/include_hygiene/bad.h",
+     "testdata/include_hygiene/good.h"},
+    {"metric-name-registry", "testdata/metric_name_registry/bad",
+     "testdata/metric_name_registry/good"},
+};
+
+class LintTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (std::system(("'" + std::string(JOINEST_PYTHON3) +
+                     "' --version > /dev/null 2>&1")
+                        .c_str()) != 0) {
+      GTEST_SKIP() << "python3 unavailable";
+    }
+  }
+};
+
+TEST_F(LintTest, EveryCheckerFiresOnItsBadFixture) {
+  for (const CheckerFixture& fixture : kFixtures) {
+    const RunResult result =
+        RunLint(std::string("--checks ") + fixture.checker + " tools/lint/" +
+                fixture.bad);
+    EXPECT_EQ(result.exit_code, 1)
+        << fixture.checker << " did not fail on " << fixture.bad << ":\n"
+        << result.output;
+    EXPECT_NE(result.output.find(std::string("[") + fixture.checker + "]"),
+              std::string::npos)
+        << fixture.checker << " finding tag missing:\n"
+        << result.output;
+  }
+}
+
+TEST_F(LintTest, EveryCheckerAcceptsItsGoodFixture) {
+  for (const CheckerFixture& fixture : kFixtures) {
+    const RunResult result =
+        RunLint(std::string("--checks ") + fixture.checker + " tools/lint/" +
+                fixture.good);
+    EXPECT_EQ(result.exit_code, 0)
+        << fixture.checker << " false positive on " << fixture.good << ":\n"
+        << result.output;
+  }
+}
+
+// Findings must render as `path:line: [checker] message` so every analysis
+// failure reads the same way and editors can jump to it.
+TEST_F(LintTest, FindingsUseTheUnifiedFormat) {
+  const RunResult result = RunLint(
+      "--checks no-raw-threads tools/lint/testdata/no_raw_threads/bad.cc");
+  ASSERT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("bad.cc:6: [no-raw-threads]"),
+            std::string::npos)
+      << result.output;
+}
+
+TEST_F(LintTest, ListNamesAllCheckers) {
+  const RunResult result = RunLint("--list");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  for (const CheckerFixture& fixture : kFixtures) {
+    EXPECT_NE(result.output.find(fixture.checker), std::string::npos)
+        << "--list is missing " << fixture.checker << ":\n"
+        << result.output;
+  }
+}
+
+TEST_F(LintTest, InlineAllowSuppressesAFinding) {
+  const std::string dir =
+      ::testing::TempDir() + "/lint_suppression";
+  ASSERT_EQ(std::system(("mkdir -p '" + dir + "'").c_str()), 0);
+  const std::string path = dir + "/suppressed.cc";
+  {
+    std::ofstream out(path);
+    out << "// lint:allow(no-raw-threads) simulating a client, "
+           "pool not in scope\n"
+        << "void Spawn() { std::thread t([] {}); t.join(); }\n";
+  }
+  const RunResult suppressed = RunLint("--checks no-raw-threads " + path);
+  EXPECT_EQ(suppressed.exit_code, 0) << suppressed.output;
+  EXPECT_NE(suppressed.output.find("1 suppressed"), std::string::npos)
+      << suppressed.output;
+
+  // The same file without the marker must fail: the suppression is what
+  // keeps it quiet, not the checker going blind.
+  {
+    std::ofstream out(path);
+    out << "void Spawn() { std::thread t([] {}); t.join(); }\n";
+  }
+  EXPECT_EQ(RunLint("--checks no-raw-threads " + path).exit_code, 1);
+}
+
+TEST_F(LintTest, UnknownCheckerIsAUsageError) {
+  const RunResult result = RunLint("--checks no-such-checker");
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+}
+
+// The production tree itself must be clean: the textual checkers run in a
+// blink, so the test pins "zero findings in src/" directly. (The full run
+// including include-hygiene is the `lint` ctest target.)
+TEST_F(LintTest, ProductionTreeIsCleanUnderTextualCheckers) {
+  const RunResult result = RunLint(
+      "--checks no-raw-threads,raw-mutex,nodiscard-status,"
+      "banned-functions,metric-name-registry");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+}  // namespace

@@ -19,6 +19,7 @@
 #include "executor/execute.h"
 #include "executor/parallel.h"
 #include "obs/explain_analyze.h"
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "query/parser.h"
@@ -323,6 +324,25 @@ TEST(ExplainAnalyzeTest, PaperQueryReportsExactEstimates) {
   const std::string prom = MetricsRegistry::Global().PrometheusText();
   EXPECT_NE(prom.find("estimator_qerror_count{rule=\"LS\"}"),
             std::string::npos);
+}
+
+// The X-macro table in obs/metric_names.h is the telemetry contract: the
+// runtime view must agree with it, and the production family names must be
+// declared. (The full both-directions check — every Get* literal declared,
+// every declared name used — is the metric-name-registry lint checker.)
+TEST(MetricNamesTest, RuntimeViewMatchesTable) {
+  EXPECT_TRUE(IsDeclaredMetricName("estimator_qerror"));
+  EXPECT_TRUE(IsDeclaredMetricName("pool_tasks_total"));
+  EXPECT_TRUE(IsDeclaredMetricName("service_snapshot_version"));
+  EXPECT_TRUE(IsDeclaredMetricName("bench_service_warm_speedup"));
+  EXPECT_FALSE(IsDeclaredMetricName("estimator_qerorr"));  // Typo.
+  EXPECT_FALSE(IsDeclaredMetricName(""));
+
+  // Every name in the table round-trips through the runtime view.
+#define JOINEST_METRIC_NAME_EXPECT_(n) \
+  EXPECT_TRUE(IsDeclaredMetricName(#n));
+  JOINEST_METRIC_NAMES(JOINEST_METRIC_NAME_EXPECT_)
+#undef JOINEST_METRIC_NAME_EXPECT_
 }
 
 TEST(QErrorValueTest, SymmetricAndClamped) {

@@ -18,13 +18,21 @@ operator timing) are permitted to cost: the effective threshold becomes
 noise threshold rather than as a separate gate because a single --smoke run
 cannot attribute a slowdown to instrumentation vs. scheduler jitter.
 
+Regressions are reported in the unified lint format
+(`path:line: [bench-regression] message`, see tools/lint/findings.py) so
+every `ctest -L analysis` failure reads the same way.
+
 Usage: check_bench_regression.py CURRENT.json BASELINE.json [--threshold F]
            [--overhead-budget B]
 """
 
 import argparse
 import json
+import pathlib
 import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent / "lint"))
+from findings import Finding  # noqa: E402
 
 
 def load_rates(path):
@@ -64,15 +72,20 @@ def main():
         verdict = "ok"
         if ratio < 1.0 - allowed:
             verdict = "REGRESSION"
-            failures.append(mode)
+            failures.append(Finding(
+                checker="bench-regression", path=args.current, line=0,
+                message=(f"mode '{mode}' regressed to {ratio:.2f}x of "
+                         f"baseline ({rate:.0f} vs {base_rate:.0f} rows/s; "
+                         f"allowed slowdown {allowed:.0%} vs "
+                         f"{args.baseline})")))
         print(f"{mode:12s} baseline {base_rate:14.0f} rows/s   "
               f"current {rate:14.0f} rows/s   ratio {ratio:5.2f}   {verdict}")
     for mode in sorted(set(current) - set(baseline)):
         print(f"note: mode '{mode}' not in baseline (skipped)")
 
     if failures:
-        print(f"FAIL: {', '.join(failures)} regressed more than "
-              f"{allowed:.0%} vs {args.baseline}", file=sys.stderr)
+        for finding in failures:
+            print(finding.render(), file=sys.stderr)
         return 1
     print("all modes within threshold")
     return 0

@@ -1,80 +1,23 @@
 #!/usr/bin/env python3
-"""Enforce the shared-pool invariant: no raw std::thread in src/.
+"""Back-compat shim: the no-raw-threads rule moved into the unified lint
+framework (tools/lint/lint.py, checker `no-raw-threads`). This forwards so
+old invocations and muscle memory keep working; prefer
 
-Every data-parallel subsystem (executor morsels, predicate-transfer
-reduction, partitioned ANALYZE, ...) must run its work on the shared
-work-stealing pool (src/common/thread_pool.{h,cc}); constructing
-std::thread anywhere else in src/ reintroduces per-call thread spawn
-cost and lets concurrent sessions oversubscribe the machine — exactly
-what the pool exists to prevent.
+    tools/lint/lint.py --checks no-raw-threads
 
-Scope is src/ only: benches and tests ARE the concurrent clients, so
-they may spawn std::thread freely to simulate them.
-
-Allowed uses of the token "std::thread" outside the pool:
-  * std::thread::hardware_concurrency()  (sizing queries)
-  * std::this_thread::...                (yield/sleep; different type)
-  * std::thread::id                      (identity checks, no spawn)
-  * mentions in comments or #include lines
-
-Usage: check_no_raw_threads.py [SRC_DIR]   (default: <repo>/src)
-Exit 0 when clean, 1 with offending file:line listings otherwise.
+directly. The optional SRC_DIR argument is accepted and ignored — the
+checker scopes itself to src/ (benches and tests are exempt by design).
 """
 
 import pathlib
-import re
+import subprocess
 import sys
-
-# Files allowed to construct threads: the pool itself.
-ALLOWED = {"common/thread_pool.h", "common/thread_pool.cc"}
-
-# A raw-thread use is the std::thread type NOT followed by :: (which would
-# be hardware_concurrency, ::id, etc.). std::this_thread never matches.
-RAW_THREAD = re.compile(r"std::thread\b(?!::)")
-COMMENT = re.compile(r"//.*$")
-
-
-def offending_lines(path: pathlib.Path):
-    hits = []
-    for lineno, line in enumerate(
-        path.read_text(encoding="utf-8", errors="replace").splitlines(), 1
-    ):
-        if line.lstrip().startswith("#include"):
-            continue
-        code = COMMENT.sub("", line)
-        if RAW_THREAD.search(code):
-            hits.append((lineno, line.strip()))
-    return hits
 
 
 def main() -> int:
-    repo = pathlib.Path(__file__).resolve().parent.parent
-    src = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else repo / "src"
-    if not src.is_dir():
-        print(f"error: {src} is not a directory", file=sys.stderr)
-        return 2
-    bad = 0
-    checked = 0
-    for path in sorted(src.rglob("*")):
-        if path.suffix not in (".h", ".cc"):
-            continue
-        rel = path.relative_to(src).as_posix()
-        if rel in ALLOWED:
-            continue
-        checked += 1
-        for lineno, text in offending_lines(path):
-            print(f"{src / rel}:{lineno}: raw std::thread: {text}")
-            bad += 1
-    if bad:
-        print(
-            f"\n{bad} raw std::thread use(s) outside common/thread_pool. "
-            "Data-parallel work belongs on the shared pool "
-            "(ThreadPool::Submit / TaskGroup); see docs/EXECUTOR.md.",
-            file=sys.stderr,
-        )
-        return 1
-    print(f"no raw std::thread in {checked} files under {src}")
-    return 0
+    lint = pathlib.Path(__file__).resolve().parent / "lint" / "lint.py"
+    return subprocess.call(
+        [sys.executable, str(lint), "--checks", "no-raw-threads"])
 
 
 if __name__ == "__main__":

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Clang thread-safety gate: build src/ with -Wthread-safety
+# -Wthread-safety-beta -Werror so every lock discipline declared through
+# common/thread_annotations.h (GUARDED_BY / REQUIRES / ACQUIRE / ...) is
+# machine-checked. The annotations are no-ops under GCC, so this gate is the
+# only place they are actually *proved* — run it whenever concurrency code
+# changes.
+#
+# Skips with exit code 77 (ctest SKIP_RETURN_CODE) when no Clang toolchain
+# is installed: the annotations still compile away cleanly under GCC (the
+# tier-1 build covers that), the proof just waits for a clang host.
+#
+# Usage: tools/check_thread_safety.sh [build-root]
+#   build-root defaults to build-tsafety. CLANGXX / CLANGCC override the
+#   compiler lookup.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+root="${1:-build-tsafety}"
+
+find_clang() {
+  if [[ -n "${CLANGXX:-}" ]] && command -v "${CLANGXX}" >/dev/null 2>&1; then
+    echo "${CLANGXX}"
+    return 0
+  fi
+  local candidate
+  for candidate in clang++ clang++-20 clang++-19 clang++-18 clang++-17 \
+                   clang++-16 clang++-15 clang++-14; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      echo "${candidate}"
+      return 0
+    fi
+  done
+  return 1
+}
+
+if ! clangxx="$(find_clang)"; then
+  echo "clang_thread_safety: SKIPPED (no clang++ on PATH;" \
+       "annotations compile as no-ops under this toolchain)"
+  exit 77
+fi
+
+echo "clang_thread_safety: using ${clangxx}"
+cmake -B "${root}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_COMPILER="${clangxx}" \
+  -DJOINEST_WERROR=ON \
+  -DJOINEST_CONTRACTS=ON >/dev/null
+
+# src/ only: the libraries hold every annotated structure. joinest_service
+# transitively builds the whole pipeline; joinest_workloads is the one
+# library outside its closure.
+if cmake --build "${root}" -j "$(nproc)" \
+     --target joinest_service joinest_workloads \
+     >"${root}/thread_safety_build.log" 2>&1; then
+  echo "clang_thread_safety: clean" \
+       "(-Wthread-safety -Wthread-safety-beta -Werror)"
+else
+  echo "clang_thread_safety: FAILED (tail of ${root}/thread_safety_build.log)"
+  tail -n 60 "${root}/thread_safety_build.log"
+  exit 1
+fi

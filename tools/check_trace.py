@@ -13,12 +13,20 @@ accept, plus the invariants joinest's TraceSession promises:
     small tolerance (both are measured on the same monotonic clock),
   * a child's depth is its parent's depth + 1 (roots have depth 0).
 
+Problems are reported in the unified lint format
+(`path:line: [trace-schema] message`, see tools/lint/findings.py) so every
+`ctest -L analysis` failure reads the same way.
+
 Usage: check_trace.py TRACE.json [TRACE2.json ...]
 Exits non-zero on the first invalid file.
 """
 
 import json
+import pathlib
 import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent / "lint"))
+from findings import Finding  # noqa: E402
 
 # Timestamps are exported in integer-truncated microseconds, so parent/child
 # endpoints can disagree by a tick.
@@ -28,7 +36,9 @@ REQUIRED_EVENT_KEYS = ("name", "ph", "ts", "pid", "tid")
 
 
 def fail(path, message):
-    print(f"{path}: FAIL: {message}", file=sys.stderr)
+    finding = Finding(checker="trace-schema", path=str(path), line=0,
+                      message=message)
+    print(finding.render(), file=sys.stderr)
     return 1
 
 

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# One-command CI gate: configure → build → tier-1 tests → smoke analysis.
+#
+# This is the "is the tree green" entry point — everything a reviewer (or a
+# cron job) needs before trusting a commit, in dependency order, failing
+# fast:
+#
+#   1. configure  — fresh out-of-tree CMake configure (exports
+#                   compile_commands.json for clang-tidy / include-hygiene);
+#   2. build      — full tree, all warnings on;
+#   3. ctest      — the tier-1 suite plus the analysis-label checks that are
+#                   wired as tests (lint, lint_test, contracts, fuzz replay,
+#                   clang_thread_safety when clang is installed);
+#   4. analysis   — tools/run_static_analysis.sh --smoke (warning gate,
+#                   changed-file lint + clang-tidy, 10 s fuzz burst).
+#
+# The full static-analysis gate (sanitizers, 60 s fuzz, full clang-tidy) is
+# deliberately not part of this script — run tools/run_static_analysis.sh
+# without --smoke for that.
+#
+# Usage: tools/ci_gate.sh [build-root]     (build-root defaults to build-ci)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+root="${1:-build-ci}"
+
+echo "== ci gate 1/4: configure (${root}) =="
+cmake -B "${root}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DJOINEST_CONTRACTS=ON >/dev/null
+
+echo "== ci gate 2/4: build =="
+cmake --build "${root}" -j "$(nproc)"
+
+echo "== ci gate 3/4: ctest =="
+ctest --test-dir "${root}" --output-on-failure
+
+echo "== ci gate 4/4: static analysis (--smoke) =="
+tools/run_static_analysis.sh --smoke "${root}/analysis"
+
+echo
+echo "ci gate: all stages passed."

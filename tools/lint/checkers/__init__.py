@@ -1,0 +1,32 @@
+"""Checker registry for tools/lint/lint.py.
+
+A checker is a module exposing:
+
+    NAME        kebab-case id, used by --checks and in finding output
+    DESCRIPTION one line, shown by --list
+    FIXABLE     bool: True when run(..., fix=True) can rewrite files
+    run(ctx)    -> list[Finding]
+
+`ctx` is lint.Context: the repo root, the candidate file list (already
+narrowed by --changed or explicit paths), whether the file list is explicit
+(fixture mode — checkers skip their usual src/-scoping), and the fix flag.
+Checkers do their own suffix/directory filtering from ctx.files.
+"""
+
+from . import banned_functions
+from . import include_hygiene
+from . import metric_name_registry
+from . import no_raw_threads
+from . import nodiscard_status
+from . import raw_mutex
+
+ALL_CHECKERS = [
+    no_raw_threads,
+    raw_mutex,
+    nodiscard_status,
+    banned_functions,
+    include_hygiene,
+    metric_name_registry,
+]
+
+BY_NAME = {mod.NAME: mod for mod in ALL_CHECKERS}

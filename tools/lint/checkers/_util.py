@@ -1,0 +1,47 @@
+"""Small shared helpers for the textual checkers."""
+
+from __future__ import annotations
+
+import pathlib
+import re
+from typing import Iterator, List, Tuple
+
+LINE_COMMENT_RE = re.compile(r"//.*$")
+STRING_RE = re.compile(r'"(?:\\.|[^"\\])*"')
+
+
+def read_lines(path: pathlib.Path) -> List[str]:
+    return path.read_text(encoding="utf-8", errors="replace").splitlines()
+
+
+def iter_code_lines(lines: List[str]) -> Iterator[Tuple[int, str, str]]:
+    """Yields (lineno, raw, code) where `code` has //-comments, /*...*/
+    comments and string-literal contents blanked out (line-granular block
+    comment tracking — good enough for lint, not a real lexer)."""
+    in_block = False
+    for lineno, raw in enumerate(lines, 1):
+        code = raw
+        if in_block:
+            end = code.find("*/")
+            if end < 0:
+                yield lineno, raw, ""
+                continue
+            code = " " * (end + 2) + code[end + 2:]
+            in_block = False
+        # Strip any complete /* ... */ runs, then an unterminated opener.
+        code = re.sub(r"/\*.*?\*/", lambda m: " " * len(m.group()), code)
+        start = code.find("/*")
+        if start >= 0:
+            code = code[:start]
+            in_block = True
+        code = LINE_COMMENT_RE.sub("", code)
+        code = STRING_RE.sub('""', code)
+        yield lineno, raw, code
+
+
+def rel_to(path: pathlib.Path, base: pathlib.Path) -> str | None:
+    """Posix relpath of `path` under `base`, or None when outside it."""
+    try:
+        return path.resolve().relative_to(base.resolve()).as_posix()
+    except ValueError:
+        return None

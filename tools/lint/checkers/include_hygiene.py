@@ -1,0 +1,196 @@
+"""include-hygiene: every header compiles standalone.
+
+Each header under src/ and include/ is compiled as its own translation
+unit (`#include "the/header.h"` and nothing else, -fsyntax-only). A header
+that only compiles when its includer happens to pull in <vector> first is
+a refactoring landmine: reordering includes elsewhere breaks the build at
+a distance. Standalone compilation is the strongest self-containedness
+check short of modules.
+
+Uses $CXX (else c++, else g++) with the same -std/-I/-D surface as the
+real build. Headers compile in parallel, and verdicts are cached in
+build/lint_hygiene_cache.json keyed by a content hash of the header plus
+every repo-local header it transitively includes — so `lint.py --changed`
+only pays for headers whose own include closure actually changed, keeping
+the pre-commit loop under the 2 s budget.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import hashlib
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+from findings import make_finding  # noqa: E402
+
+from . import _util
+
+NAME = "include-hygiene"
+DESCRIPTION = "every header must compile as its own translation unit"
+FIXABLE = False
+
+ERROR_LINE = re.compile(r"^(?P<file>[^:\s][^:]*):(?P<line>\d+):"
+                        r"(?:\d+:)?\s*(?:fatal )?error:\s*(?P<msg>.*)$")
+QUOTED_INCLUDE = re.compile(r'^\s*#\s*include\s*"([^"]+)"', re.M)
+
+
+def _closure_hash(path: Path, incdirs, memo) -> str:
+    """Content hash of `path` plus every repo-local header it transitively
+    includes (quoted includes resolved against `incdirs`). System headers
+    are deliberately ignored: they change with the toolchain, which the
+    compiler id in the cache key already covers."""
+    key = str(path)
+    if key in memo:
+        return memo[key]
+    memo[key] = ""  # Break include cycles.
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError:
+        return ""
+    digest = hashlib.sha256(text.encode()).hexdigest()
+    parts = [digest]
+    for name in QUOTED_INCLUDE.findall(text):
+        for incdir in incdirs:
+            dep = incdir / name
+            if dep.is_file():
+                parts.append(_closure_hash(dep, incdirs, memo))
+                break
+    combined = hashlib.sha256("".join(parts).encode()).hexdigest()
+    memo[key] = combined
+    return combined
+
+
+def _cache_path(repo: Path) -> Path:
+    return repo / "build" / "lint_hygiene_cache.json"
+
+
+def _load_cache(repo: Path) -> dict:
+    try:
+        with open(_cache_path(repo), encoding="utf-8") as f:
+            cache = json.load(f)
+        return cache if isinstance(cache, dict) else {}
+    except (OSError, json.JSONDecodeError):
+        return {}
+
+
+def _store_cache(repo: Path, cache: dict) -> None:
+    path = _cache_path(repo)
+    try:
+        path.parent.mkdir(exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(cache, f)
+    except OSError:
+        pass  # Cache is best-effort; never fail lint over it.
+
+
+def _compiler() -> str | None:
+    for candidate in (os.environ.get("CXX"), "c++", "g++", "clang++"):
+        if candidate and shutil.which(candidate):
+            return candidate
+    return None
+
+
+def _include_name(path: Path, repo: Path, explicit: bool):
+    """(-I directory, name to #include) for one header."""
+    for root in ("src", "include"):
+        rel = _util.rel_to(path, repo / root)
+        if rel is not None:
+            return repo / root, rel
+    if explicit:
+        return path.parent, path.name
+    return None, None
+
+
+def _check_one(compiler, incdir, name, path, repo):
+    with tempfile.NamedTemporaryFile(
+            mode="w", suffix=".cc", prefix="lint_hygiene_",
+            delete=False) as tu:
+        tu.write(f'#include "{name}"\n')
+        tu_path = tu.name
+    try:
+        cmd = [compiler, "-std=c++20", "-fsyntax-only",
+               "-I", str(repo / "src"), "-I", str(repo / "include"),
+               "-I", str(incdir), "-DJOINEST_CONTRACTS=1", tu_path]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+    finally:
+        os.unlink(tu_path)
+    if proc.returncode == 0:
+        return None
+    line = 1
+    detail = "does not compile standalone"
+    for out_line in proc.stderr.splitlines():
+        m = ERROR_LINE.match(out_line)
+        if m:
+            detail = m.group("msg").strip()
+            if Path(m.group("file")).name == path.name:
+                line = int(m.group("line"))
+            break
+    return make_finding(NAME, path, line,
+                        f"header does not compile standalone: {detail}",
+                        repo=repo)
+
+
+def run(ctx):
+    headers = []
+    for path in ctx.files:
+        if path.suffix != ".h":
+            continue
+        incdir, name = _include_name(path, ctx.repo, ctx.explicit)
+        if incdir is not None:
+            headers.append((incdir, name, path))
+    if not headers:
+        return []
+    compiler = _compiler()
+    if compiler is None:
+        print(f"lint: {NAME}: no C++ compiler on PATH; skipping",
+              file=sys.stderr)
+        return []
+
+    # Fixture runs skip the cache: they must re-verify every time.
+    cache = {} if ctx.explicit else _load_cache(ctx.repo)
+    incdirs = [ctx.repo / "src", ctx.repo / "include"]
+    memo: dict = {}
+
+    out = []
+    to_compile = []
+    keys = {}
+    for incdir, name, path in headers:
+        key = "|".join([str(path), compiler,
+                        _closure_hash(path, incdirs + [incdir], memo)])
+        keys[path] = key
+        hit = cache.get(key)
+        if hit is None:
+            to_compile.append((incdir, name, path))
+        elif not hit.get("ok", False):
+            out.append(make_finding(NAME, path, int(hit.get("line", 1)),
+                                    str(hit.get("message", "")),
+                                    repo=ctx.repo))
+
+    fresh = {}
+    if to_compile:
+        workers = min(len(to_compile), os.cpu_count() or 2)
+        with concurrent.futures.ThreadPoolExecutor(workers) as pool:
+            futures = {
+                pool.submit(_check_one, compiler, incdir, name, path,
+                            ctx.repo): path
+                for incdir, name, path in to_compile}
+            for future, path in futures.items():
+                finding = future.result()
+                if finding is None:
+                    fresh[keys[path]] = {"ok": True}
+                else:
+                    fresh[keys[path]] = {"ok": False, "line": finding.line,
+                                         "message": finding.message}
+                    out.append(finding)
+    if fresh and not ctx.explicit:
+        cache.update(fresh)
+        _store_cache(ctx.repo, cache)
+    return out

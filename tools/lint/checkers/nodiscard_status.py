@@ -1,0 +1,105 @@
+"""nodiscard-status: every function returning Status/StatusOr is
+[[nodiscard]].
+
+Silently dropping a Status is how error paths rot. The rule is satisfied
+either way the attribute can be spelled:
+
+  * type-level: `class [[nodiscard]] Status` in common/status.h makes every
+    function returning it nodiscard — this is how joinest spells it, so
+    individual declarations need no annotation;
+  * declaration-level: `[[nodiscard]] Status Frob();` for code whose
+    Status-like type is not itself marked.
+
+The checker flags a Status/StatusOr-returning declaration only when neither
+holds — which in practice means someone removed the attribute from
+common/status.h, and every declaration in src/ lights up at once.
+
+Deliberate drops must be `(void)`-cast with a reason comment;
+`(void)expr;` never triggers -Wunused-result, so no suppression is needed
+here.
+
+--fix prepends `[[nodiscard]]` to flagged declarations.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+from findings import make_finding  # noqa: E402
+
+from . import _util
+
+NAME = "nodiscard-status"
+DESCRIPTION = "functions returning Status/StatusOr must be [[nodiscard]]"
+FIXABLE = True
+
+NODISCARD_CLASS = re.compile(r"class\s+\[\[nodiscard\]\]\s+(\w+)")
+DECL = re.compile(
+    r"^\s*(?:(?:static|virtual|inline|constexpr|friend|explicit)\s+)*"
+    r"(?:::)?(?:\w+\s*::\s*)*(Status|StatusOr)\s*(?:<[^;{}()]*>)?"
+    r"\s+(\w+)\s*\(")
+
+
+def _nodiscard_types(paths) -> set:
+    types = set()
+    for path in paths:
+        try:
+            text = path.read_text(encoding="utf-8", errors="replace")
+        except OSError:
+            continue
+        types.update(NODISCARD_CLASS.findall(text))
+    return types
+
+
+def run(ctx):
+    headers = []
+    for path in ctx.files:
+        if path.suffix != ".h":
+            continue
+        rel = _util.rel_to(path, ctx.repo)
+        if ctx.explicit or (rel is not None and rel.startswith("src/")):
+            headers.append(path)
+
+    # Which Status-like class names carry the attribute at the type level.
+    # Outside fixture mode the canonical declarations live in
+    # common/status.h, which a --changed run may not include — always parse
+    # it.
+    type_sources = list(headers)
+    if not ctx.explicit:
+        status_h = ctx.repo / "src" / "common" / "status.h"
+        if status_h.is_file():
+            type_sources.append(status_h)
+    nodiscard = _nodiscard_types(type_sources)
+
+    out = []
+    for path in headers:
+        lines = _util.read_lines(path)
+        fixed = list(lines)
+        changed = False
+        for lineno, raw, code in _util.iter_code_lines(lines):
+            m = DECL.match(code)
+            if not m:
+                continue
+            base = m.group(1)
+            if base in nodiscard:
+                continue
+            prev = lines[lineno - 2] if lineno >= 2 else ""
+            if "[[nodiscard]]" in raw or "[[nodiscard]]" in prev:
+                continue
+            if ctx.fix:
+                indent = len(raw) - len(raw.lstrip())
+                fixed[lineno - 1] = (raw[:indent] + "[[nodiscard]] "
+                                     + raw[indent:])
+                changed = True
+                continue
+            out.append(make_finding(
+                NAME, path, lineno,
+                f"function '{m.group(2)}' returns {base} without "
+                "[[nodiscard]] (and the type is not declared "
+                "class [[nodiscard]])", repo=ctx.repo))
+        if changed:
+            path.write_text("\n".join(fixed) + "\n", encoding="utf-8")
+    return out

@@ -1,0 +1,59 @@
+"""raw-mutex: no bare <mutex>/<condition_variable> primitives in src/.
+
+Clang's -Wthread-safety analysis only proves lock disciplines expressed
+through annotated types. src/common/thread_annotations.h provides
+joinest::Mutex / MutexLock / CondVar — thin std wrappers carrying the
+CAPABILITY / SCOPED_CAPABILITY / ACQUIRE / RELEASE attributes — and is the
+single sanctioned home of the raw std primitives. A bare std::mutex
+anywhere else in src/ is invisible to the analysis: its GUARDED_BY members
+silently go unchecked.
+
+Tests and benches are exempt (they simulate external concurrent clients
+and have no annotated state of their own).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+from findings import make_finding  # noqa: E402
+
+from . import _util
+
+NAME = "raw-mutex"
+DESCRIPTION = ("bare std::mutex/lock_guard/condition_variable in src/; "
+               "use joinest::Mutex/MutexLock/CondVar")
+FIXABLE = False
+
+# The wrapper header IS the sanctioned home of the raw primitives.
+ALLOWED = {"src/common/thread_annotations.h"}
+
+RAW_PRIMITIVE = _util.re.compile(
+    r"std::(?:recursive_|timed_|recursive_timed_|shared_)?mutex\b"
+    r"|std::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+    r"|std::condition_variable(?:_any)?\b")
+RAW_INCLUDE = _util.re.compile(
+    r"#\s*include\s*<(?:mutex|shared_mutex|condition_variable)>")
+
+
+def run(ctx):
+    out = []
+    for path in ctx.files:
+        rel = _util.rel_to(path, ctx.repo)
+        if not ctx.explicit:
+            if rel is None or not rel.startswith("src/") or rel in ALLOWED:
+                continue
+        elif rel in ALLOWED:
+            continue
+        for lineno, raw, code in _util.iter_code_lines(
+                _util.read_lines(path)):
+            if RAW_INCLUDE.search(code) or RAW_PRIMITIVE.search(code):
+                out.append(make_finding(
+                    NAME, path, lineno,
+                    "raw <mutex> primitive is invisible to Clang "
+                    "thread-safety analysis; use joinest::Mutex/MutexLock/"
+                    "CondVar (common/thread_annotations.h): "
+                    f"{raw.strip()}", repo=ctx.repo))
+    return out

@@ -1,0 +1,25 @@
+// Fixture: one call per ban — rand, srand, strtok, gmtime, and an
+// unseeded std::mt19937. The banned-functions checker must flag all five.
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <random>
+
+int Roll() {
+  srand(42);
+  return rand() % 6;
+}
+
+char* FirstToken(char* s) {
+  return strtok(s, ",");
+}
+
+tm* NowUtc() {
+  time_t t = time(nullptr);
+  return gmtime(&t);
+}
+
+unsigned Draw() {
+  std::mt19937 gen;
+  return gen();
+}

@@ -1,0 +1,32 @@
+// Fixture: the approved replacements — seeded engines, reentrant APIs —
+// plus near-miss identifiers (morsel_rand, operand) and a comment
+// mentioning rand(). The banned-functions checker must stay silent.
+#include <ctime>
+#include <random>
+#include <string_view>
+
+// rand() would be wrong here; we take the seed explicitly instead.
+
+unsigned Draw(unsigned long long seed) {
+  std::mt19937 gen(static_cast<std::mt19937::result_type>(seed));
+  return gen();
+}
+
+unsigned DrawFrom(std::mt19937& gen) {  // Reference parameter: no engine.
+  return gen();
+}
+
+int morsel_rand(int x) { return x; }  // Identifier containing "rand".
+
+int UseOperand(int operand) { return morsel_rand(operand); }
+
+tm NowUtc() {
+  time_t t = time(nullptr);
+  tm out {};
+  gmtime_r(&t, &out);
+  return out;
+}
+
+std::string_view FirstToken(std::string_view s) {
+  return s.substr(0, s.find(','));
+}

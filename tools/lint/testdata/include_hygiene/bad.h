@@ -1,0 +1,11 @@
+// Fixture: uses std::string without including <string> — compiles only
+// when the includer pulled it in first. The include-hygiene checker must
+// flag it.
+#ifndef LINT_FIXTURE_BAD_HYGIENE_H_
+#define LINT_FIXTURE_BAD_HYGIENE_H_
+
+struct Named {
+  std::string name;
+};
+
+#endif

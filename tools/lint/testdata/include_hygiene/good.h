@@ -1,0 +1,12 @@
+// Fixture: self-contained header — the include-hygiene checker must
+// accept it.
+#ifndef LINT_FIXTURE_GOOD_HYGIENE_H_
+#define LINT_FIXTURE_GOOD_HYGIENE_H_
+
+#include <string>
+
+struct Named {
+  std::string name;
+};
+
+#endif

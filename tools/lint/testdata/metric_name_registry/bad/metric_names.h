@@ -1,0 +1,6 @@
+// Fixture declaration table: declares a name nobody uses
+// (fixture_unused_total) while the code uses an undeclared one — the
+// metric-name-registry checker must flag both directions.
+#define JOINEST_METRIC_NAMES(X) \
+  X(fixture_runs_total)         \
+  X(fixture_unused_total)

@@ -1,0 +1,11 @@
+// Fixture: registers the declared fixture_runs_total, but also a
+// misspelled fixture_run_total (undeclared) — the checker must flag the
+// typo here and the unused name in metric_names.h.
+struct R {
+  int& GetCounter(const char* name, const char* help);
+};
+
+void Touch(R& reg) {
+  reg.GetCounter("fixture_runs_total", "ok: declared and used");
+  reg.GetCounter("fixture_run_total", "typo: not in the table");
+}

@@ -1,0 +1,4 @@
+// Fixture declaration table matching good/use.cc exactly.
+#define JOINEST_METRIC_NAMES(X) \
+  X(fixture_runs_total)         \
+  X(fixture_mode_gauge)

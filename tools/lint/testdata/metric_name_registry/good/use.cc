@@ -1,0 +1,13 @@
+// Fixture: every used name is declared (one direct registry call, one
+// literal-first-arg helper like the benches use) and every declared name
+// is used — the checker must stay silent.
+struct R {
+  int& GetCounter(const char* name, const char* help);
+};
+
+static void mode_gauge(const char* name, double value);
+
+void Touch(R& reg) {
+  reg.GetCounter("fixture_runs_total", "direct registration");
+  mode_gauge("fixture_mode_gauge", 1.0);
+}

@@ -1,0 +1,8 @@
+// Fixture: constructs a raw std::thread — the no-raw-threads checker must
+// flag it. (Never compiled; scanned textually by tests/lint_test.cc.)
+#include <thread>
+
+void SpawnWorker() {
+  std::thread worker([] {});
+  worker.join();
+}

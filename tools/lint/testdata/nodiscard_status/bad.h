@@ -1,0 +1,14 @@
+// Fixture: a Status type WITHOUT the type-level [[nodiscard]] and
+// declarations without the declaration-level attribute — the
+// nodiscard-status checker must flag Open() and Load().
+#ifndef LINT_FIXTURE_BAD_STATUS_H_
+#define LINT_FIXTURE_BAD_STATUS_H_
+
+class Status {};
+template <typename T>
+class StatusOr {};
+
+Status Open(const char* path);
+StatusOr<int> Load(const char* path);
+
+#endif

@@ -1,0 +1,16 @@
+// Fixture: both spellings the nodiscard-status checker accepts — the
+// type-level attribute (joinest's style, covers every declaration) and the
+// declaration-level attribute.
+#ifndef LINT_FIXTURE_GOOD_STATUS_H_
+#define LINT_FIXTURE_GOOD_STATUS_H_
+
+class [[nodiscard]] Status {};
+template <typename T>
+class StatusOr {};
+
+Status Open(const char* path);            // Covered by the type.
+[[nodiscard]] StatusOr<int> Load(const char* path);
+[[nodiscard]]
+StatusOr<long> LoadBig(const char* path);  // Attribute on the line above.
+
+#endif

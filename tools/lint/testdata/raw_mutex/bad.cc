@@ -1,0 +1,14 @@
+// Fixture: bare <mutex> primitives — the raw-mutex checker must flag the
+// include, the mutex member, the lock_guard and the condition_variable.
+#include <condition_variable>
+#include <mutex>
+
+struct Queue {
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+void Push(Queue& q) {
+  std::lock_guard<std::mutex> lock(q.mu);
+  q.cv.notify_one();
+}

@@ -1,0 +1,15 @@
+// Fixture: the annotated wrappers — the raw-mutex checker must stay
+// silent. Mentions of std::mutex in comments are fine too.
+#include "common/thread_annotations.h"
+
+struct Queue {
+  joinest::Mutex mu;
+  joinest::CondVar cv;
+  int depth JOINEST_GUARDED_BY(mu) = 0;
+};
+
+void Push(Queue& q) {
+  joinest::MutexLock lock(q.mu);
+  ++q.depth;
+  q.cv.NotifyOne();
+}

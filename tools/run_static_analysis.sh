@@ -5,17 +5,25 @@
 #   1. warning gate  — out-of-tree build with -DJOINEST_WERROR=ON, which adds
 #                      -Wshadow -Wconversion -Wdouble-promotion -Werror to
 #                      everything under src/;
-#   2. clang-tidy    — the curated .clang-tidy profile over every src/ TU in
+#   2. lint          — the unified project lint framework (tools/lint/lint.py):
+#                      no-raw-threads, raw-mutex, nodiscard-status,
+#                      banned-functions, include-hygiene, metric-name-registry;
+#   3. clang-tidy    — the curated .clang-tidy profile over every src/ TU in
 #                      the compile database. Skipped (loudly) when clang-tidy
 #                      is not installed — the GCC gate above still runs;
-#   3. sanitizers    — tools/run_sanitizers.sh (ASan+UBSan full suite, TSan
+#   4. thread safety — tools/check_thread_safety.sh: Clang build of src/ under
+#                      -Wthread-safety -Wthread-safety-beta -Werror, proving
+#                      the lock disciplines declared via
+#                      common/thread_annotations.h. Skipped without clang;
+#   5. sanitizers    — tools/run_sanitizers.sh (ASan+UBSan full suite, TSan
 #                      concurrency subset);
-#   4. fuzz          — corpus replay plus a timed deterministic fuzz run of
+#   6. fuzz          — corpus replay plus a timed deterministic fuzz run of
 #                      tests/fuzz/fuzz_parser_estimator.cc with contracts on.
 #
 # Smoke mode (--smoke) is the cheap inner-loop variant: warning-gate build,
-# clang-tidy restricted to files changed relative to HEAD (nothing changed →
-# nothing run), corpus replay, and a 10-second fuzz burst. No sanitizers.
+# lint scoped to changed files, clang-tidy restricted to files changed
+# relative to HEAD (nothing changed → nothing run), corpus replay, and a
+# 10-second fuzz burst. No sanitizers.
 #
 # Usage: tools/run_static_analysis.sh [--smoke] [--no-sanitizers]
 #                                     [--fuzz-seconds N] [build-root]
@@ -59,7 +67,22 @@ else
   failures=$((failures + 1))
 fi
 
-# -- Stage 2: clang-tidy over the compile database. -------------------------
+# -- Stage 2: unified lint framework. ---------------------------------------
+stage "lint (tools/lint/lint.py)"
+if command -v python3 >/dev/null 2>&1; then
+  lint_args=()
+  [[ ${smoke} -eq 1 ]] && lint_args+=(--changed)
+  if python3 tools/lint/lint.py "${lint_args[@]}"; then
+    echo "lint: clean"
+  else
+    echo "lint: FAILED"
+    failures=$((failures + 1))
+  fi
+else
+  echo "lint: SKIPPED (python3 not installed)"
+fi
+
+# -- Stage 3: clang-tidy over the compile database. -------------------------
 stage "clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1; then
   if [[ ${smoke} -eq 1 ]]; then
@@ -81,7 +104,17 @@ else
   echo "clang-tidy: SKIPPED (not installed; GCC warning gate covers src/)"
 fi
 
-# -- Stage 3: sanitizers. ---------------------------------------------------
+# -- Stage 4: clang thread-safety proof. ------------------------------------
+stage "thread safety (-Wthread-safety, clang)"
+ts_rc=0
+tools/check_thread_safety.sh "${root}/tsafety" || ts_rc=$?
+if [[ ${ts_rc} -eq 77 ]]; then
+  : # Skip already announced by the script; skips do not fail the gate.
+elif [[ ${ts_rc} -ne 0 ]]; then
+  failures=$((failures + 1))
+fi
+
+# -- Stage 5: sanitizers. ---------------------------------------------------
 if [[ ${sanitizers} -eq 1 ]]; then
   stage "sanitizers"
   if tools/run_sanitizers.sh "${root}/sanitize"; then
@@ -92,7 +125,7 @@ if [[ ${sanitizers} -eq 1 ]]; then
   fi
 fi
 
-# -- Stage 4: fuzz (corpus replay + timed run, contracts on). ---------------
+# -- Stage 6: fuzz (corpus replay + timed run, contracts on). ---------------
 stage "fuzz (${fuzz_seconds}s + corpus replay)"
 fuzzer="${root}/tests/fuzz_parser_estimator"
 if [[ ! -x "${fuzzer}" ]]; then
