@@ -9,6 +9,11 @@
 //   batch_generic — the batch driver with kernel specialization disabled
 //                   (CompileOptions), i.e. per-row Value dispatch;
 //   batch         — the batch driver with type-specialized kernels;
+//   batch_recorder — batch plus the flight-recorder capture the service
+//                   layer performs per query (one QueryRecord per run into
+//                   an enabled recorder): the recorder-on overhead probe,
+//                   gated <= 2% over batch by check_bench_regression.py
+//                   --overhead-pair batch_recorder:batch;
 //   parallel      — the morsel-parallel counting pipeline
 //                   (ParallelTrueCount) on the shared pool, thread count
 //                   from JOINEST_THREADS / hardware_concurrency;
@@ -50,6 +55,7 @@
 #include "executor/join_ops.h"
 #include "executor/parallel.h"
 #include "executor/scan_ops.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "storage/catalog.h"
 #include "storage/datagen.h"
@@ -326,6 +332,25 @@ int main(int argc, char** argv) {
   results.push_back(TimeMode("batch", repeats, f.total_rows, [&] {
     const auto tree = MakeFlatTree(f, /*specialize_kernels=*/true);
     return DrainBatchCount(*tree);
+  }));
+  // The recorder-on path: same batch drive plus the one QueryRecord capture
+  // the service layer performs per executed query. Sequence numbers keep
+  // incrementing across runs, exercising ring overwrite like a long-lived
+  // server session would.
+  FlightRecorder recorder(
+      FlightRecorder::Options().set_enabled(true).set_capacity(256));
+  results.push_back(TimeMode("batch_recorder", repeats, f.total_rows, [&] {
+    const auto tree = MakeFlatTree(f, /*specialize_kernels=*/true);
+    const int64_t count = DrainBatchCount(*tree);
+    QueryRecord record;
+    record.api = QueryRecord::Api::kExecute;
+    record.fingerprint = 0x9e3779b97f4a7c15ull;
+    record.rule = "LS";
+    record.estimated_rows = static_cast<double>(count);
+    record.actual_rows = static_cast<double>(count);
+    record.q_error = 1.0;
+    recorder.Record(std::move(record));
+    return count;
   }));
   results.push_back(TimeMode("parallel", repeats, f.total_rows, [&] {
     auto count = ParallelTrueCount(f.catalog, f.spec);

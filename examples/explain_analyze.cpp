@@ -19,6 +19,8 @@
 //                   tools/check_trace.py)
 //   --metrics       also print the metrics registry's Prometheus text
 //                   (the estimator_qerror{rule=...} histograms)
+//   --querylog PATH write the flight-recorder querylog as NDJSON to PATH
+//                   (validate with tools/check_querylog.py)
 //   --scale N       paper dataset scale factor (default 1)
 
 #include <cstdio>
@@ -37,6 +39,7 @@ int main(int argc, char** argv) {
   bool as_json = false;
   bool with_metrics = false;
   std::string trace_path;
+  std::string querylog_path;
   int64_t scale = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
@@ -45,12 +48,14 @@ int main(int argc, char** argv) {
       with_metrics = true;
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--querylog") == 0 && i + 1 < argc) {
+      querylog_path = argv[++i];
     } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
       scale = std::atoll(argv[++i]);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--json] [--metrics] [--trace PATH] "
-                   "[--scale N]\n",
+                   "[--querylog PATH] [--scale N]\n",
                    argv[0]);
       return 2;
     }
@@ -60,7 +65,10 @@ int main(int argc, char** argv) {
   // aborting — the post-mortem story the trace buffer exists for.
   InstallCheckFailureTraceDump();
 
-  Database db;
+  // Flight recorder on at sample rate 1 so --querylog has the full history
+  // (paper-faithful output is unaffected: capture happens after the run).
+  Database db{Database::Options().set_recorder(
+      FlightRecorder::Options().set_enabled(true))};
   {
     Catalog staged;
     PaperDatasetOptions dataset;
@@ -94,6 +102,11 @@ int main(int argc, char** argv) {
     JOINEST_CHECK(WriteTextFile(trace_path, report->trace_json))
         << "cannot write " << trace_path;
     std::fprintf(stderr, "trace written to %s\n", trace_path.c_str());
+  }
+  if (!querylog_path.empty()) {
+    JOINEST_CHECK(WriteTextFile(querylog_path, db.QueryLogNdjson()))
+        << "cannot write " << querylog_path;
+    std::fprintf(stderr, "querylog written to %s\n", querylog_path.c_str());
   }
   if (with_metrics) {
     std::printf("%s", MetricsRegistry::Global().PrometheusText().c_str());

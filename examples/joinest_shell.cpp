@@ -43,7 +43,10 @@ using namespace joinest;  // NOLINT - example code
 namespace {
 
 struct Shell {
-  Database db;
+  // The shell keeps the flight recorder on at sample rate 1: every query
+  // command leaves a QueryRecord behind for `querylog` / `accuracy`.
+  Database db{Database::Options().set_recorder(
+      FlightRecorder::Options().set_enabled(true))};
   AlgorithmPreset preset = AlgorithmPreset::kELS;
   // Predicate transfer (pt on|off): Bloom-filter semi-join reduction before
   // execution, with observed pass rates feeding later estimates.
@@ -316,6 +319,66 @@ struct Shell {
               << stats.invalidated << " invalidated (hit rate "
               << FormatNumber(stats.hit_rate() * 100, 1) << "%)\n";
   }
+
+  // Last n flight-recorder records (all when n == 0), newest last.
+  void QueryLog(size_t last_n) {
+    const std::vector<QueryRecord> records = db.QueryLog(last_n);
+    if (records.empty()) {
+      std::cout << "querylog: no records captured yet\n";
+      return;
+    }
+    TablePrinter table({"seq", "api", "snap", "hit", "rule", "estimate",
+                       "actual", "q-error", "total ms"});
+    for (const QueryRecord& r : records) {
+      table.AddRow({std::to_string(r.seq), QueryRecordApiName(r.api),
+                    std::to_string(r.snapshot_version), r.cache_hit ? "y" : "n",
+                    r.rule, FormatNumber(r.estimated_rows),
+                    r.actual_rows < 0 ? "-" : FormatNumber(r.actual_rows),
+                    r.q_error > 0 ? FormatNumber(r.q_error, 2) : "-",
+                    FormatNumber(r.total_seconds * 1e3, 3)});
+    }
+    table.Print(std::cout);
+    std::cout << records.size() << " record(s) shown, "
+              << db.recorder().total_captured() << " captured of "
+              << db.recorder().total_offered() << " offered\n";
+  }
+
+  // Dumps the querylog as NDJSON (the tools/check_querylog.py format).
+  Status QueryLogSave(const std::string& path) {
+    std::ofstream out(path);
+    if (!out) return InvalidArgument("cannot open '" + path + "'");
+    out << db.QueryLogNdjson();
+    if (!out) return Internal("write failed");
+    std::cout << "querylog written to " << path << "\n";
+    return Status::OK();
+  }
+
+  // Accuracy monitor report: per-(rule, level, snapshot) q-error windows.
+  void Accuracy() {
+    const std::vector<AccuracyMonitor::WindowStats> report =
+        db.accuracy_monitor().Report();
+    if (report.empty()) {
+      std::cout << "accuracy: no executed records ingested yet "
+                   "(run/runx queries first)\n";
+      return;
+    }
+    TablePrinter table({"rule", "level", "snap", "n", "geomean q", "p50",
+                       "p95", "max", "vs base", "drift"});
+    for (const AccuracyMonitor::WindowStats& w : report) {
+      table.AddRow({w.rule, w.level == 0 ? "query" : std::to_string(w.level),
+                    std::to_string(w.snapshot_version),
+                    std::to_string(w.count), FormatNumber(w.geomean, 2),
+                    FormatNumber(w.p50, 2), FormatNumber(w.p95, 2),
+                    FormatNumber(w.max, 2),
+                    w.is_baseline ? "base"
+                                  : (w.drift_ratio > 0
+                                         ? FormatNumber(w.drift_ratio, 2) + "x"
+                                         : "-"),
+                    w.drifted ? "DRIFT" : ""});
+    }
+    table.Print(std::cout);
+    std::cout << db.accuracy_monitor().alerts_total() << " drift alert(s)\n";
+  }
 };
 
 void PrintHelp() {
@@ -332,6 +395,9 @@ void PrintHelp() {
       "  pt <on|off>   (predicate transfer: Bloom semi-join reduction +\n"
       "                 runtime selectivities for later estimates)\n"
       "  snapshot | reanalyze | cache\n"
+      "  querylog [n]           last n flight-recorder records (all: n=0)\n"
+      "  querylog_save <path>   dump the querylog as NDJSON\n"
+      "  accuracy               rolling q-error windows + drift status\n"
       "  help | quit\n";
 }
 
@@ -397,6 +463,22 @@ Status Dispatch(Shell& shell, const std::string& line) {
   if (command == "reanalyze") return shell.Reanalyze();
   if (command == "cache") {
     shell.CacheStats();
+    return Status::OK();
+  }
+  if (command == "querylog") {
+    size_t last_n = 0;
+    iss >> last_n;
+    shell.QueryLog(last_n);
+    return Status::OK();
+  }
+  if (command == "querylog_save") {
+    std::string path;
+    iss >> path;
+    if (path.empty()) return InvalidArgument("querylog_save <path>");
+    return shell.QueryLogSave(path);
+  }
+  if (command == "accuracy") {
+    shell.Accuracy();
     return Status::OK();
   }
   std::string rest;

@@ -1,10 +1,69 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 
 namespace joinest {
+
+namespace {
+
+void DefaultLogSink(LogSeverity severity, const char* file, int line,
+                    const std::string& message) {
+  // One fprintf per line so concurrent writers do not interleave mid-line
+  // (stdio locks the stream per call).
+  std::fprintf(stderr, "%s %s:%d] %s\n", LogSeverityName(severity), file, line,
+               message.c_str());
+}
+
+std::atomic<LogSinkFn> g_log_sink{&DefaultLogSink};
+std::atomic<int> g_min_severity{static_cast<int>(LogSeverity::kInfo)};
+std::atomic<int64_t> g_emitted[3] = {{0}, {0}, {0}};
+std::atomic<int64_t> g_suppressed{0};
+
+// ShouldLog stages the count of calls it suppressed since the last emission
+// here; the next LogMessage constructed on the same thread consumes it.
+// Thread-local because the staging happens between two separate expressions
+// of one macro expansion, always on one thread.
+thread_local int64_t t_pending_suppressed = 0;
+
+}  // namespace
+
+const char* LogSeverityName(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kInfo:
+      return "INFO";
+    case LogSeverity::kWarn:
+      return "WARN";
+    case LogSeverity::kError:
+      return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+LogSinkFn SetLogSink(LogSinkFn sink) {
+  return g_log_sink.exchange(sink != nullptr ? sink : &DefaultLogSink);
+}
+
+void SetMinLogSeverity(LogSeverity severity) {
+  g_min_severity.store(static_cast<int>(severity), std::memory_order_relaxed);
+}
+
+LogSeverity MinLogSeverity() {
+  return static_cast<LogSeverity>(
+      g_min_severity.load(std::memory_order_relaxed));
+}
+
+LogStats GetLogStats() {
+  LogStats stats;
+  for (int i = 0; i < 3; ++i) {
+    stats.emitted[i] = g_emitted[i].load(std::memory_order_relaxed);
+  }
+  stats.suppressed = g_suppressed.load(std::memory_order_relaxed);
+  return stats;
+}
+
 namespace internal_logging {
 
 namespace {
@@ -21,6 +80,33 @@ void FailCheck(const std::string& message) {
   if (CheckFailureHook hook = g_hook.load()) hook(message.c_str());
   std::cerr << message << std::endl;
   std::abort();
+}
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity), file_(file), line_(line) {
+  if (t_pending_suppressed > 0) {
+    stream_ << "[+" << t_pending_suppressed << " suppressed] ";
+    t_pending_suppressed = 0;
+  }
+}
+
+LogMessage::~LogMessage() {
+  g_emitted[static_cast<int>(severity_)].fetch_add(1,
+                                                   std::memory_order_relaxed);
+  g_log_sink.load(std::memory_order_acquire)(severity_, file_, line_,
+                                             stream_.str());
+}
+
+bool LogSiteState::ShouldLog(int64_t n) {
+  if (n <= 1) return true;
+  int64_t seq = count_.fetch_add(1, std::memory_order_relaxed);
+  if (seq % n == 0) {
+    // seq > 0 means n-1 calls landed in the suppressed gap before this one.
+    if (seq > 0) t_pending_suppressed = n - 1;
+    return true;
+  }
+  g_suppressed.fetch_add(1, std::memory_order_relaxed);
+  return false;
 }
 
 }  // namespace internal_logging

@@ -1,4 +1,5 @@
-// CHECK macros for internal invariants.
+// CHECK macros for internal invariants, plus a leveled, rate-limited
+// structured logger for non-fatal diagnostics.
 //
 // A failed check prints the location, the failed condition, and any streamed
 // context, then aborts. These are for programmer errors; user-facing errors
@@ -12,14 +13,57 @@
 // CheckFailure sink (FailCheck in logging.cc). Subsystems can register a
 // pre-abort hook there: src/obs/trace.cc uses it to dump the active trace
 // buffer, so a failed contract leaves a post-mortem trace behind.
+//
+// The non-fatal path is JOINEST_LOG: severity-leveled, streamed like a
+// CHECK, emitted through a swappable sink (stderr by default):
+//
+//   JOINEST_LOG(WARN) << "q-error drift on rule " << rule;
+//
+// Messages below the minimum severity (SetMinLogSeverity, default kInfo)
+// cost one relaxed atomic load and never format their operands. For alerts
+// that can fire per query, JOINEST_LOG_EVERY_N suppresses all but every
+// N-th execution of the site; the emitted line carries a "[+K suppressed]"
+// prefix so the dropped volume stays visible:
+//
+//   JOINEST_LOG_EVERY_N(WARN, 100) << "slow query " << fingerprint;
+//
+// (JOINEST_LOG_EVERY_N is a statement, not an expression: use it where a
+// statement is allowed, which is every place a log line belongs.)
 
 #ifndef JOINEST_COMMON_LOGGING_H_
 #define JOINEST_COMMON_LOGGING_H_
 
+#include <atomic>
+#include <cstdint>
 #include <sstream>
 #include <string>
 
 namespace joinest {
+
+enum class LogSeverity : int { kInfo = 0, kWarn = 1, kError = 2 };
+
+// "INFO" / "WARN" / "ERROR".
+const char* LogSeverityName(LogSeverity severity);
+
+// Where emitted log lines go. The default sink writes
+// "SEVERITY file:line] message" to stderr. Returns the previous sink;
+// passing nullptr restores the default. Sinks must be thread-safe.
+using LogSinkFn = void (*)(LogSeverity severity, const char* file, int line,
+                           const std::string& message);
+LogSinkFn SetLogSink(LogSinkFn sink);
+
+// Messages strictly below `severity` are discarded without formatting.
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+// Process-wide emission statistics, for tests and telemetry bridges
+// (common/ cannot depend on the metrics registry in src/obs/).
+struct LogStats {
+  int64_t emitted[3] = {0, 0, 0};  // Indexed by LogSeverity.
+  int64_t suppressed = 0;          // Dropped by JOINEST_LOG_EVERY_N sites.
+};
+LogStats GetLogStats();
+
 namespace internal_logging {
 
 // Called with the fully formatted failure message just before the process
@@ -62,6 +106,47 @@ struct Voidify {
   void operator&(const CheckFailure&) {}
 };
 
+// Accumulates a log line and hands it to the active sink in the destructor.
+// Used only via the JOINEST_LOG macros below.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogSeverity severity_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+struct LogVoidify {
+  void operator&(const LogMessage&) {}
+};
+
+// Per-call-site state for JOINEST_LOG_EVERY_N. Function-local static, so
+// each macro expansion gets its own counter; relaxed atomics keep the
+// hot suppressed path to one fetch_add.
+class LogSiteState {
+ public:
+  // Returns true on the 1st, (n+1)th, (2n+1)th, ... call. When it returns
+  // true it also stages the number of calls suppressed since the last
+  // emission (thread-local), which the next LogMessage constructed on this
+  // thread picks up and renders as a "[+K suppressed]" prefix.
+  bool ShouldLog(int64_t n);
+
+ private:
+  std::atomic<int64_t> count_{0};
+};
+
 }  // namespace internal_logging
 }  // namespace joinest
 
@@ -77,5 +162,31 @@ struct Voidify {
 #define JOINEST_CHECK_LE(a, b) JOINEST_CHECK((a) <= (b))
 #define JOINEST_CHECK_GT(a, b) JOINEST_CHECK((a) > (b))
 #define JOINEST_CHECK_GE(a, b) JOINEST_CHECK((a) >= (b))
+
+// Severity tokens for JOINEST_LOG(severity): INFO / WARN / ERROR.
+#define JOINEST_LOG_SEVERITY_INFO ::joinest::LogSeverity::kInfo
+#define JOINEST_LOG_SEVERITY_WARN ::joinest::LogSeverity::kWarn
+#define JOINEST_LOG_SEVERITY_ERROR ::joinest::LogSeverity::kError
+
+// Streamed operands are not evaluated when the severity is filtered out:
+// the ternary short-circuits before the LogMessage (and its << chain) is
+// constructed.
+#define JOINEST_LOG(severity)                                             \
+  (JOINEST_LOG_SEVERITY_##severity < ::joinest::MinLogSeverity())         \
+      ? (void)0                                                           \
+      : ::joinest::internal_logging::LogVoidify() &                       \
+            ::joinest::internal_logging::LogMessage(                      \
+                JOINEST_LOG_SEVERITY_##severity, __FILE__, __LINE__)
+
+// Statement-shaped: logs on the 1st, (n+1)th, ... execution of this site,
+// counting the rest as suppressed. The outer loop guarantees the body runs
+// at most once; the inner loop exists to host the per-site static state.
+#define JOINEST_LOG_EVERY_N(severity, n)                                    \
+  for (bool joinest_log_once = true; joinest_log_once;                      \
+       joinest_log_once = false)                                            \
+    for (static ::joinest::internal_logging::LogSiteState joinest_log_site; \
+         joinest_log_once && joinest_log_site.ShouldLog(n);                 \
+         joinest_log_once = false)                                          \
+  JOINEST_LOG(severity)
 
 #endif  // JOINEST_COMMON_LOGGING_H_

@@ -54,6 +54,8 @@ StatusOr<ExecutionResult> ExecutePlan(const Catalog& catalog,
   result.seconds = std::chrono::duration<double>(end - start).count();
   for (Operator* op : registry) {
     result.operators.push_back(SnapshotOperatorStats(*op));
+    ++result.operators_total;
+    if (op->specialized()) ++result.kernels_specialized;
   }
   result.node_stats.reserve(node_roots.size());
   for (const PlanNodeOperator& entry : node_roots) {

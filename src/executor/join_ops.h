@@ -115,6 +115,8 @@ class HashJoinOperator : public Operator {
   void Specialize(const std::vector<TypeKind>& left_types,
                   const std::vector<TypeKind>& right_types);
 
+  bool specialized() const override { return specialized_; }
+
  protected:
   void OpenImpl() override;
   bool NextImpl(Row& row) override;

@@ -71,6 +71,11 @@ class Operator {
   int64_t batches() const { return batches_; }
   int64_t batch_rows() const { return batch_rows_; }
 
+  // True when a type-specialized batch kernel was compiled in for this
+  // operator (scan/filter/hash-join Specialize succeeded); false for the
+  // generic row loop. Feeds the flight recorder's kernel-selection field.
+  virtual bool specialized() const { return false; }
+
  protected:
   virtual void OpenImpl() = 0;
   virtual bool NextImpl(Row& row) = 0;

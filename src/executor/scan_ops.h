@@ -55,6 +55,8 @@ class SeqScanOperator : public Operator {
   // CopyRowInto is unnecessary). Called once at CompilePlan time.
   void Specialize();
 
+  bool specialized() const override { return specialized_; }
+
  protected:
   void OpenImpl() override;
   bool NextImpl(Row& row) override;
@@ -112,6 +114,8 @@ class FilterOperator : public Operator {
   // parity oracle the batch kernels are tested against. Called once at
   // CompilePlan time.
   void Specialize(const std::vector<TypeKind>& child_types);
+
+  bool specialized() const override { return specialized_; }
 
  protected:
   void OpenImpl() override;

@@ -1,0 +1,114 @@
+// Estimator accuracy drift monitor.
+//
+// Consumes executed QueryRecords from the flight recorder stream and
+// maintains per-(rule, join-level, snapshot-version) rolling windows of
+// q-error. Each window keeps the last `window` observations; statistics
+// (count, mean-log / geometric mean, p50 / p95 / max) are derived by
+// bucketing into the shared HistogramBuckets::QError() layout and running
+// the same BucketQuantile estimator the metrics registry uses, so monitor
+// quantiles and scraped estimator_qerror quantiles agree.
+//
+// Drift semantics: the window at the LOWEST snapshot version with at least
+// `min_samples` observations is the baseline for its (rule, level). A later
+// version's window drifts when its p95 exceeds drift_factor x the
+// baseline's p95 (both windows at >= min_samples). A drift transition
+// raises the estimator_qerror_drift{rule=,level=} gauge to the p95 ratio,
+// increments service_accuracy_alerts_total once per transition, and emits
+// a rate-limited JOINEST_LOG(WARN). Recovering below the factor clears the
+// gauge. This catches exactly the production failure ExplainAnalyze
+// cannot: statistics going stale as data shifts under a republish.
+
+#ifndef JOINEST_OBS_ACCURACY_MONITOR_H_
+#define JOINEST_OBS_ACCURACY_MONITOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "obs/flight_recorder.h"
+
+namespace joinest {
+
+class AccuracyMonitor {
+ public:
+  struct Options {
+    bool enabled = true;
+    size_t window = 256;    // Observations kept per (rule, level, version).
+    int64_t min_samples = 8;  // Windows smaller than this neither drift nor
+                              // serve as baseline.
+    double drift_factor = 4.0;  // p95 multiple that counts as drift.
+
+    [[nodiscard]] Status Validate() const;
+
+    Options& set_enabled(bool v) { enabled = v; return *this; }
+    Options& set_window(size_t v) { window = v; return *this; }
+    Options& set_min_samples(int64_t v) { min_samples = v; return *this; }
+    Options& set_drift_factor(double v) { drift_factor = v; return *this; }
+  };
+
+  // Statistics of one rolling window, as of the last Ingest.
+  struct WindowStats {
+    std::string rule;   // "LS", "M", "SS".
+    int level = 0;      // 0 = whole query; >= 1 = join level (ExplainAnalyze).
+    uint64_t snapshot_version = 0;
+    int64_t count = 0;
+    double mean_log = 0.0;  // Mean of ln(q-error).
+    double geomean = 1.0;   // exp(mean_log).
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double max = 0.0;
+    bool is_baseline = false;
+    bool drifted = false;
+    double drift_ratio = 0.0;  // p95 / baseline p95; 0 without a baseline.
+  };
+
+  explicit AccuracyMonitor(Options options);
+  AccuracyMonitor(const AccuracyMonitor&) = delete;
+  AccuracyMonitor& operator=(const AccuracyMonitor&) = delete;
+
+  const Options& options() const { return options_; }
+
+  // Folds one captured record into the windows. Records without an actual
+  // cardinality (pure Estimate calls) are ignored; records with join-level
+  // detail additionally feed the per-level windows.
+  void Ingest(const QueryRecord& record);
+
+  // Every window, ordered by (rule, level, snapshot_version).
+  std::vector<WindowStats> Report() const;
+
+  // Drift transitions observed so far (mirrors the
+  // service_accuracy_alerts_total counter for this monitor instance).
+  int64_t alerts_total() const;
+
+ private:
+  // (rule, level, snapshot_version) -> rolling q-error window.
+  using Key = std::tuple<std::string, int, uint64_t>;
+  struct Window {
+    std::vector<double> values;  // Ring of the last `window` q-errors.
+    int64_t writes = 0;
+    bool drifted = false;
+  };
+
+  void Observe(const std::string& rule, int level, uint64_t version,
+               double q_error) JOINEST_REQUIRES(mutex_);
+  WindowStats Stats(const Key& key, const Window& window) const
+      JOINEST_REQUIRES(mutex_);
+  // The baseline window for (rule, level): lowest snapshot version with
+  // >= min_samples observations. Returns nullptr if none qualifies.
+  const Window* Baseline(const std::string& rule, int level,
+                         uint64_t* version_out) const
+      JOINEST_REQUIRES(mutex_);
+
+  const Options options_;
+  mutable Mutex mutex_;
+  std::map<Key, Window> windows_ JOINEST_GUARDED_BY(mutex_);
+  int64_t alerts_ JOINEST_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace joinest
+
+#endif  // JOINEST_OBS_ACCURACY_MONITOR_H_

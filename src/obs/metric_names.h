@@ -39,6 +39,12 @@
   X(pt_pass_rate)                           /* labels: table=,column= */     \
   X(pt_rows_pruned)                                                          \
   X(pt_runs)                                                                 \
+  /* --- accuracy monitor (obs/accuracy_monitor.cc) --------------------- */ \
+  X(estimator_qerror_drift)                 /* labels: rule=,level= */       \
+  X(service_accuracy_alerts_total)                                           \
+  /* --- flight recorder (obs/flight_recorder.cc) ------------------------ */ \
+  X(recorder_records_total)                 /* label: api= */                \
+  X(recorder_skipped_total)                 /* label: policy= */             \
   /* --- estimation service --------------------------------------------- */ \
   X(service_cache_evictions_total)          /* label: cache= */              \
   X(service_cache_hit_rate)                                                  \

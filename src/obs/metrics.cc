@@ -84,6 +84,44 @@ void HistogramMetric::Observe(double value) {
   internal_metrics::AtomicAddDouble(shard.sum, value);
 }
 
+double BucketQuantile(const std::vector<double>& bounds,
+                      const std::vector<int64_t>& counts, double q) {
+  JOINEST_CHECK_EQ(counts.size(), bounds.size() + 1)
+      << "counts must include the +inf bucket";
+  JOINEST_CHECK(q >= 0.0 && q <= 1.0) << "quantile " << q << " out of [0,1]";
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  // Rank of the target observation among `total` sorted values, 1-based:
+  // q=0 is the minimum (rank 1), q=1 the maximum (rank total).
+  const double rank = 1.0 + q * static_cast<double>(total - 1);
+  int64_t cumulative = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    const int64_t before = cumulative;
+    cumulative += counts[b];
+    if (rank > static_cast<double>(cumulative)) continue;
+    if (b == bounds.size()) {
+      // The +inf bucket has no upper edge; its lower bound is the best
+      // defensible point estimate.
+      return bounds.empty() ? 0.0 : bounds.back();
+    }
+    const double lower = b == 0 ? 0.0 : bounds[b - 1];
+    const double upper = bounds[b];
+    // Uniform-within-bucket: spread the bucket's counts[b] observations
+    // evenly across (lower, upper] and interpolate to the target rank.
+    const double within =
+        (rank - static_cast<double>(before)) / static_cast<double>(counts[b]);
+    return lower + within * (upper - lower);
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+double HistogramMetric::ApproxQuantile(double q) const {
+  const Snapshot snap = Snap();
+  return BucketQuantile(bounds_, snap.bucket_counts, q);
+}
+
 HistogramMetric::Snapshot HistogramMetric::Snap() const {
   Snapshot snap;
   snap.bucket_counts.assign(bounds_.size() + 1, 0);

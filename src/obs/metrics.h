@@ -126,6 +126,11 @@ class HistogramMetric {
   Snapshot Snap() const;
   const std::vector<double>& bounds() const { return bounds_; }
 
+  // Estimated q-quantile (q in [0, 1]) of the observed distribution,
+  // assuming values are uniform within each bucket (see BucketQuantile).
+  // Returns 0 when the histogram is empty.
+  double ApproxQuantile(double q) const;
+
  private:
   struct alignas(64) Shard {
     std::vector<std::atomic<int64_t>> buckets;
@@ -223,6 +228,16 @@ class MetricsRegistry {
 // notation, also used as the JSON "series" field.
 std::string RenderSeriesName(const std::string& name,
                              const MetricLabels& labels);
+
+// Quantile estimate over explicit bucket counts: `bounds` are ascending
+// upper bounds, `counts` has one extra entry for the +inf bucket (the
+// Snapshot layout). Linear interpolation inside the target bucket; the
+// first bucket interpolates from 0, the +inf bucket returns its lower
+// bound (the last finite bound — no upper edge to interpolate toward).
+// Shared by HistogramMetric::ApproxQuantile and the accuracy monitor's
+// window statistics, so both report identical quantile semantics.
+double BucketQuantile(const std::vector<double>& bounds,
+                      const std::vector<int64_t>& counts, double q);
 
 }  // namespace joinest
 

@@ -81,6 +81,10 @@ void TraceSession::Record(const Event& event) {
 
 std::vector<TraceSession::Event> TraceSession::Snapshot() const {
   MutexLock lock(mutex_);
+  return SnapshotLocked();
+}
+
+std::vector<TraceSession::Event> TraceSession::SnapshotLocked() const {
   std::vector<Event> events;
   events.reserve(ring_.size());
   if (ring_.size() < capacity_) {
@@ -103,8 +107,24 @@ int64_t TraceSession::dropped() const {
              : next_index_ - static_cast<int64_t>(capacity_);
 }
 
+int64_t TraceSession::total_events() const {
+  MutexLock lock(mutex_);
+  return next_index_;
+}
+
 void TraceSession::WriteChromeTrace(JsonWriter& json) const {
-  const std::vector<Event> events = Snapshot();
+  // One lock for events + counters so the exported header is consistent
+  // with the exported event list even while spans keep recording:
+  // len(traceEvents) + dropped_events == total_events exactly.
+  std::vector<Event> events;
+  int64_t total = 0;
+  {
+    MutexLock lock(mutex_);
+    events = SnapshotLocked();
+    total = next_index_;
+  }
+  const int64_t dropped_events =
+      total - static_cast<int64_t>(events.size());
   json.BeginObject();
   json.Key("traceEvents");
   json.BeginArray();
@@ -147,7 +167,11 @@ void TraceSession::WriteChromeTrace(JsonWriter& json) const {
   json.Key("otherData");
   json.BeginObject();
   json.Key("dropped_events");
-  json.Int(dropped());
+  json.Int(dropped_events);
+  json.Key("total_events");
+  json.Int(total);
+  json.Key("capacity");
+  json.Int(static_cast<int64_t>(capacity_));
   json.EndObject();
   json.EndObject();
 }

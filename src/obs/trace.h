@@ -82,6 +82,9 @@ class TraceSession {
   std::vector<Event> Snapshot() const;
   // Events overwritten after the ring filled.
   int64_t dropped() const;
+  // Events ever recorded, including overwritten ones:
+  // total_events() == Snapshot().size() + dropped() at any quiescent point.
+  int64_t total_events() const;
   size_t capacity() const { return capacity_; }
 
   // Nanoseconds since session creation (the Event timebase).
@@ -95,6 +98,8 @@ class TraceSession {
 
  private:
   friend class Span;
+
+  std::vector<Event> SnapshotLocked() const JOINEST_REQUIRES(mutex_);
 
   int64_t NextSpanId() {
     return next_span_id_.fetch_add(1, std::memory_order_relaxed);

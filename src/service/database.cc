@@ -155,6 +155,18 @@ Database::Options& Database::Options::set_cache_label(std::string label) {
   return *this;
 }
 
+Database::Options& Database::Options::set_recorder(
+    FlightRecorder::Options recorder) {
+  recorder_ = recorder;
+  return *this;
+}
+
+Database::Options& Database::Options::set_accuracy(
+    AccuracyMonitor::Options accuracy) {
+  accuracy_ = accuracy;
+  return *this;
+}
+
 Status Database::Options::Validate() const {
   if (cache_capacity_ < 1 || cache_capacity_ > (int64_t{1} << 30)) {
     return InvalidArgument("database: cache_capacity must be in [1, 2^30]");
@@ -165,6 +177,8 @@ Status Database::Options::Validate() const {
   if (cache_label_.empty()) {
     return InvalidArgument("database: cache_label must not be empty");
   }
+  JOINEST_RETURN_IF_ERROR(recorder_.Validate());
+  JOINEST_RETURN_IF_ERROR(accuracy_.Validate());
   return ValidateAnalyzeOptions(analyze_);
 }
 
@@ -306,17 +320,59 @@ StatusOr<std::shared_ptr<const PtResult>> Session::MaybeRunPredicateTransfer(
 }
 
 StatusOr<PreparedQuery> Session::Prepare(const std::string& sql) const {
+  const auto start = std::chrono::steady_clock::now();
   PreparedQuery prepared;
   prepared.snapshot = database_->snapshot();
   prepared.sql = sql;
   JOINEST_ASSIGN_OR_RETURN(prepared.spec,
                            ParseQuery(prepared.snapshot->catalog(), sql));
   prepared.fingerprint = QuerySpecFingerprint(prepared.spec);
+  prepared.parse_seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
   return prepared;
+}
+
+QueryRecord Session::BaseRecord(const PreparedQuery& prepared,
+                                const EstimateResult& estimate) const {
+  QueryRecord record;
+  record.fingerprint = prepared.fingerprint;
+  record.snapshot_version = prepared.snapshot->version();
+  record.rule = SelectivityRuleName(options_.estimation().rule);
+  record.estimated_rows = estimate.rows();
+  record.parse_seconds = prepared.parse_seconds;
+  record.per_rule.reserve(estimate.per_rule().size());
+  for (const EstimateResult::RuleEstimate& rule : estimate.per_rule()) {
+    record.per_rule.push_back(
+        QueryRecord::RuleEstimate{rule.rule, rule.rows, 0.0});
+  }
+  return record;
 }
 
 StatusOr<EstimateResult> Session::Estimate(
     const PreparedQuery& prepared) const {
+  double seconds = 0.0;
+  JOINEST_ASSIGN_OR_RETURN(EstimateResult result,
+                           EstimateImpl(prepared, &seconds));
+  if (database_->recorder().enabled()) {
+    QueryRecord record = BaseRecord(prepared, result);
+    record.api = QueryRecord::Api::kEstimate;
+    record.cache_hit = result.cache_hit();
+    record.estimate_seconds = seconds;
+    record.total_seconds = seconds;
+    database_->RecordQuery(record);
+  }
+  return result;
+}
+
+StatusOr<EstimateResult> Session::EstimateImpl(const PreparedQuery& prepared,
+                                               double* seconds) const {
+  const auto call_start = std::chrono::steady_clock::now();
+  const auto elapsed = [call_start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         call_start)
+        .count();
+  };
   JOINEST_RETURN_IF_ERROR(CheckPrepared(prepared));
   const EstimationOptions estimation = EffectiveEstimation();
   const ServiceCacheKey key{prepared.fingerprint,
@@ -324,12 +380,10 @@ StatusOr<EstimateResult> Session::Estimate(
                             EstimationOptionsDigest(estimation),
                             CacheEntryKind::kAnalysis};
   if (options_.use_cache()) {
-    const auto start = std::chrono::steady_clock::now();
     if (std::shared_ptr<const void> hit = database_->cache().Lookup(key)) {
-      EstimateSeconds(/*warm=*/true)
-          .Observe(std::chrono::duration<double>(
-                       std::chrono::steady_clock::now() - start)
-                       .count());
+      const double warm_seconds = elapsed();
+      EstimateSeconds(/*warm=*/true).Observe(warm_seconds);
+      if (seconds != nullptr) *seconds = warm_seconds;
       EstimateResult result;
       result.payload_ =
           std::static_pointer_cast<const EstimateResult::Payload>(hit);
@@ -338,7 +392,6 @@ StatusOr<EstimateResult> Session::Estimate(
     }
   }
 
-  Timer timer(&EstimateSeconds(/*warm=*/false));
   const Catalog& catalog = prepared.snapshot->catalog();
   JOINEST_ASSIGN_OR_RETURN(
       AnalyzedQuery analyzed,
@@ -369,6 +422,9 @@ StatusOr<EstimateResult> Session::Estimate(
 
   if (options_.use_cache()) database_->cache().Insert(key, payload);
 
+  const double cold_seconds = elapsed();
+  EstimateSeconds(/*warm=*/false).Observe(cold_seconds);
+  if (seconds != nullptr) *seconds = cold_seconds;
   EstimateResult result;
   result.payload_ = std::move(payload);
   result.cache_hit_ = false;
@@ -416,7 +472,28 @@ StatusOr<PlannedQuery> Session::Optimize(const std::string& sql) const {
   return Optimize(prepared);
 }
 
+namespace {
+
+// Copies the predicate-transfer and kernel-selection evidence into a record.
+void FillRuntimeFields(const PtResult* pt, const ExecutionResult& execution,
+                       QueryRecord& record) {
+  if (pt != nullptr) {
+    record.pt_seconds = pt->seconds;
+    record.pt_rows_pruned = static_cast<double>(pt->rows_pruned());
+    record.pt_filters.reserve(pt->filters.size());
+    for (const PtFilterStats& f : pt->filters) {
+      record.pt_filters.push_back(
+          QueryRecord::PtFilter{f.table_name, f.column_name, f.pass_rate});
+    }
+  }
+  record.operators_total = execution.operators_total;
+  record.kernels_specialized = execution.kernels_specialized;
+}
+
+}  // namespace
+
 StatusOr<ExecuteResult> Session::Execute(const PreparedQuery& prepared) const {
+  const auto call_start = std::chrono::steady_clock::now();
   JOINEST_ASSIGN_OR_RETURN(PlannedQuery planned, Optimize(prepared));
   JOINEST_ASSIGN_OR_RETURN(std::shared_ptr<const PtResult> pt,
                            MaybeRunPredicateTransfer(prepared));
@@ -428,6 +505,34 @@ StatusOr<ExecuteResult> Session::Execute(const PreparedQuery& prepared) const {
   result.execution = std::move(execution);
   result.plan = std::move(planned);
   result.predicate_transfer = std::move(pt);
+
+  if (database_->recorder().enabled()) {
+    // EstimateImpl, not Estimate: the per-rule estimates belong in THIS
+    // record, not in an extra synthetic Estimate record. Memoised, so a
+    // warm workload pays one cache probe.
+    double estimate_seconds = 0.0;
+    StatusOr<EstimateResult> estimate =
+        EstimateImpl(prepared, &estimate_seconds);
+    if (estimate.ok()) {
+      const double actual = static_cast<double>(result.execution.count);
+      QueryRecord record = BaseRecord(prepared, *estimate);
+      record.api = QueryRecord::Api::kExecute;
+      record.cache_hit = result.plan.cache_hit();
+      record.actual_rows = actual;
+      record.q_error = QErrorValue(record.estimated_rows, actual);
+      for (QueryRecord::RuleEstimate& rule : record.per_rule) {
+        rule.q_error = QErrorValue(rule.rows, actual);
+      }
+      FillRuntimeFields(result.predicate_transfer.get(), result.execution,
+                        record);
+      record.estimate_seconds = estimate_seconds;
+      record.execute_seconds = result.execution.seconds;
+      record.total_seconds = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - call_start)
+                                 .count();
+      database_->RecordQuery(record);
+    }
+  }
   return result;
 }
 
@@ -453,8 +558,48 @@ StatusOr<ExplainAnalyzeReport> Session::ExplainAnalyze(
           f.pass_rate});
     }
   }
-  return ExplainAnalyzePlan(prepared.snapshot->catalog(), prepared.spec,
-                            planned.plan(), ea);
+  JOINEST_ASSIGN_OR_RETURN(
+      ExplainAnalyzeReport report,
+      ExplainAnalyzePlan(prepared.snapshot->catalog(), prepared.spec,
+                         planned.plan(), ea));
+
+  if (database_->recorder().enabled()) {
+    double estimate_seconds = 0.0;
+    StatusOr<EstimateResult> estimate =
+        EstimateImpl(prepared, &estimate_seconds);
+    if (estimate.ok()) {
+      const double actual = static_cast<double>(report.count);
+      QueryRecord record = BaseRecord(prepared, *estimate);
+      record.api = QueryRecord::Api::kExplainAnalyze;
+      record.cache_hit = planned.cache_hit();
+      record.actual_rows = actual;
+      record.q_error = QErrorValue(record.estimated_rows, actual);
+      for (QueryRecord::RuleEstimate& rule : record.per_rule) {
+        rule.q_error = QErrorValue(rule.rows, actual);
+      }
+      record.join_levels.reserve(report.join_levels.size());
+      for (const ExplainAnalyzeReport::JoinLevel& level : report.join_levels) {
+        record.join_levels.push_back(QueryRecord::JoinLevel{
+            level.level, static_cast<double>(level.actual), level.est_ls,
+            level.est_m, level.est_ss, level.q_ls, level.q_m, level.q_ss});
+      }
+      if (pt != nullptr) {
+        record.pt_seconds = pt->seconds;
+        record.pt_rows_pruned = static_cast<double>(pt->rows_pruned());
+        record.pt_filters.reserve(pt->filters.size());
+        for (const PtFilterStats& f : pt->filters) {
+          record.pt_filters.push_back(
+              QueryRecord::PtFilter{f.table_name, f.column_name, f.pass_rate});
+        }
+      }
+      record.estimate_seconds = estimate_seconds;
+      record.execute_seconds = report.seconds;
+      record.total_seconds = record.estimate_seconds + record.pt_seconds +
+                             record.execute_seconds;
+      database_->RecordQuery(record);
+    }
+  }
+  return report;
 }
 
 StatusOr<ExplainAnalyzeReport> Session::ExplainAnalyze(
@@ -483,6 +628,8 @@ Database::Database(Options options) : options_(std::move(options)) {
                                           options_.cache_shards(),
                                           options_.cache_label());
   runtime_selectivities_ = std::make_shared<RuntimeSelectivityStore>();
+  recorder_ = std::make_unique<FlightRecorder>(options_.recorder());
+  accuracy_monitor_ = std::make_unique<AccuracyMonitor>(options_.accuracy());
   // Opening a database is the service's natural "threads will be used"
   // moment: install the pool metrics observer before any stage submits.
   EnsureThreadPoolMetrics();
@@ -584,6 +731,14 @@ Status Database::SetTableStats(const std::string& name, TableStats stats) {
     JOINEST_ASSIGN_OR_RETURN(int id, builder.ResolveTable(name));
     return builder.SetStats(id, std::move(stats));
   });
+}
+
+void Database::RecordQuery(const QueryRecord& record) const {
+  // The monitor only sees records that survived the capture policy, so the
+  // querylog a drift alert points at always contains its evidence.
+  if (recorder_->Record(record) && record.actual_rows >= 0.0) {
+    accuracy_monitor_->Ingest(record);
+  }
 }
 
 StatusOr<Session> Database::CreateSession(Session::Options options) const {

@@ -53,7 +53,9 @@
 #include "estimator/analyzed_query.h"
 #include "estimator/presets.h"
 #include "executor/execute.h"
+#include "obs/accuracy_monitor.h"
 #include "obs/explain_analyze.h"
+#include "obs/flight_recorder.h"
 #include "optimizer/optimizer.h"
 #include "pt/reducer.h"
 #include "query/query_spec.h"
@@ -102,6 +104,9 @@ struct PreparedQuery {
   uint64_t fingerprint = 0;
   // The snapshot every call on this prepared query runs against.
   std::shared_ptr<const CatalogSnapshot> snapshot;
+  // Wall-clock of the Prepare call (parse + resolve + fingerprint), carried
+  // so flight-recorder records can report the full latency breakdown.
+  double parse_seconds = 0.0;
 
   uint64_t snapshot_version() const {
     return snapshot ? snapshot->version() : 0;
@@ -268,6 +273,18 @@ class Session {
   StatusOr<std::shared_ptr<const PtResult>> MaybeRunPredicateTransfer(
       const PreparedQuery& prepared) const;
 
+  // The estimation pipeline behind the public Estimate, without the
+  // flight-recorder offer: Execute/ExplainAnalyze reuse it to fetch the
+  // per-rule estimates for their own records without logging a second,
+  // synthetic Estimate record. `seconds` (optional) receives the call's
+  // wall-clock.
+  StatusOr<EstimateResult> EstimateImpl(const PreparedQuery& prepared,
+                                        double* seconds) const;
+  // Fills the fields shared by every record (fingerprint, snapshot version,
+  // headline rule name, per-rule estimates).
+  QueryRecord BaseRecord(const PreparedQuery& prepared,
+                         const EstimateResult& estimate) const;
+
   Database* database_;
   Options options_;
 };
@@ -285,11 +302,21 @@ class Database {
     // Label distinguishing this database's cache series in the metrics
     // registry (tests and multi-tenant processes).
     Options& set_cache_label(std::string label);
+    // Flight recorder (obs/flight_recorder.h): capture policy and ring
+    // sizing. Disabled by default — paper-faithful sessions stay
+    // byte-identical with no recorder in the loop.
+    Options& set_recorder(FlightRecorder::Options recorder);
+    // Accuracy drift monitor (obs/accuracy_monitor.h). Only consulted for
+    // records the recorder captures, so it is inert while the recorder is
+    // disabled.
+    Options& set_accuracy(AccuracyMonitor::Options accuracy);
 
     const AnalyzeOptions& analyze() const { return analyze_; }
     int64_t cache_capacity() const { return cache_capacity_; }
     int cache_shards() const { return cache_shards_; }
     const std::string& cache_label() const { return cache_label_; }
+    const FlightRecorder::Options& recorder() const { return recorder_; }
+    const AccuracyMonitor::Options& accuracy() const { return accuracy_; }
 
     Status Validate() const;
 
@@ -298,6 +325,8 @@ class Database {
     int64_t cache_capacity_ = 4096;
     int cache_shards_ = 16;
     std::string cache_label_ = "default";
+    FlightRecorder::Options recorder_;
+    AccuracyMonitor::Options accuracy_;
   };
 
   // Validates `options` and opens an empty database (snapshot version 0).
@@ -347,6 +376,29 @@ class Database {
   ServiceCacheStats cache_stats() const { return cache_->Stats(); }
   const Options& options() const { return options_; }
 
+  // ----- Flight recorder / accuracy monitor.
+
+  // The query flight recorder. Sessions offer a QueryRecord per
+  // Estimate/Execute/ExplainAnalyze call (cache hits included); the
+  // configured capture policy decides what is kept.
+  FlightRecorder& recorder() const { return *recorder_; }
+  // Rolling per-(rule, join-level, snapshot) q-error windows fed from
+  // captured executed records; raises estimator_qerror_drift gauges.
+  AccuracyMonitor& accuracy_monitor() const { return *accuracy_monitor_; }
+
+  // Captured records, oldest first (most recent last_n when last_n > 0).
+  std::vector<QueryRecord> QueryLog(size_t last_n = 0) const {
+    return recorder_->Snapshot(last_n);
+  }
+  // The same records as NDJSON lines / one JSON document
+  // (tools/check_querylog.py validates the NDJSON shape).
+  std::string QueryLogNdjson(size_t last_n = 0) const {
+    return QueryRecordsToNdjson(QueryLog(last_n));
+  }
+  std::string QueryLogJson(size_t last_n = 0) const {
+    return QueryRecordsToJson(QueryLog(last_n));
+  }
+
   // Observed predicate-transfer selectivities, shared by every session of
   // this database (keyed by catalog table name, so observations transfer
   // across queries). Estimation consults it only in sessions with
@@ -367,6 +419,10 @@ class Database {
 
   ServiceCache& cache() const { return *cache_; }
 
+  // Session capture hook: offers `record` to the recorder and, when it is
+  // captured and carries an actual cardinality, feeds the accuracy monitor.
+  void RecordQuery(const QueryRecord& record) const;
+
   // Runs `mutate` on a builder seeded from the current snapshot, then
   // publishes the result as the next version and invalidates superseded
   // cache entries. Serialised by writer_mutex_.
@@ -380,6 +436,8 @@ class Database {
   // shared_ptr: EstimationOptions holds a co-owning reference while cached
   // analyses are alive.
   std::shared_ptr<RuntimeSelectivityStore> runtime_selectivities_;
+  std::unique_ptr<FlightRecorder> recorder_;
+  std::unique_ptr<AccuracyMonitor> accuracy_monitor_;
 
   // Writers serialise here; readers go straight to snapshot_. Lock order:
   // writer_mutex_ before snapshot_mutex_ (Mutate holds the former across

@@ -1,10 +1,14 @@
-// Tests for common/: Status, StatusOr, Rng, ZipfDistribution, UnionFind,
-// TablePrinter.
+// Tests for common/: Status, StatusOr, the leveled rate-limited logger,
+// Rng, ZipfDistribution, UnionFind, TablePrinter.
 
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "common/logging.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/table_printer.h"
@@ -85,6 +89,103 @@ TEST(StatusOrTest, AssignOrReturnPropagates) {
   EXPECT_TRUE(UseHalf(8, &out).ok());
   EXPECT_EQ(out, 4);
   EXPECT_EQ(UseHalf(7, &out).code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------- Logging
+
+struct CapturedLine {
+  LogSeverity severity;
+  std::string file;
+  int line;
+  std::string message;
+};
+
+std::vector<CapturedLine>& CapturedLines() {
+  static auto* lines = new std::vector<CapturedLine>;
+  return *lines;
+}
+
+void CaptureSink(LogSeverity severity, const char* file, int line,
+                 const std::string& message) {
+  CapturedLines().push_back({severity, file, line, message});
+}
+
+// Installs the capture sink for one test and restores the default after.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CapturedLines().clear();
+    SetLogSink(&CaptureSink);
+  }
+  void TearDown() override {
+    SetLogSink(nullptr);
+    SetMinLogSeverity(LogSeverity::kInfo);
+  }
+};
+
+TEST_F(LoggingTest, SeverityNamesAndDefaultThreshold) {
+  EXPECT_STREQ(LogSeverityName(LogSeverity::kInfo), "INFO");
+  EXPECT_STREQ(LogSeverityName(LogSeverity::kWarn), "WARN");
+  EXPECT_STREQ(LogSeverityName(LogSeverity::kError), "ERROR");
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kInfo);
+}
+
+TEST_F(LoggingTest, EmitsThroughTheSinkWithLocation) {
+  JOINEST_LOG(WARN) << "q-error drift on rule " << "LS";
+  ASSERT_EQ(CapturedLines().size(), 1u);
+  const CapturedLine& line = CapturedLines().front();
+  EXPECT_EQ(line.severity, LogSeverity::kWarn);
+  EXPECT_NE(line.file.find("common_test.cc"), std::string::npos);
+  EXPECT_GT(line.line, 0);
+  EXPECT_EQ(line.message, "q-error drift on rule LS");
+}
+
+TEST_F(LoggingTest, FilteredSeveritiesNeverEvaluateOperands) {
+  SetMinLogSeverity(LogSeverity::kWarn);
+  int evaluations = 0;
+  const auto expensive = [&evaluations] {
+    ++evaluations;
+    return "formatted";
+  };
+  JOINEST_LOG(INFO) << expensive();
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_TRUE(CapturedLines().empty());
+  JOINEST_LOG(ERROR) << expensive();
+  EXPECT_EQ(evaluations, 1);
+  ASSERT_EQ(CapturedLines().size(), 1u);
+  EXPECT_EQ(CapturedLines().front().severity, LogSeverity::kError);
+}
+
+TEST_F(LoggingTest, EveryNSuppressesAndAnnotatesTheDroppedVolume) {
+  const LogStats before = GetLogStats();
+  for (int i = 0; i < 10; ++i) {
+    JOINEST_LOG_EVERY_N(WARN, 4) << "tick " << i;
+  }
+  // The site logs executions 0, 4, and 8; the rest are counted, and each
+  // emission after a gap announces how many lines the gap swallowed.
+  ASSERT_EQ(CapturedLines().size(), 3u);
+  EXPECT_EQ(CapturedLines()[0].message, "tick 0");
+  EXPECT_EQ(CapturedLines()[1].message, "[+3 suppressed] tick 4");
+  EXPECT_EQ(CapturedLines()[2].message, "[+3 suppressed] tick 8");
+
+  const LogStats after = GetLogStats();
+  EXPECT_EQ(after.emitted[static_cast<int>(LogSeverity::kWarn)] -
+                before.emitted[static_cast<int>(LogSeverity::kWarn)],
+            3);
+  EXPECT_EQ(after.suppressed - before.suppressed, 7);
+}
+
+TEST_F(LoggingTest, EveryNIsAStatementInControlFlow) {
+  // The macro must bind like a single statement in an unbraced else.
+  for (int i = 0; i < 4; ++i) {
+    if (i < 0)
+      FAIL() << "unreachable";
+    else
+      JOINEST_LOG_EVERY_N(WARN, 2) << "else-branch " << i;
+  }
+  ASSERT_EQ(CapturedLines().size(), 2u);
+  EXPECT_EQ(CapturedLines()[0].message, "else-branch 0");
+  EXPECT_EQ(CapturedLines()[1].message, "[+1 suppressed] else-branch 2");
 }
 
 // ---------------------------------------------------------------- Rng

@@ -103,6 +103,43 @@ TEST(MetricsTest, ExpositionCarriesCountersGaugesAndHistograms) {
   EXPECT_NE(json.find("\"type\":\"histogram\""), std::string::npos);
 }
 
+TEST(MetricsTest, BucketQuantilePinsExactAnswersOnKnownLayouts) {
+  const std::vector<double> bounds = {10.0, 20.0, 40.0};
+
+  // Empty histogram: no observations, no quantile.
+  EXPECT_DOUBLE_EQ(BucketQuantile(bounds, {0, 0, 0, 0}, 0.5), 0.0);
+
+  // One observation per finite bucket plus one overflow. Rank walks the
+  // buckets one observation at a time; the maximum lives in +inf, whose
+  // only defensible point estimate is the last finite bound.
+  const std::vector<int64_t> spread = {1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(BucketQuantile(bounds, spread, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(BucketQuantile(bounds, spread, 1.0 / 3.0), 20.0);
+  EXPECT_DOUBLE_EQ(BucketQuantile(bounds, spread, 2.0 / 3.0), 40.0);
+  EXPECT_DOUBLE_EQ(BucketQuantile(bounds, spread, 1.0), 40.0);
+
+  // Uniform-within-bucket interpolation: 4 observations in [0, 10]; the
+  // median sits at rank 2.5 of 4 = 62.5% of the way up the bucket.
+  EXPECT_DOUBLE_EQ(BucketQuantile(bounds, {4, 0, 0, 0}, 0.5), 6.25);
+  // 2 observations in (10, 20]; rank 1.5 of 2 = 75% into the bucket.
+  EXPECT_DOUBLE_EQ(BucketQuantile(bounds, {0, 2, 0, 0}, 0.5), 17.5);
+}
+
+TEST(MetricsTest, ApproxQuantileReadsTheLiveBuckets) {
+  MetricsRegistry registry;
+  HistogramMetric& histogram = registry.GetHistogram(
+      "obs_test_quantiles", "", HistogramBuckets::Exponential(1.0, 2.0, 3));
+  // Bounds are {1, 2, 4}; `le` is inclusive, so these land one per bucket
+  // (100 overflows into +inf).
+  histogram.Observe(1.0);
+  histogram.Observe(2.0);
+  histogram.Observe(100.0);
+  EXPECT_DOUBLE_EQ(histogram.ApproxQuantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.ApproxQuantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(histogram.ApproxQuantile(1.0), 4.0);  // Clamped to last
+                                                         // finite bound.
+}
+
 TEST(MetricsTest, QErrorBucketsSpanOrdersOfMagnitude) {
   const HistogramBuckets buckets = HistogramBuckets::QError();
   ASSERT_FALSE(buckets.bounds.empty());
@@ -177,10 +214,18 @@ TEST(TraceTest, RingOverwritesOldestAndCountsDropped) {
   const std::vector<TraceSession::Event> events = session.Snapshot();
   ASSERT_EQ(events.size(), 8u);
   EXPECT_EQ(session.dropped(), 12);
+  EXPECT_EQ(session.total_events(), 20);
   // Oldest-first: the survivors are spans 12..19 in order.
   for (size_t i = 0; i < events.size(); ++i) {
     EXPECT_EQ(events[i].arg_value, static_cast<int64_t>(12 + i));
   }
+
+  // The export header accounts for the ring exactly (tools/check_trace.py
+  // enforces events + dropped == total against these fields).
+  const std::string json = session.ToChromeTraceJson();
+  EXPECT_NE(json.find("\"dropped_events\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"total_events\":20"), std::string::npos);
+  EXPECT_NE(json.find("\"capacity\":8"), std::string::npos);
 }
 
 TEST(TraceTest, SpansAreInertWithoutActiveSession) {

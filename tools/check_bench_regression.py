@@ -18,12 +18,19 @@ operator timing) are permitted to cost: the effective threshold becomes
 noise threshold rather than as a separate gate because a single --smoke run
 cannot attribute a slowdown to instrumentation vs. scheduler jitter.
 
+--overhead-pair CUR:BASE (repeatable) gates OPT-IN instrumentation the same
+way: mode CUR from the current run must stay within the composite allowance
+of mode BASE from the BASELINE file. bench_executor's batch_recorder mode
+(batch execution + one flight-recorder capture per run) is gated against
+the plain batch baseline this way, pinning recorder-on overhead to the
+--overhead-budget (<= 2% in the ctest wiring) on top of run noise.
+
 Regressions are reported in the unified lint format
 (`path:line: [bench-regression] message`, see tools/lint/findings.py) so
 every `ctest -L analysis` failure reads the same way.
 
 Usage: check_bench_regression.py CURRENT.json BASELINE.json [--threshold F]
-           [--overhead-budget B]
+           [--overhead-budget B] [--overhead-pair CUR:BASE ...]
 """
 
 import argparse
@@ -50,6 +57,10 @@ def main():
     parser.add_argument("--overhead-budget", type=float, default=0.0,
                         help="extra fractional slowdown granted to "
                              "instrumentation overhead")
+    parser.add_argument("--overhead-pair", action="append", default=[],
+                        metavar="CUR:BASE",
+                        help="also gate current mode CUR against baseline "
+                             "mode BASE (repeatable)")
     args = parser.parse_args()
 
     current = load_rates(args.current)
@@ -82,6 +93,33 @@ def main():
               f"current {rate:14.0f} rows/s   ratio {ratio:5.2f}   {verdict}")
     for mode in sorted(set(current) - set(baseline)):
         print(f"note: mode '{mode}' not in baseline (skipped)")
+
+    for pair in args.overhead_pair:
+        cur_mode, _, base_mode = pair.partition(":")
+        if not cur_mode or not base_mode:
+            print(f"error: malformed --overhead-pair '{pair}' "
+                  f"(expected CUR:BASE)", file=sys.stderr)
+            return 2
+        if cur_mode not in current:
+            print(f"note: pair mode '{cur_mode}' missing from current run")
+            continue
+        if baseline.get(base_mode, 0) <= 0:
+            print(f"note: pair mode '{base_mode}' has no baseline rate")
+            continue
+        rate, base_rate = current[cur_mode], baseline[base_mode]
+        ratio = rate / base_rate
+        verdict = "ok"
+        if ratio < 1.0 - allowed:
+            verdict = "REGRESSION"
+            failures.append(Finding(
+                checker="bench-regression", path=args.current, line=0,
+                message=(f"mode '{cur_mode}' runs at {ratio:.2f}x of "
+                         f"baseline mode '{base_mode}' ({rate:.0f} vs "
+                         f"{base_rate:.0f} rows/s; allowed slowdown "
+                         f"{allowed:.0%})")))
+        print(f"{cur_mode:>12s} vs {base_mode:12s} "
+              f"baseline {base_rate:14.0f} rows/s   "
+              f"current {rate:14.0f} rows/s   ratio {ratio:5.2f}   {verdict}")
 
     if failures:
         for finding in failures:

@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Validate an NDJSON querylog exported by the flight recorder.
+
+Checks the record schema Database::QueryLogNdjson() promises (see
+docs/OBSERVABILITY.md, "Flight recorder & accuracy monitoring"):
+
+  * every line is a standalone JSON object,
+  * required fields with the right types: seq (int), api (one of
+    estimate/execute/explain_analyze), fingerprint/snapshot_version (int),
+    cache_hit (bool), rule (non-empty string), estimated_rows (number),
+    actual_rows (number; -1 when not executed), q_error (number), per_rule
+    (array of {rule, rows, q_error}), latency (object with
+    parse/estimate/pt/execute/total _seconds),
+  * seq strictly increases down the file (capture order),
+  * executed records (actual_rows >= 0) carry q_error >= 1 and per-rule
+    q-errors >= 1; unexecuted records carry q_error == 0,
+  * q_error is consistent with (estimated_rows, actual_rows) when both are
+    >= 1 (QErrorValue floors at 1): q = max(est/act, act/est),
+  * optional join_levels rows carry per-rule estimates and q-errors.
+
+Problems are reported in the unified lint format
+(`path:line: [querylog-schema] message`, see tools/lint/findings.py) so
+every `ctest -L analysis` failure reads the same way.
+
+Usage: check_querylog.py LOG.ndjson [LOG2.ndjson ...]
+           [--min-records N] [--require-cache-hit] [--require-executed]
+Exits non-zero on the first invalid file.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent / "lint"))
+from findings import Finding  # noqa: E402
+
+APIS = ("estimate", "execute", "explain_analyze")
+LATENCY_KEYS = ("parse_seconds", "estimate_seconds", "pt_seconds",
+                "execute_seconds", "total_seconds")
+# q_error is recomputed from (estimated_rows, actual_rows) and must agree to
+# this relative tolerance.
+QERROR_RTOL = 1e-9
+
+
+def fail(path, line, message):
+    finding = Finding(checker="querylog-schema", path=str(path), line=line,
+                      message=message)
+    print(finding.render(), file=sys.stderr)
+    return 1
+
+
+def check_number(record, key):
+    value = record.get(key)
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def check_record(path, lineno, record):
+    if not isinstance(record, dict):
+        return fail(path, lineno, "record must be a JSON object")
+    if not isinstance(record.get("seq"), int):
+        return fail(path, lineno, "seq must be an integer")
+    if record.get("api") not in APIS:
+        return fail(path, lineno, f"api must be one of {APIS}")
+    for key in ("fingerprint", "snapshot_version"):
+        if not isinstance(record.get(key), int):
+            return fail(path, lineno, f"{key} must be an integer")
+    if not isinstance(record.get("cache_hit"), bool):
+        return fail(path, lineno, "cache_hit must be a boolean")
+    if not isinstance(record.get("rule"), str) or not record["rule"]:
+        return fail(path, lineno, "rule must be a non-empty string")
+    for key in ("estimated_rows", "actual_rows", "q_error"):
+        if not check_number(record, key):
+            return fail(path, lineno, f"{key} must be a number")
+
+    per_rule = record.get("per_rule")
+    if not isinstance(per_rule, list):
+        return fail(path, lineno, "per_rule must be an array")
+    for i, rule in enumerate(per_rule):
+        if (not isinstance(rule, dict)
+                or not isinstance(rule.get("rule"), str)
+                or not check_number(rule, "rows")
+                or not check_number(rule, "q_error")):
+            return fail(path, lineno,
+                        f"per_rule[{i}] needs rule/rows/q_error")
+
+    latency = record.get("latency")
+    if not isinstance(latency, dict):
+        return fail(path, lineno, "latency must be an object")
+    for key in LATENCY_KEYS:
+        value = latency.get(key)
+        if not isinstance(value, (int, float)) or value < 0:
+            return fail(path, lineno,
+                        f"latency.{key} must be a non-negative number")
+
+    executed = record["actual_rows"] >= 0
+    if executed:
+        if record["q_error"] < 1:
+            return fail(path, lineno,
+                        "executed record must carry q_error >= 1")
+        # QErrorValue floors both operands at 1, so the recomputation only
+        # matches the raw ratio when neither side was floored.
+        est, act = record["estimated_rows"], record["actual_rows"]
+        if est >= 1 and act >= 1:
+            expected = max(est / act, act / est)
+            if abs(record["q_error"] - expected) > QERROR_RTOL * expected:
+                return fail(
+                    path, lineno,
+                    f"q_error {record['q_error']} inconsistent with "
+                    f"estimate {est} / actual {act} (expected {expected})")
+        for i, rule in enumerate(per_rule):
+            if rule["q_error"] < 1:
+                return fail(path, lineno,
+                            f"per_rule[{i}]: executed record must carry "
+                            f"q_error >= 1")
+    elif record["q_error"] != 0:
+        return fail(path, lineno,
+                    "unexecuted record must carry q_error == 0")
+
+    join_levels = record.get("join_levels", [])
+    if not isinstance(join_levels, list):
+        return fail(path, lineno, "join_levels must be an array")
+    for i, level in enumerate(join_levels):
+        if not isinstance(level, dict) or not isinstance(
+                level.get("level"), int):
+            return fail(path, lineno, f"join_levels[{i}] needs integer level")
+        for key in ("actual", "est_ls", "est_m", "est_ss",
+                    "q_ls", "q_m", "q_ss"):
+            if not check_number(level, key):
+                return fail(path, lineno,
+                            f"join_levels[{i}].{key} must be a number")
+    return 0
+
+
+def check_file(path, args):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        return fail(path, 0, f"cannot read: {e}")
+
+    records = []
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as e:
+            return fail(path, lineno, f"invalid JSON: {e}")
+        if check_record(path, lineno, record):
+            return 1
+        records.append(record)
+
+    seqs = [r["seq"] for r in records]
+    if seqs != sorted(seqs) or len(set(seqs)) != len(seqs):
+        return fail(path, 0, "seq must strictly increase down the file")
+
+    if len(records) < args.min_records:
+        return fail(path, 0,
+                    f"expected at least {args.min_records} records, "
+                    f"found {len(records)}")
+    if args.require_cache_hit and not any(r["cache_hit"] for r in records):
+        return fail(path, 0,
+                    "expected at least one warm (cache-hit) record")
+    if args.require_executed and not any(
+            r["actual_rows"] >= 0 for r in records):
+        return fail(path, 0, "expected at least one executed record")
+
+    executed = sum(1 for r in records if r["actual_rows"] >= 0)
+    hits = sum(1 for r in records if r["cache_hit"])
+    print(f"{path}: OK ({len(records)} records, {executed} executed, "
+          f"{hits} cache hits)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("logs", nargs="+", help="NDJSON querylog files")
+    parser.add_argument("--min-records", type=int, default=1,
+                        help="fail when a file has fewer records")
+    parser.add_argument("--require-cache-hit", action="store_true",
+                        help="fail unless some record is a cache hit")
+    parser.add_argument("--require-executed", action="store_true",
+                        help="fail unless some record was executed")
+    args = parser.parse_args()
+    for path in args.logs:
+        if check_file(path, args):
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

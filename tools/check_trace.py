@@ -9,6 +9,9 @@ accept, plus the invariants joinest's TraceSession promises:
     non-negative numeric ts/dur, and integer pid/tid,
   * span ids (args.span_id) are unique; parent_id is -1 or names another
     exported span (unless the ring dropped events, when parents may be gone),
+  * the otherData header accounts for the ring: dropped_events >= 0,
+    len(traceEvents) + dropped_events == total_events, and the export never
+    carries more events than the ring's capacity,
   * a child span's [ts, ts + dur] interval lies within its parent's, up to a
     small tolerance (both are measured on the same monotonic clock),
   * a child's depth is its parent's depth + 1 (roots have depth 0).
@@ -59,6 +62,23 @@ def check_file(path):
     other = trace.get("otherData")
     if isinstance(other, dict):
         dropped = int(other.get("dropped_events", 0))
+        if dropped < 0:
+            return fail(path, f"otherData: dropped_events {dropped} < 0")
+        # total_events/capacity entered the header later than dropped_events;
+        # only validate the ring accounting when they are present.
+        total = other.get("total_events")
+        if total is not None:
+            if len(events) + dropped != int(total):
+                return fail(
+                    path,
+                    f"otherData: {len(events)} events + {dropped} dropped "
+                    f"!= total_events {total}")
+        capacity = other.get("capacity")
+        if capacity is not None and len(events) > int(capacity):
+            return fail(
+                path,
+                f"otherData: {len(events)} events exceed ring capacity "
+                f"{capacity}")
 
     spans = {}
     for i, event in enumerate(events):
