@@ -74,6 +74,8 @@ int main() {
           "SELECT COUNT(*) FROM T1, T2 WHERE T1.a = T2.b AND T1.a < 250");
       JOINEST_CHECK(query.ok()) << query.status();
       EstimationOptions options = PresetOptions(AlgorithmPreset::kELS);
+      // Sweeps the raw estimator below the facade on purpose (no session,
+      // no cache in the loop). lint:allow(estimation-options-pokes)
       options.histogram_join_selectivity = variant.histogram_joins;
       auto analyzed = AnalyzedQuery::Create(catalog, *query, options);
       JOINEST_CHECK(analyzed.ok()) << analyzed.status();

@@ -20,6 +20,8 @@
 //   run <sql>                optimize, execute, report count and time
 //   pt <on|off>              toggle predicate transfer (Bloom semi-join
 //                            reduction + runtime selectivity feedback)
+//   feedback <on|off|stats>  toggle/inspect cardinality feedback (executed
+//                            queries seed later estimates)
 //   truth <sql>              exact result size via the reference executor
 //   snapshot                 show the published catalog snapshot
 //   reanalyze                re-collect statistics (publishes a snapshot)
@@ -51,14 +53,23 @@ struct Shell {
   // Predicate transfer (pt on|off): Bloom-filter semi-join reduction before
   // execution, with observed pass rates feeding later estimates.
   bool predicate_transfer = false;
+  // Cardinality feedback (feedback on|off): executed queries record their
+  // actual sub-plan sizes, and later estimates serve a matching observation
+  // before falling back to statistics.
+  bool feedback = false;
 
   // Per-command session under the current preset: sessions are cheap
-  // views, and recreating one picks up preset changes immediately.
+  // views, and recreating one picks up preset/feature changes immediately.
+  // Extensions are configured through the EstimatorFeatures front door:
+  // start from the preset's paper knobs and toggle what the shell enables.
   Session MakeSession() const {
-    return db.CreateSession(Session::Options()
-                                .set_preset(preset)
-                                .set_predicate_transfer(predicate_transfer))
-        .value();
+    Session::Options options;
+    options.set_preset(preset);
+    EstimatorFeatures features = options.features();
+    features.runtime_selectivities = predicate_transfer;
+    features.feedback = feedback;
+    options.set_features(features);
+    return db.CreateSession(options).value();
   }
 
   const Catalog& catalog() const { return db.snapshot()->catalog(); }
@@ -236,6 +247,29 @@ struct Shell {
     return Status::OK();
   }
 
+  Status SetFeedback(const std::string& arg) {
+    if (arg == "on") {
+      feedback = true;
+    } else if (arg == "off") {
+      feedback = false;
+    } else {
+      return InvalidArgument("feedback on|off");
+    }
+    std::cout << "cardinality feedback: " << (feedback ? "on" : "off") << "\n";
+    return Status::OK();
+  }
+
+  // Feedback store contents summary: size, hit/miss traffic, epoch.
+  void FeedbackStats() {
+    const FeedbackStore& store = db.feedback_store();
+    std::cout << "feedback store: " << store.size() << "/"
+              << db.options().feedback_capacity() << " observation(s), "
+              << store.hits() << " hit(s), " << store.misses()
+              << " miss(es), epoch " << store.epoch()
+              << (feedback ? "" : "  [feedback off: estimates ignore it]")
+              << "\n";
+  }
+
   void PrintPtSummary(const PtResult& pt) {
     TablePrinter table(
         {"pass", "table.column", "probed", "passed", "pass rate"});
@@ -394,6 +428,9 @@ void PrintHelp() {
       "  runx <sql> (explain analyze) | truth <sql>\n"
       "  pt <on|off>   (predicate transfer: Bloom semi-join reduction +\n"
       "                 runtime selectivities for later estimates)\n"
+      "  feedback <on|off>      cardinality feedback: run/runx record actual\n"
+      "                         sub-plan sizes; later estimates serve them\n"
+      "  feedback [stats]       feedback store size / hits / epoch\n"
       "  snapshot | reanalyze | cache\n"
       "  querylog [n]           last n flight-recorder records (all: n=0)\n"
       "  querylog_save <path>   dump the querylog as NDJSON\n"
@@ -455,6 +492,15 @@ Status Dispatch(Shell& shell, const std::string& line) {
     std::string arg;
     iss >> arg;
     return shell.SetPredicateTransfer(arg);
+  }
+  if (command == "feedback") {
+    std::string arg;
+    iss >> arg;
+    if (arg.empty() || arg == "stats") {
+      shell.FeedbackStats();
+      return Status::OK();
+    }
+    return shell.SetFeedback(arg);
   }
   if (command == "snapshot") {
     shell.Snapshot();

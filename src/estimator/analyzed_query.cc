@@ -1,6 +1,7 @@
 #include "estimator/analyzed_query.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <sstream>
 #include <unordered_map>
@@ -184,7 +185,22 @@ double AnalyzedQuery::JoinSelectivity(const Predicate& predicate) const {
   return sel;
 }
 
+std::optional<double> AnalyzedQuery::FeedbackCardinality(
+    uint64_t mask) const {
+  const EstimationOptions::FeedbackOptions& feedback = options_.feedback;
+  if (!feedback.enabled() || feedback.store->empty()) return std::nullopt;
+  if (std::popcount(mask) < feedback.min_tables) return std::nullopt;
+  return feedback.store->Lookup(
+      feedback.fingerprint(*catalog_, spec_, predicates_, mask));
+}
+
 double AnalyzedQuery::BaseCardinality(int table_index) const {
+  if (const std::optional<double> observed =
+          FeedbackCardinality(uint64_t{1} << table_index)) {
+    JOINEST_CHECK_CARDINALITY(*observed)
+        << "observed cardinality of table " << table_index;
+    return *observed;
+  }
   const double rows = profile(table_index).effective_rows;
   JOINEST_CHECK_CARDINALITY(rows) << "base cardinality of table "
                                   << table_index;
@@ -242,6 +258,18 @@ double AnalyzedQuery::JoinComposites(uint64_t left_mask, double left_card,
                                      double right_card) const {
   JOINEST_CHECK_CARDINALITY(left_card) << "left composite";
   JOINEST_CHECK_CARDINALITY(right_card) << "right composite";
+  // Feedback override: an observed actual for the combined sub-plan beats
+  // any estimate (2012.08083's instance-optimality argument). Note the
+  // early return deliberately skips the cartesian-bound DCHECK below — the
+  // TRUE cardinality may exceed a cartesian product built from estimated
+  // inputs. Unobserved composites fall through, so an observed prefix is
+  // extended with the configured rule's selectivities (Glue-style merging).
+  if (const std::optional<double> observed =
+          FeedbackCardinality(left_mask | right_mask)) {
+    JOINEST_CHECK_EQ(left_mask & right_mask, 0u) << "composites overlap";
+    JOINEST_CHECK_CARDINALITY(*observed) << "observed composite";
+    return *observed;
+  }
   std::vector<Predicate> eligible =
       EligiblePredicatesBetween(left_mask, right_mask);
   double result = left_card * right_card;

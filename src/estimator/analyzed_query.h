@@ -27,10 +27,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "estimator/feedback_store.h"
 #include "estimator/runtime_selectivity.h"
 #include "estimator/table_profile.h"
 #include "query/query_spec.h"
@@ -71,6 +73,28 @@ struct EstimationOptions {
   // epoch is part of the estimation-options digest (service/fingerprint.cc)
   // so cached estimates refresh when new observations land.
   std::shared_ptr<const RuntimeSelectivityStore> runtime_selectivities;
+  // EXTENSION (feedback-driven estimation): observed sub-plan cardinalities
+  // consulted during the incremental computation. A composite whose
+  // canonical fingerprint has a recorded actual uses that actual verbatim;
+  // composites without one extend the nearest observed prefix with the
+  // configured rule's selectivities (Glue-style merging falls out of the
+  // incremental recursion). Null store (the default) keeps the estimator
+  // paper-faithful; the store's presence, epoch and min_tables — but not
+  // the injected fingerprint routine — are part of the estimation-options
+  // digest.
+  struct FeedbackOptions {
+    std::shared_ptr<const FeedbackStore> store;
+    // Injected by the service layer (service/fingerprint.h's
+    // SubPlanFingerprint); the estimator cannot link it directly.
+    SubPlanFingerprintFn fingerprint = nullptr;
+    // Smallest sub-plan (in tables) consulted; 1 includes single-table
+    // observations.
+    int min_tables = 1;
+
+    // True when consultation is fully configured.
+    bool enabled() const { return store != nullptr && fingerprint != nullptr; }
+  };
+  FeedbackOptions feedback;
 };
 
 class AnalyzedQuery {
@@ -164,6 +188,12 @@ class AnalyzedQuery {
 
  private:
   AnalyzedQuery() = default;
+
+  // The observed cardinality for the sub-plan `mask`, if feedback is
+  // configured, the store has one, and the mask meets min_tables. Thread-
+  // safe live lookup: the store epoch is pinned into the options digest, so
+  // every cached AnalyzedQuery was computed against one observation set.
+  std::optional<double> FeedbackCardinality(uint64_t mask) const;
 
   const Catalog* catalog_ = nullptr;
   QuerySpec spec_;

@@ -1,0 +1,46 @@
+#include "estimator/features.h"
+
+#include <sstream>
+
+namespace joinest {
+
+EstimatorFeatures EstimatorFeatures::PaperFaithful() {
+  EstimatorFeatures features;
+  features.transitive_closure = true;
+  features.histogram_join_selectivity = false;
+  features.runtime_selectivities = false;
+  features.feedback = false;
+  return features;
+}
+
+EstimatorFeatures EstimatorFeatures::AllExtensions() {
+  EstimatorFeatures features;
+  features.transitive_closure = true;
+  features.histogram_join_selectivity = true;
+  features.runtime_selectivities = true;
+  features.feedback = true;
+  return features;
+}
+
+Status EstimatorFeatures::Validate() const {
+  if (feedback_min_tables < 1) {
+    return InvalidArgument(
+        "features: feedback_min_tables must be >= 1 (a sub-plan has at "
+        "least one table)");
+  }
+  return Status::OK();
+}
+
+std::string EstimatorFeatures::ToString() const {
+  std::ostringstream oss;
+  oss << "closure=" << (transitive_closure ? "on" : "off")
+      << " histogram_join=" << (histogram_join_selectivity ? "on" : "off")
+      << " runtime_selectivities=" << (runtime_selectivities ? "on" : "off")
+      << " feedback=" << (feedback ? "on" : "off");
+  if (feedback && feedback_min_tables != 1) {
+    oss << " feedback_min_tables=" << feedback_min_tables;
+  }
+  return oss.str();
+}
+
+}  // namespace joinest

@@ -1,0 +1,77 @@
+// EstimatorFeatures: the coherent on/off surface for everything the
+// estimator does beyond the paper.
+//
+// EstimationOptions is the full mechanism vocabulary — rules, profile
+// knobs, raw store pointers — and it accretes one field per extension.
+// Sessions should not be wiring store pointers by hand; they pick a paper
+// preset (which estimation rule) and a feature set (which extensions), and
+// the service facade translates the features into the underlying
+// EstimationOptions/stores at CreateSession time:
+//
+//   auto session = db->CreateSession(
+//       Session::Options()
+//           .set_preset(AlgorithmPreset::kELS)
+//           .set_features(EstimatorFeatures::AllExtensions()));
+//
+// The named presets pin the two interesting corners: PaperFaithful() is
+// the §8 pipeline with every extension off (estimates byte-identical to
+// the seed implementation), AllExtensions() turns on every accuracy
+// extension this repo has grown. Validate() runs at CreateSession, so a
+// nonsensical combination fails at configure time.
+
+#ifndef JOINEST_ESTIMATOR_FEATURES_H_
+#define JOINEST_ESTIMATOR_FEATURES_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace joinest {
+
+struct EstimatorFeatures {
+  // The paper's PTC rewrite switch (§4): on for every preset but kSMNoPtc.
+  // Paper-faithful in BOTH positions — the experiment table sweeps it.
+  bool transitive_closure = true;
+  // EXTENSION (§9 future work): per-value-segment join selectivities from
+  // column histograms instead of the global 1/max(d', d').
+  bool histogram_join_selectivity = false;
+  // EXTENSION (predicate transfer): estimates consult the observed Bloom
+  // pass rates in the database's RuntimeSelectivityStore, and
+  // Execute/ExplainAnalyze run the semi-join reduction that feeds it.
+  bool runtime_selectivities = false;
+  // EXTENSION (feedback-driven estimation): estimates consult the
+  // database's FeedbackStore of observed sub-plan cardinalities, and this
+  // session's executed queries feed it.
+  bool feedback = false;
+  // Smallest sub-plan (in tables) the feedback store is consulted for.
+  // 1 includes single-table observations; raise to restrict feedback to
+  // larger composites. Must be >= 1.
+  int feedback_min_tables = 1;
+
+  // The paper's pipeline, bit-for-bit: every extension off.
+  static EstimatorFeatures PaperFaithful();
+  // Every accuracy extension on.
+  static EstimatorFeatures AllExtensions();
+
+  [[nodiscard]] Status Validate() const;
+
+  // "closure histogram_join runtime_selectivities feedback" style summary.
+  std::string ToString() const;
+
+  friend bool operator==(const EstimatorFeatures& a,
+                         const EstimatorFeatures& b) {
+    return a.transitive_closure == b.transitive_closure &&
+           a.histogram_join_selectivity == b.histogram_join_selectivity &&
+           a.runtime_selectivities == b.runtime_selectivities &&
+           a.feedback == b.feedback &&
+           a.feedback_min_tables == b.feedback_min_tables;
+  }
+  friend bool operator!=(const EstimatorFeatures& a,
+                         const EstimatorFeatures& b) {
+    return !(a == b);
+  }
+};
+
+}  // namespace joinest
+
+#endif  // JOINEST_ESTIMATOR_FEATURES_H_

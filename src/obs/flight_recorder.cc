@@ -138,6 +138,8 @@ void WriteQueryRecordJson(JsonWriter& json, const QueryRecord& record) {
   json.String(QueryRecordApiName(record.api));
   json.Key("fingerprint");
   json.Int(static_cast<int64_t>(record.fingerprint));
+  json.Key("subplan_fingerprint");
+  json.Int(static_cast<int64_t>(record.subplan_fingerprint));
   json.Key("snapshot_version");
   json.Int(static_cast<int64_t>(record.snapshot_version));
   json.Key("cache_hit");
@@ -184,6 +186,8 @@ void WriteQueryRecordJson(JsonWriter& json, const QueryRecord& record) {
       json.Number(level.q_m);
       json.Key("q_ss");
       json.Number(level.q_ss);
+      json.Key("subplan_prefix");
+      json.Int(static_cast<int64_t>(level.subplan_prefix));
       json.EndObject();
     }
     json.EndArray();

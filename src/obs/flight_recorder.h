@@ -60,6 +60,11 @@ struct QueryRecord {
     double actual = 0.0;
     double est_ls = 0.0, est_m = 0.0, est_ss = 0.0;
     double q_ls = 0.0, q_m = 0.0, q_ss = 0.0;
+    // Canonical fingerprint of the join prefix this level measured
+    // (service/fingerprint.h SubPlanFingerprint); 0 when not computed.
+    // Feedback-enabled sessions feed (subplan_prefix, actual) pairs into
+    // the database's FeedbackStore.
+    uint64_t subplan_prefix = 0;
   };
 
   // One predicate-transfer Bloom filter application.
@@ -72,6 +77,9 @@ struct QueryRecord {
   int64_t seq = 0;  // Capture sequence number, assigned by the recorder.
   Api api = Api::kEstimate;
   uint64_t fingerprint = 0;
+  // Canonical full-join sub-plan fingerprint (SubPlanFingerprint over every
+  // table); 0 for records that never computed one (plain Estimate calls).
+  uint64_t subplan_fingerprint = 0;
   uint64_t snapshot_version = 0;
   bool cache_hit = false;
 

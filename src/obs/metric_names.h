@@ -24,6 +24,11 @@
   /* --- estimator ------------------------------------------------------ */ \
   X(estimator_qerror)                       /* per-rule q-error histogram */ \
   X(estimator_queries_total)                                                 \
+  /* --- cardinality feedback (estimator/feedback_store.cc) -------------- */ \
+  X(feedback_hits_total)                                                     \
+  X(feedback_misses_total)                                                   \
+  X(feedback_records_total)                                                  \
+  X(feedback_store_size)                                                     \
   /* --- executor ------------------------------------------------------- */ \
   X(executor_hashjoin_build_keys_total)                                      \
   X(executor_hashjoin_build_rows_total)                                      \
@@ -62,6 +67,10 @@
   X(bench_executor_rows_per_sec)            /* label: mode= */               \
   X(bench_executor_seconds)                                                  \
   X(bench_executor_speedup_vs_seed_tuple)                                    \
+  X(bench_feedback_convergence_ratio)                                        \
+  X(bench_feedback_p95_qerror)              /* label: pass= */               \
+  X(bench_feedback_queries_per_sec)                                          \
+  X(bench_feedback_seconds)                                                  \
   X(bench_pt_rows_per_sec)                                                   \
   X(bench_pt_seconds)                                                        \
   X(bench_pt_speedup)                                                        \

@@ -92,19 +92,50 @@ Status ValidateOptimizerOptions(const OptimizerOptions& options) {
 
 // ------------------------------------------------------ Session options
 
+namespace {
+
+// Keeps the two views consistent: features_ is the public face of the
+// paper knobs; optimizer_.estimation is what the pipeline consumes. The
+// facade is the one sanctioned translator between them, hence the
+// lint:allow on the raw field writes.
+void PullFeaturesFromEstimation(const EstimationOptions& estimation,
+                                EstimatorFeatures& features) {
+  features.transitive_closure = estimation.transitive_closure;
+  features.histogram_join_selectivity = estimation.histogram_join_selectivity;
+}
+
+void PushFeaturesIntoEstimation(const EstimatorFeatures& features,
+                                EstimationOptions& estimation) {
+  // lint:allow(estimation-options-pokes) — the facade's translation point.
+  estimation.transitive_closure = features.transitive_closure;
+  // lint:allow(estimation-options-pokes) — the facade's translation point.
+  estimation.histogram_join_selectivity = features.histogram_join_selectivity;
+}
+
+}  // namespace
+
 Session::Options& Session::Options::set_preset(AlgorithmPreset preset) {
   optimizer_.estimation = PresetOptions(preset);
+  PullFeaturesFromEstimation(optimizer_.estimation, features_);
+  return *this;
+}
+
+Session::Options& Session::Options::set_features(EstimatorFeatures features) {
+  features_ = features;
+  PushFeaturesIntoEstimation(features_, optimizer_.estimation);
   return *this;
 }
 
 Session::Options& Session::Options::set_estimation(
     EstimationOptions estimation) {
   optimizer_.estimation = std::move(estimation);
+  PullFeaturesFromEstimation(optimizer_.estimation, features_);
   return *this;
 }
 
 Session::Options& Session::Options::set_optimizer(OptimizerOptions optimizer) {
   optimizer_ = std::move(optimizer);
+  PullFeaturesFromEstimation(optimizer_.estimation, features_);
   return *this;
 }
 
@@ -125,11 +156,12 @@ Session::Options& Session::Options::set_with_true_cardinalities(
 }
 
 Session::Options& Session::Options::set_predicate_transfer(bool enabled) {
-  predicate_transfer_ = enabled;
+  features_.runtime_selectivities = enabled;
   return *this;
 }
 
 Status Session::Options::Validate() const {
+  JOINEST_RETURN_IF_ERROR(features_.Validate());
   return ValidateOptimizerOptions(optimizer_);
 }
 
@@ -167,7 +199,16 @@ Database::Options& Database::Options::set_accuracy(
   return *this;
 }
 
+Database::Options& Database::Options::set_feedback_capacity(
+    int64_t observations) {
+  feedback_capacity_ = observations;
+  return *this;
+}
+
 Status Database::Options::Validate() const {
+  if (feedback_capacity_ < 1 || feedback_capacity_ > (int64_t{1} << 30)) {
+    return InvalidArgument("database: feedback_capacity must be in [1, 2^30]");
+  }
   if (cache_capacity_ < 1 || cache_capacity_ > (int64_t{1} << 30)) {
     return InvalidArgument("database: cache_capacity must be in [1, 2^30]");
   }
@@ -289,17 +330,25 @@ Status CheckPrepared(const PreparedQuery& prepared) {
 EstimationOptions Session::EffectiveEstimation() const {
   EstimationOptions estimation = options_.estimation();
   if (options_.predicate_transfer()) {
+    // lint:allow(estimation-options-pokes) — the facade's injection point.
     estimation.runtime_selectivities = database_->runtime_selectivities_;
+  }
+  if (options_.feedback()) {
+    // lint:allow(estimation-options-pokes) — the facade's injection point.
+    estimation.feedback.store = database_->feedback_store_;
+    // lint:allow(estimation-options-pokes) — the facade's injection point.
+    estimation.feedback.fingerprint = &SubPlanFingerprint;
+    // lint:allow(estimation-options-pokes) — the facade's injection point.
+    estimation.feedback.min_tables = options_.features().feedback_min_tables;
   }
   return estimation;
 }
 
 OptimizerOptions Session::EffectiveOptimizer() const {
   OptimizerOptions optimizer = options_.optimizer();
-  if (options_.predicate_transfer()) {
-    optimizer.estimation.runtime_selectivities =
-        database_->runtime_selectivities_;
-  }
+  // Same injection for the optimizer's embedded copy, so plan enumeration
+  // and the headline estimate agree about every observation.
+  optimizer.estimation = EffectiveEstimation();
   return optimizer;
 }
 
@@ -490,6 +539,12 @@ void FillRuntimeFields(const PtResult* pt, const ExecutionResult& execution,
   record.kernels_specialized = execution.kernels_specialized;
 }
 
+// Bitmask covering every query-local table.
+uint64_t FullTableMask(int num_tables) {
+  return num_tables >= 64 ? ~uint64_t{0}
+                          : (uint64_t{1} << num_tables) - 1;
+}
+
 }  // namespace
 
 StatusOr<ExecuteResult> Session::Execute(const PreparedQuery& prepared) const {
@@ -506,31 +561,48 @@ StatusOr<ExecuteResult> Session::Execute(const PreparedQuery& prepared) const {
   result.plan = std::move(planned);
   result.predicate_transfer = std::move(pt);
 
-  if (database_->recorder().enabled()) {
+  const bool feedback_on = options_.feedback();
+  if (database_->recorder().enabled() || feedback_on) {
     // EstimateImpl, not Estimate: the per-rule estimates belong in THIS
     // record, not in an extra synthetic Estimate record. Memoised, so a
-    // warm workload pays one cache probe.
+    // warm workload pays one cache probe. The feedback loop reuses the
+    // analysis for its CLOSED predicate set — fingerprints computed over
+    // the closure match across syntactically different spellings.
     double estimate_seconds = 0.0;
     StatusOr<EstimateResult> estimate =
         EstimateImpl(prepared, &estimate_seconds);
     if (estimate.ok()) {
       const double actual = static_cast<double>(result.execution.count);
-      QueryRecord record = BaseRecord(prepared, *estimate);
-      record.api = QueryRecord::Api::kExecute;
-      record.cache_hit = result.plan.cache_hit();
-      record.actual_rows = actual;
-      record.q_error = QErrorValue(record.estimated_rows, actual);
-      for (QueryRecord::RuleEstimate& rule : record.per_rule) {
-        rule.q_error = QErrorValue(rule.rows, actual);
+      const uint64_t subplan = SubPlanFingerprint(
+          prepared.snapshot->catalog(), prepared.spec,
+          estimate->analysis().predicates(),
+          FullTableMask(prepared.spec.num_tables()));
+      if (feedback_on) {
+        // COUNT(*) of the join IS the join's cardinality (GROUP BY only
+        // changes the output grouping, not the joined row count).
+        database_->feedback_store_->Record(
+            subplan, prepared.snapshot->version(), actual);
       }
-      FillRuntimeFields(result.predicate_transfer.get(), result.execution,
-                        record);
-      record.estimate_seconds = estimate_seconds;
-      record.execute_seconds = result.execution.seconds;
-      record.total_seconds = std::chrono::duration<double>(
-                                 std::chrono::steady_clock::now() - call_start)
-                                 .count();
-      database_->RecordQuery(record);
+      if (database_->recorder().enabled()) {
+        QueryRecord record = BaseRecord(prepared, *estimate);
+        record.api = QueryRecord::Api::kExecute;
+        record.cache_hit = result.plan.cache_hit();
+        record.actual_rows = actual;
+        record.subplan_fingerprint = subplan;
+        record.q_error = QErrorValue(record.estimated_rows, actual);
+        for (QueryRecord::RuleEstimate& rule : record.per_rule) {
+          rule.q_error = QErrorValue(rule.rows, actual);
+        }
+        FillRuntimeFields(result.predicate_transfer.get(), result.execution,
+                          record);
+        record.estimate_seconds = estimate_seconds;
+        record.execute_seconds = result.execution.seconds;
+        record.total_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          call_start)
+                .count();
+        database_->RecordQuery(record);
+      }
     }
   }
   return result;
@@ -563,40 +635,85 @@ StatusOr<ExplainAnalyzeReport> Session::ExplainAnalyze(
       ExplainAnalyzePlan(prepared.snapshot->catalog(), prepared.spec,
                          planned.plan(), ea));
 
-  if (database_->recorder().enabled()) {
+  const bool feedback_on = options_.feedback();
+  if (database_->recorder().enabled() || feedback_on) {
     double estimate_seconds = 0.0;
     StatusOr<EstimateResult> estimate =
         EstimateImpl(prepared, &estimate_seconds);
     if (estimate.ok()) {
+      const Catalog& catalog = prepared.snapshot->catalog();
+      const std::vector<Predicate>& closed =
+          estimate->analysis().predicates();
+      const uint64_t version = prepared.snapshot->version();
       const double actual = static_cast<double>(report.count);
-      QueryRecord record = BaseRecord(prepared, *estimate);
-      record.api = QueryRecord::Api::kExplainAnalyze;
-      record.cache_hit = planned.cache_hit();
-      record.actual_rows = actual;
-      record.q_error = QErrorValue(record.estimated_rows, actual);
-      for (QueryRecord::RuleEstimate& rule : record.per_rule) {
-        rule.q_error = QErrorValue(rule.rows, actual);
-      }
-      record.join_levels.reserve(report.join_levels.size());
-      for (const ExplainAnalyzeReport::JoinLevel& level : report.join_levels) {
-        record.join_levels.push_back(QueryRecord::JoinLevel{
-            level.level, static_cast<double>(level.actual), level.est_ls,
-            level.est_m, level.est_ss, level.q_ls, level.q_m, level.q_ss});
-      }
-      if (pt != nullptr) {
-        record.pt_seconds = pt->seconds;
-        record.pt_rows_pruned = static_cast<double>(pt->rows_pruned());
-        record.pt_filters.reserve(pt->filters.size());
-        for (const PtFilterStats& f : pt->filters) {
-          record.pt_filters.push_back(
-              QueryRecord::PtFilter{f.table_name, f.column_name, f.pass_rate});
+      const uint64_t subplan =
+          SubPlanFingerprint(catalog, prepared.spec, closed,
+                             FullTableMask(prepared.spec.num_tables()));
+
+      // Per-join-level prefix fingerprints: the executor walks the planned
+      // left-deep leaf order, so level k's actual cardinality is the join
+      // of order[0..k+1]. This is the feedback store's richest food —
+      // every prefix of one EXPLAIN ANALYZE seeds later estimates of any
+      // query containing the same canonical sub-plan.
+      const std::vector<int>& order = planned.join_order();
+      std::vector<uint64_t> prefixes(report.join_levels.size(), 0);
+      if (order.size() == static_cast<size_t>(prepared.spec.num_tables()) &&
+          report.join_levels.size() + 1 == order.size()) {
+        uint64_t prefix_mask = uint64_t{1} << order[0];
+        for (size_t k = 0; k < report.join_levels.size(); ++k) {
+          prefix_mask |= uint64_t{1} << order[k + 1];
+          prefixes[k] =
+              SubPlanFingerprint(catalog, prepared.spec, closed, prefix_mask);
         }
       }
-      record.estimate_seconds = estimate_seconds;
-      record.execute_seconds = report.seconds;
-      record.total_seconds = record.estimate_seconds + record.pt_seconds +
-                             record.execute_seconds;
-      database_->RecordQuery(record);
+
+      if (feedback_on) {
+        database_->feedback_store_->Record(subplan, version, actual);
+        for (size_t k = 0; k < report.join_levels.size(); ++k) {
+          // True per-level cardinalities are only present when the session
+          // ran the counting sub-queries (negative means "not measured").
+          const double level_actual =
+              static_cast<double>(report.join_levels[k].actual);
+          if (prefixes[k] != 0 && level_actual >= 0.0) {
+            database_->feedback_store_->Record(prefixes[k], version,
+                                               level_actual);
+          }
+        }
+      }
+
+      if (database_->recorder().enabled()) {
+        QueryRecord record = BaseRecord(prepared, *estimate);
+        record.api = QueryRecord::Api::kExplainAnalyze;
+        record.cache_hit = planned.cache_hit();
+        record.actual_rows = actual;
+        record.subplan_fingerprint = subplan;
+        record.q_error = QErrorValue(record.estimated_rows, actual);
+        for (QueryRecord::RuleEstimate& rule : record.per_rule) {
+          rule.q_error = QErrorValue(rule.rows, actual);
+        }
+        record.join_levels.reserve(report.join_levels.size());
+        for (size_t k = 0; k < report.join_levels.size(); ++k) {
+          const ExplainAnalyzeReport::JoinLevel& level = report.join_levels[k];
+          record.join_levels.push_back(QueryRecord::JoinLevel{
+              level.level, static_cast<double>(level.actual), level.est_ls,
+              level.est_m, level.est_ss, level.q_ls, level.q_m, level.q_ss,
+              prefixes[k]});
+        }
+        if (pt != nullptr) {
+          record.pt_seconds = pt->seconds;
+          record.pt_rows_pruned = static_cast<double>(pt->rows_pruned());
+          record.pt_filters.reserve(pt->filters.size());
+          for (const PtFilterStats& f : pt->filters) {
+            record.pt_filters.push_back(QueryRecord::PtFilter{
+                f.table_name, f.column_name, f.pass_rate});
+          }
+        }
+        record.estimate_seconds = estimate_seconds;
+        record.execute_seconds = report.seconds;
+        record.total_seconds = record.estimate_seconds + record.pt_seconds +
+                               record.execute_seconds;
+        database_->RecordQuery(record);
+      }
     }
   }
   return report;
@@ -628,6 +745,9 @@ Database::Database(Options options) : options_(std::move(options)) {
                                           options_.cache_shards(),
                                           options_.cache_label());
   runtime_selectivities_ = std::make_shared<RuntimeSelectivityStore>();
+  FeedbackStore::Options feedback_options;
+  feedback_options.capacity = options_.feedback_capacity();
+  feedback_store_ = std::make_shared<FeedbackStore>(feedback_options);
   recorder_ = std::make_unique<FlightRecorder>(options_.recorder());
   accuracy_monitor_ = std::make_unique<AccuracyMonitor>(options_.accuracy());
   // Opening a database is the service's natural "threads will be used"
@@ -710,27 +830,45 @@ Status Database::ImportTables(Catalog source) {
 
 Status Database::Analyze() { return Analyze(options_.analyze()); }
 
+// Statistics were re-collected: observations recorded against the old
+// statistics may describe data (or a statistical view of it) that no longer
+// exists, so BOTH runtime stores age together — the runtime-selectivity
+// store drops everything (its keys are table names, not snapshot-stamped),
+// and the feedback store drops observations older than the snapshot the
+// re-ANALYZE just published. Plain LoadTable/ImportTables do NOT age:
+// adding a table invalidates nothing previously observed.
+void Database::AgeObservations() {
+  runtime_selectivities_->Clear();
+  feedback_store_->InvalidateBefore(snapshot()->version());
+}
+
 Status Database::Analyze(const AnalyzeOptions& options) {
   JOINEST_RETURN_IF_ERROR(ValidateAnalyzeOptions(options));
-  return Mutate([&](SnapshotBuilder& builder) -> Status {
+  JOINEST_RETURN_IF_ERROR(Mutate([&](SnapshotBuilder& builder) -> Status {
     return builder.ReanalyzeAll(options);
-  });
+  }));
+  AgeObservations();
+  return Status::OK();
 }
 
 Status Database::AnalyzeTable(const std::string& name,
                               const AnalyzeOptions& options) {
   JOINEST_RETURN_IF_ERROR(ValidateAnalyzeOptions(options));
-  return Mutate([&](SnapshotBuilder& builder) -> Status {
+  JOINEST_RETURN_IF_ERROR(Mutate([&](SnapshotBuilder& builder) -> Status {
     JOINEST_ASSIGN_OR_RETURN(int id, builder.ResolveTable(name));
     return builder.Reanalyze(id, options);
-  });
+  }));
+  AgeObservations();
+  return Status::OK();
 }
 
 Status Database::SetTableStats(const std::string& name, TableStats stats) {
-  return Mutate([&](SnapshotBuilder& builder) -> Status {
+  JOINEST_RETURN_IF_ERROR(Mutate([&](SnapshotBuilder& builder) -> Status {
     JOINEST_ASSIGN_OR_RETURN(int id, builder.ResolveTable(name));
     return builder.SetStats(id, std::move(stats));
-  });
+  }));
+  AgeObservations();
+  return Status::OK();
 }
 
 void Database::RecordQuery(const QueryRecord& record) const {

@@ -51,6 +51,8 @@
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "estimator/analyzed_query.h"
+#include "estimator/features.h"
+#include "estimator/feedback_store.h"
 #include "estimator/presets.h"
 #include "executor/execute.h"
 #include "obs/accuracy_monitor.h"
@@ -182,11 +184,21 @@ class Session {
  public:
   class Options {
    public:
-    // Estimation preset shorthand (overwrites the estimation options).
+    // Estimation preset shorthand (overwrites the estimation options and
+    // re-syncs the paper knobs of the feature set; extension features are
+    // preserved).
     Options& set_preset(AlgorithmPreset preset);
+    // The estimator feature set (estimator/features.h): transitive
+    // closure, histogram-join selectivity, runtime selectivities
+    // (predicate transfer) and cardinality feedback, as one validated
+    // value. THE front door for extension configuration — the facade
+    // translates it into the underlying EstimationOptions and store wiring
+    // at CreateSession time, so sessions never poke raw EstimationOptions
+    // extension fields (enforced by the `estimation-options-pokes` lint).
+    Options& set_features(EstimatorFeatures features);
     // Fine-grained estimation knobs. Kept in sync with the optimizer's
     // embedded copy — there is exactly one estimation configuration per
-    // session.
+    // session. Prefer set_preset + set_features.
     Options& set_estimation(EstimationOptions estimation);
     // Full optimizer configuration (embeds the estimation options).
     Options& set_optimizer(OptimizerOptions optimizer);
@@ -198,34 +210,44 @@ class Session {
     // ExplainAnalyze: run the counting sub-queries that provide exact
     // per-join-level cardinalities (expensive on big data).
     Options& set_with_true_cardinalities(bool with_true);
-    // Predicate transfer (src/pt/): Execute/ExplainAnalyze run a Bloom-
-    // filter semi-join reduction before the plan, scans are restricted to
+    // DEPRECATED shim for features().runtime_selectivities — predicate
+    // transfer (src/pt/): Execute/ExplainAnalyze run a Bloom-filter
+    // semi-join reduction before the plan, scans are restricted to
     // surviving rows, and the observed pass rates feed the database's
     // RuntimeSelectivityStore, which Estimate/Optimize then consult.
-    // Default off — the paper-faithful pipeline.
+    // Default off — the paper-faithful pipeline. New code:
+    // set_features(EstimatorFeatures{.runtime_selectivities = true}).
     Options& set_predicate_transfer(bool enabled);
 
     const EstimationOptions& estimation() const {
       return optimizer_.estimation;
     }
     const OptimizerOptions& optimizer() const { return optimizer_; }
+    const EstimatorFeatures& features() const { return features_; }
     bool use_cache() const { return use_cache_; }
     bool capture_trace() const { return capture_trace_; }
     bool with_true_cardinalities() const { return with_true_cardinalities_; }
-    bool predicate_transfer() const { return predicate_transfer_; }
+    // DEPRECATED alias of features().runtime_selectivities.
+    bool predicate_transfer() const { return features_.runtime_selectivities; }
+    bool feedback() const { return features_.feedback; }
 
     // Checks every knob combination that can be rejected without a query:
     // restarts/moves >= 1 for randomized enumerators, SA temperature and
     // cooling in range, non-empty method list, non-negative costs, bushy
-    // enumeration only under DP.
+    // enumeration only under DP, and a coherent feature set.
     Status Validate() const;
 
    private:
     OptimizerOptions optimizer_;
+    // Kept in sync with optimizer_.estimation: set_features pushes its
+    // paper knobs into the estimation options; set_preset/set_estimation/
+    // set_optimizer pull theirs back out. The extension flags
+    // (runtime_selectivities, feedback) live only here — the matching
+    // store pointers are injected per call by Session::EffectiveEstimation.
+    EstimatorFeatures features_;
     bool use_cache_ = true;
     bool capture_trace_ = true;
     bool with_true_cardinalities_ = true;
-    bool predicate_transfer_ = false;
   };
 
   // Parses and resolves `sql` against the database's CURRENT snapshot and
@@ -310,6 +332,11 @@ class Database {
     // records the recorder captures, so it is inert while the recorder is
     // disabled.
     Options& set_accuracy(AccuracyMonitor::Options accuracy);
+    // Capacity (in observations) of the cardinality feedback store shared
+    // by this database's feedback-enabled sessions. The store itself is
+    // always constructed — it costs nothing until a session with
+    // EstimatorFeatures::feedback actually records into it.
+    Options& set_feedback_capacity(int64_t observations);
 
     const AnalyzeOptions& analyze() const { return analyze_; }
     int64_t cache_capacity() const { return cache_capacity_; }
@@ -317,6 +344,7 @@ class Database {
     const std::string& cache_label() const { return cache_label_; }
     const FlightRecorder::Options& recorder() const { return recorder_; }
     const AccuracyMonitor::Options& accuracy() const { return accuracy_; }
+    int64_t feedback_capacity() const { return feedback_capacity_; }
 
     Status Validate() const;
 
@@ -327,6 +355,7 @@ class Database {
     std::string cache_label_ = "default";
     FlightRecorder::Options recorder_;
     AccuracyMonitor::Options accuracy_;
+    int64_t feedback_capacity_ = 4096;
   };
 
   // Validates `options` and opens an empty database (snapshot version 0).
@@ -407,6 +436,16 @@ class Database {
     return *runtime_selectivities_;
   }
 
+  // Observed sub-plan cardinalities (estimator/feedback_store.h), shared by
+  // every session of this database and keyed by canonical sub-plan
+  // fingerprint (service/fingerprint.h's SubPlanFingerprint). Populated by
+  // Execute/ExplainAnalyze in sessions with EstimatorFeatures::feedback;
+  // consulted by Estimate/Optimize in those same sessions. Re-ANALYZE
+  // (Analyze/AnalyzeTable/SetTableStats) invalidates observations from
+  // older snapshots — statistics changed, so remembered actuals may
+  // describe data that no longer exists.
+  FeedbackStore& feedback_store() const { return *feedback_store_; }
+
   // The work-stealing pool this database's data-parallel stages (parallel
   // counting, predicate-transfer builds, partitioned ANALYZE) run on. The
   // pool is process-wide — every Database returns the same one — so
@@ -431,11 +470,16 @@ class Database {
 
   void Publish(std::shared_ptr<const CatalogSnapshot> snapshot);
 
+  // Ages the runtime-selectivity and feedback stores together after a
+  // statistics mutation (Analyze/AnalyzeTable/SetTableStats) republished.
+  void AgeObservations();
+
   Options options_;
   std::unique_ptr<ServiceCache> cache_;
   // shared_ptr: EstimationOptions holds a co-owning reference while cached
   // analyses are alive.
   std::shared_ptr<RuntimeSelectivityStore> runtime_selectivities_;
+  std::shared_ptr<FeedbackStore> feedback_store_;
   std::unique_ptr<FlightRecorder> recorder_;
   std::unique_ptr<AccuracyMonitor> accuracy_monitor_;
 

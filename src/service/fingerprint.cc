@@ -79,6 +79,14 @@ void MixEstimationOptions(Fingerprint& fp, const EstimationOptions& options) {
   fp.MixU64(options.runtime_selectivities != nullptr
                 ? options.runtime_selectivities->epoch()
                 : 0);
+  // Cardinality feedback, same epoch contract. The injected fingerprint
+  // routine deliberately does not participate: it is process state (a
+  // function pointer), and there is exactly one canonical implementation.
+  fp.MixBool(options.feedback.store != nullptr);
+  fp.MixU64(options.feedback.store != nullptr ? options.feedback.store->epoch()
+                                              : 0);
+  fp.MixInt(options.feedback.store != nullptr ? options.feedback.min_tables
+                                              : 0);
 }
 
 }  // namespace
@@ -104,6 +112,52 @@ uint64_t QuerySpecFingerprint(const QuerySpec& spec) {
   for (const ColumnRef& ref : spec.select) MixColumnRef(fp, ref);
   fp.MixU64(spec.group_by.size());
   for (const ColumnRef& ref : spec.group_by) MixColumnRef(fp, ref);
+  return fp.digest();
+}
+
+uint64_t SubPlanFingerprint(const Catalog& catalog, const QuerySpec& spec,
+                            const std::vector<Predicate>& predicates,
+                            uint64_t mask) {
+  // Canonical table order: by catalog NAME (stable across republishes and
+  // FROM-clause permutations), query-local index as the self-join
+  // tie-break. remap[old query-local index] = canonical position.
+  std::vector<int> members;
+  for (int t = 0; t < spec.num_tables(); ++t) {
+    if (mask & (uint64_t{1} << t)) members.push_back(t);
+  }
+  std::sort(members.begin(), members.end(), [&](int a, int b) {
+    const std::string& name_a = catalog.table_name(spec.tables[a].catalog_id);
+    const std::string& name_b = catalog.table_name(spec.tables[b].catalog_id);
+    if (name_a != name_b) return name_a < name_b;
+    return a < b;
+  });
+  std::vector<int> remap(spec.num_tables(), -1);
+  for (size_t pos = 0; pos < members.size(); ++pos) {
+    remap[members[pos]] = static_cast<int>(pos);
+  }
+
+  Fingerprint fp;
+  fp.MixU64(members.size());
+  for (int t : members) {
+    fp.MixString(catalog.table_name(spec.tables[t].catalog_id));
+  }
+
+  // Predicates fully contained in the mask, rewritten to the canonical
+  // table order and combined order-independently (a conjunction is a set).
+  std::vector<uint64_t> digests;
+  for (const Predicate& p : predicates) {
+    Predicate contained = p;
+    if ((mask & (uint64_t{1} << p.left.table)) == 0) continue;
+    contained.left.table = remap[p.left.table];
+    if (p.kind != Predicate::Kind::kLocalConst) {
+      if ((mask & (uint64_t{1} << p.right.table)) == 0) continue;
+      contained.right.table = remap[p.right.table];
+    }
+    digests.push_back(PredicateDigest(contained));
+  }
+  std::sort(digests.begin(), digests.end());
+  fp.MixU64(digests.size());
+  for (uint64_t d : digests) fp.MixU64(d);
   return fp.digest();
 }
 

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "estimator/analyzed_query.h"
 #include "optimizer/optimizer.h"
@@ -56,6 +57,32 @@ class Fingerprint {
 
 // Semantic identity of a resolved query (see file comment).
 uint64_t QuerySpecFingerprint(const QuerySpec& spec);
+
+// Canonical fingerprint of one join SUB-plan: the tables whose query-local
+// index bit is set in `mask`, plus every predicate of `predicates` fully
+// contained in the mask (both sides of a join, the single table of a local
+// predicate). This is the key of the feedback store
+// (estimator/feedback_store.h): an actual cardinality observed for a
+// sub-plan in one query is served to every estimate whose sub-plan
+// fingerprints the same.
+//
+// Canonicalisation, so equal sub-plans collide on purpose:
+//   * tables participate by catalog NAME (not query-local position or
+//     catalog id), ordered lexicographically — `FROM A, B` and `FROM B, A`
+//     prefix-fingerprint identically, and the key survives republishes
+//     that renumber catalog ids. Self-join aliases tie-break by query-local
+//     index, keeping them distinct deterministic slots.
+//   * predicate column refs are rewritten to the canonical table order,
+//     each predicate is canonicalised (Predicate::Canonical) and digested
+//     self-contained, and the digests combine order-independently —
+//     conjunct order never matters.
+//
+// Pass the CLOSED predicate set (AnalyzedQuery::predicates()) for keys that
+// match across syntactically different but semantically equal queries; the
+// raw spec predicates work too but only match their own spelling.
+uint64_t SubPlanFingerprint(const Catalog& catalog, const QuerySpec& spec,
+                            const std::vector<Predicate>& predicates,
+                            uint64_t mask);
 
 // Field-wise digests of the option structs.
 uint64_t EstimationOptionsDigest(const EstimationOptions& options);

@@ -63,6 +63,8 @@ constexpr CheckerFixture kFixtures[] = {
      "testdata/include_hygiene/good.h"},
     {"metric-name-registry", "testdata/metric_name_registry/bad",
      "testdata/metric_name_registry/good"},
+    {"estimation-options-pokes", "testdata/estimation_options_pokes/bad.cc",
+     "testdata/estimation_options_pokes/good.cc"},
 };
 
 class LintTest : public ::testing::Test {

@@ -14,6 +14,7 @@ Checkers do their own suffix/directory filtering from ctx.files.
 """
 
 from . import banned_functions
+from . import estimation_options_pokes
 from . import include_hygiene
 from . import metric_name_registry
 from . import no_raw_threads
@@ -27,6 +28,7 @@ ALL_CHECKERS = [
     banned_functions,
     include_hygiene,
     metric_name_registry,
+    estimation_options_pokes,
 ]
 
 BY_NAME = {mod.NAME: mod for mod in ALL_CHECKERS}

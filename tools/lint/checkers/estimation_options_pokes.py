@@ -1,0 +1,89 @@
+"""estimation-options-pokes: EstimationOptions fields are set through the
+facade, not poked directly.
+
+EstimatorFeatures (src/estimator/features.h) is the sanctioned way to turn
+estimator behaviour on and off: Session::Options::set_features validates
+the combination and the facade translates it into the underlying
+EstimationOptions plus the store wiring (Session::EffectiveEstimation).
+Code that assigns EstimationOptions fields directly bypasses that
+validation and — worse — can hand the estimator a store whose epoch is not
+part of the cache digest, silently serving stale cached estimates.
+
+src/estimator/ owns the struct (presets and defaults live there) and is
+exempt. The facade's own translation/injection points in
+src/service/database.cc carry per-line lint:allow markers. Tests are not
+in the lint roots and may poke freely (they drive the raw estimator on
+purpose).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+from findings import make_finding  # noqa: E402
+
+from . import _util
+
+NAME = "estimation-options-pokes"
+DESCRIPTION = ("direct EstimationOptions field assignment outside "
+               "src/estimator/; use Session::Options::set_features/"
+               "set_preset")
+FIXABLE = False
+
+# The struct's home: presets, defaults and the estimator itself.
+EXEMPT_PREFIX = "src/estimator/"
+
+# Every EstimationOptions field (estimator/analyzed_query.h). Writes to any
+# of them — or to their nested members — count as a poke.
+FIELDS = ("transitive_closure", "profile", "rule", "representative",
+          "histogram_join_selectivity", "runtime_selectivities", "feedback")
+
+# Variable declarations that introduce an EstimationOptions lvalue:
+# `EstimationOptions opts`, `const EstimationOptions& opts`, parameters.
+DECL_RE = _util.re.compile(r"\bEstimationOptions\s*[&*]?\s*(\w+)\s*[;=,){]")
+
+# Assignment (not comparison): `= ` with no `=` after and no
+# comparison/compound operator before.
+_ASSIGN = r"[.\w\[\]]*\s*=(?!=)"
+
+# Sub-objects unique to EstimationOptions: flag these even when the
+# variable's declaration is out of sight (other translation unit, member).
+UNAMBIGUOUS_RE = _util.re.compile(
+    r"\.(?:feedback\.(?:store|fingerprint|min_tables)"
+    r"|estimation\.(?:" + "|".join(FIELDS) + r"))" + _ASSIGN)
+
+
+def run(ctx):
+    out = []
+    for path in ctx.files:
+        rel = _util.rel_to(path, ctx.repo)
+        if rel is not None and rel.startswith(EXEMPT_PREFIX):
+            continue
+        if not ctx.explicit and rel is None:
+            continue
+        lines = _util.read_lines(path)
+        # Pass 1: which identifiers in this file are EstimationOptions?
+        tracked = set()
+        for _, _, code in _util.iter_code_lines(lines):
+            for m in DECL_RE.finditer(code):
+                tracked.add(m.group(1))
+        poke_re = None
+        if tracked:
+            poke_re = _util.re.compile(
+                r"\b(?:" + "|".join(sorted(tracked)) + r")\.(?:"
+                + "|".join(FIELDS) + r")\b" + _ASSIGN)
+        # Pass 2: flag assignments through tracked variables or through the
+        # unambiguous nested paths.
+        for lineno, raw, code in _util.iter_code_lines(lines):
+            if UNAMBIGUOUS_RE.search(code) or (poke_re
+                                               and poke_re.search(code)):
+                out.append(make_finding(
+                    NAME, path, lineno,
+                    "direct EstimationOptions field assignment bypasses the "
+                    "facade's validation and cache-digest wiring; configure "
+                    "via Session::Options::set_features / set_preset "
+                    "(estimator/features.h): "
+                    f"{raw.strip()}", repo=ctx.repo))
+    return out

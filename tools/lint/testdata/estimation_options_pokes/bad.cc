@@ -1,0 +1,19 @@
+// Fixture: direct EstimationOptions pokes — the estimation-options-pokes
+// checker must flag the tracked-variable field writes and the unambiguous
+// nested feedback/estimation paths.
+#include "estimator/analyzed_query.h"
+
+namespace joinest {
+
+void Configure(OptimizerOptions& optimizer,
+               std::shared_ptr<FeedbackStore> store) {
+  EstimationOptions options;
+  options.histogram_join_selectivity = true;
+  options.transitive_closure = false;
+  options.rule = SelectivityRule::kSmallest;
+  options.feedback.store = store;
+  options.feedback.min_tables = 2;
+  optimizer.estimation.runtime_selectivities = nullptr;
+}
+
+}  // namespace joinest

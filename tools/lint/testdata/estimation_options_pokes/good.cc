@@ -1,0 +1,28 @@
+// Fixture: the sanctioned configuration surface — the
+// estimation-options-pokes checker must stay silent. EstimatorFeatures is
+// a different type (the facade's value type), comparisons are not writes,
+// and whole-struct assignment through set_estimation is the facade's own
+// documented escape hatch.
+#include "estimator/features.h"
+#include "service/database.h"
+
+namespace joinest {
+
+Session::Options Configure(bool feedback) {
+  EstimatorFeatures features = EstimatorFeatures::PaperFaithful();
+  features.feedback = feedback;
+  features.runtime_selectivities = true;
+  Session::Options options;
+  options.set_preset(AlgorithmPreset::kELS);
+  options.set_features(features);
+  return options;
+}
+
+bool IsPaperFaithful(const EstimationOptions& options) {
+  // Reads and comparisons of EstimationOptions fields are fine.
+  return options.transitive_closure &&
+         options.feedback.store == nullptr &&
+         options.runtime_selectivities == nullptr;
+}
+
+}  // namespace joinest

@@ -13,8 +13,10 @@
 #     under JOINEST_THREADS=8; executor_test covers the shared read-only
 #     hash tables it probes), and the estimation service (service_test
 #     races sessions against concurrent ANALYZE snapshot republishes and
-#     hammers the sharded result cache), and the query flight recorder
-#     (flight_recorder_test drives N writers into the mutex-sharded ring).
+#     hammers the sharded result cache), the query flight recorder
+#     (flight_recorder_test drives N writers into the mutex-sharded ring),
+#     and the cardinality feedback store (feedback_test races ingestion
+#     against concurrent consultation and ANALYZE aging).
 #
 # Usage: tools/run_sanitizers.sh [build-root]   (default: build-sanitize)
 
@@ -40,6 +42,6 @@ export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
 export TSAN_OPTIONS="halt_on_error=1"
 
 run_job asan_ubsan "address,undefined" ""
-run_job tsan "thread" "-R 'sketch_test|storage_test|parity_test|executor_test|service_test|pt_test|thread_pool_test|flight_recorder_test'"
+run_job tsan "thread" "-R 'sketch_test|storage_test|parity_test|executor_test|service_test|pt_test|feedback_test|thread_pool_test|flight_recorder_test'"
 
 echo "All sanitizer jobs passed."
